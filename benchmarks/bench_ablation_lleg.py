@@ -1,0 +1,34 @@
+"""Ablation — the L-shape's vertical leg on vs off.
+
+With the leg disabled each processor keeps only its deduplicated
+horizontal slab, i.e. the independent algorithm plus column ownership.
+The quality difference isolates what the overlap (the paper's actual
+contribution) buys.
+"""
+
+from benchmarks.conftest import bench_scale, emit, run_once
+from repro.harness.experiments import get_circuit
+from repro.harness.tables import Table
+from repro.parallel.lshaped import lshaped_kernel_extract
+
+
+def compare_leg():
+    table = Table(
+        title="Ablation — L-shaped vertical leg",
+        columns=["circuit", "procs", "LC with leg", "LC without leg", "saved"],
+    )
+    scale = min(bench_scale(), 0.5)
+    for name in ("dalu", "ex1010"):
+        net = get_circuit(name, scale)
+        for p in (2, 4, 6):
+            with_leg = lshaped_kernel_extract(net, p).final_lc
+            without = lshaped_kernel_extract(
+                net, p, disable_vertical_leg=True
+            ).final_lc
+            table.add_row(name, p, with_leg, without, without - with_leg)
+    return table
+
+
+def test_ablation_vertical_leg(benchmark):
+    table = run_once(benchmark, compare_leg)
+    emit('ablation_lleg', table.render())

@@ -1,0 +1,38 @@
+"""Ablation — min-cut vs random circuit partitioning.
+
+The paper uses a Sanchis-style min-cut partitioner; this bench checks how
+much of the partitioned algorithms' quality actually depends on cut
+quality (random partitions slice more shared kernels apart).
+"""
+
+from benchmarks.conftest import bench_scale, emit, run_once
+from repro.harness.experiments import get_circuit
+from repro.harness.tables import Table
+from repro.parallel.independent import independent_kernel_extract
+from repro.partition import circuit_graph, cut_size, multiway_partition, random_partition
+
+
+def compare_partitioners():
+    table = Table(
+        title="Ablation — partitioner quality (independent algorithm)",
+        columns=["circuit", "procs", "cut mincut", "cut random",
+                 "LC mincut", "LC random"],
+    )
+    scale = min(bench_scale(), 0.5)
+    for name in ("dalu", "des"):
+        net = get_circuit(name, scale)
+        graph = circuit_graph(net)
+        for p in (2, 6):
+            mc = multiway_partition(graph, p, seed=0)
+            rnd = random_partition(graph, p, seed=0)
+            lc_mc = independent_kernel_extract(net, p, partitioner="mincut").final_lc
+            lc_rnd = independent_kernel_extract(net, p, partitioner="random").final_lc
+            table.add_row(
+                name, p, cut_size(graph, mc), cut_size(graph, rnd), lc_mc, lc_rnd
+            )
+    return table
+
+
+def test_ablation_partitioner(benchmark):
+    table = run_once(benchmark, compare_partitioners)
+    emit('ablation_partitioner', table.render())

@@ -1,0 +1,52 @@
+"""Ablation — power-driven extraction (the paper's other extension claim).
+
+Runs the same greedy loop with area values vs activity-weighted values
+and compares both metrics: the power objective should win on switched
+capacitance, the area objective on literal count (they usually land
+close — shared kernels save both).
+"""
+
+from benchmarks.conftest import bench_scale, emit, run_once
+from repro.harness.experiments import get_circuit
+from repro.harness.tables import Table
+from repro.rectangles.cover import kernel_extract
+from repro.rectangles.power import (
+    network_switched_capacitance,
+    power_kernel_extract,
+    signal_probabilities,
+)
+
+
+def power_tradeoff():
+    table = Table(
+        title="Ablation — area-driven vs power-driven extraction",
+        columns=["circuit", "objective", "final LC", "switched cap"],
+    )
+    scale = min(bench_scale(), 0.3)
+    for name in ("dalu", "ex1010"):
+        base = get_circuit(name, scale)
+        probs = signal_probabilities(base, vectors=1024)
+        table.add_row(
+            name, "(input)", base.literal_count(),
+            round(network_switched_capacitance(base, probs), 1),
+        )
+        area = base.copy()
+        kernel_extract(area)
+        table.add_row(
+            name, "area", area.literal_count(),
+            round(network_switched_capacitance(
+                area, signal_probabilities(area, vectors=1024)), 1),
+        )
+        power = base.copy()
+        power_kernel_extract(power, vectors=1024)
+        table.add_row(
+            name, "power", power.literal_count(),
+            round(network_switched_capacitance(
+                power, signal_probabilities(power, vectors=1024)), 1),
+        )
+    return table
+
+
+def test_ablation_power(benchmark):
+    table = run_once(benchmark, power_tradeoff)
+    emit("ablation_power", table.render())

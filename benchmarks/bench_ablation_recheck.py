@@ -1,0 +1,31 @@
+"""Ablation — the Section 5.3 zero-cost profitability re-check.
+
+Without the re-check every forwarded partial rectangle adds its covered
+cubes back before dividing (Example 5.2's naive path); quality drops on
+circuits with heavy cross-partition overlap.
+"""
+
+from benchmarks.conftest import bench_scale, emit, run_once
+from repro.harness.experiments import get_circuit
+from repro.harness.tables import Table
+from repro.parallel.lshaped import lshaped_kernel_extract
+
+
+def compare_recheck():
+    table = Table(
+        title="Ablation — zero-kernel-cost re-check at division time",
+        columns=["circuit", "procs", "LC with", "LC without", "penalty"],
+    )
+    scale = min(bench_scale(), 0.5)
+    for name in ("seq", "ex1010"):
+        net = get_circuit(name, scale)
+        for p in (2, 6):
+            good = lshaped_kernel_extract(net, p).final_lc
+            bad = lshaped_kernel_extract(net, p, disable_recheck=True).final_lc
+            table.add_row(name, p, good, bad, bad - good)
+    return table
+
+
+def test_ablation_recheck(benchmark):
+    table = run_once(benchmark, compare_recheck)
+    emit('ablation_recheck', table.render())

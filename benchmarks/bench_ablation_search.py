@@ -1,0 +1,39 @@
+"""Ablation — exhaustive vs ping-pong rectangle search.
+
+The replicated algorithm pays for an exhaustive (divide-and-conquer-able)
+search; the SIS baseline and the partitioned algorithms use the ping-pong
+heuristic.  This bench quantifies the trade: quality (final LC) and
+modeled time of full greedy extraction under each searcher.
+"""
+
+from benchmarks.conftest import bench_scale, emit, run_once
+from repro.harness.experiments import get_circuit
+from repro.harness.tables import Table
+from repro.machine.costmodel import CostMeter, DEFAULT_COST_MODEL
+from repro.rectangles.cover import kernel_extract
+
+
+def compare_searchers():
+    table = Table(
+        title="Ablation — rectangle searcher (greedy extraction to convergence)",
+        columns=["circuit", "searcher", "final LC", "modeled time", "steps"],
+    )
+    scale = min(bench_scale(), 0.5)
+    for name in ("misex3", "dalu"):
+        for searcher in ("pingpong", "exhaustive"):
+            net = get_circuit(name, scale).copy()
+            meter = CostMeter()
+            res = kernel_extract(net, searcher=searcher, meter=meter)
+            table.add_row(
+                name, searcher, res.final_lc,
+                round(DEFAULT_COST_MODEL.compute_time(meter.counts)),
+                res.iterations,
+            )
+    table.add_note("exhaustive buys a little quality for a lot of time — "
+                   "why SIS (and tables 3/4/6) use the heuristic")
+    return table
+
+
+def test_ablation_searcher(benchmark):
+    table = run_once(benchmark, compare_searchers)
+    emit('ablation_search', table.render())

@@ -1,0 +1,44 @@
+"""Ablation — timing-driven extraction (the paper's extension claim).
+
+"Our methods can be directly applied to timing driven … synthesis
+provided the algorithms are formulated in terms of a rectangular cover
+problem."  This bench sweeps the unit-delay depth budget and prints the
+resulting area/depth trade-off curve: unlimited depth recovers the
+area-driven literal count; each tightening of the budget costs literals.
+"""
+
+from benchmarks.conftest import bench_scale, emit, run_once
+from repro.harness.experiments import get_circuit
+from repro.harness.tables import Table
+from repro.rectangles.timing import critical_depth, timing_kernel_extract
+
+
+def tradeoff_curve():
+    table = Table(
+        title="Ablation — timing-driven extraction (unit-delay budget sweep)",
+        columns=["circuit", "depth budget", "final depth", "final LC",
+                 "LC vs unbounded"],
+    )
+    scale = min(bench_scale(), 0.4)
+    for name in ("dalu", "des"):
+        base_net = get_circuit(name, scale)
+        base_depth = critical_depth(base_net)
+        unbounded = base_net.copy()
+        res_unbounded = timing_kernel_extract(unbounded, max_depth=None)
+        budgets = [base_depth, base_depth + 1, base_depth + 3, None]
+        for budget in budgets:
+            net = base_net.copy()
+            res = timing_kernel_extract(net, max_depth=budget)
+            table.add_row(
+                name,
+                budget if budget is not None else "∞",
+                critical_depth(net),
+                res.final_lc,
+                f"+{res.final_lc - res_unbounded.final_lc}",
+            )
+    return table
+
+
+def test_ablation_timing(benchmark):
+    table = run_once(benchmark, tradeoff_curve)
+    emit("ablation_timing", table.render())

@@ -1,0 +1,17 @@
+"""Equation 3 — the analytic speedup model vs measurement.
+
+    S(p) = p^2 / (1 + gamma (p-1) / (2 alpha p))^2
+
+alpha and gamma are the measured sparsities of the full KC matrix and of
+the L-shaped sub-matrices; the bench sweeps p and prints predicted vs
+measured speedup for the L-shaped algorithm (the figure-style series the
+paper derives but does not plot).
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.harness.experiments import run_eq3
+
+
+def test_eq3_model_vs_measured(benchmark, scale):
+    table = run_once(benchmark, lambda: run_eq3(scale=scale))
+    emit('eq3_speedup_model', table.render())

@@ -1,0 +1,16 @@
+"""Table 1 — share of synthesis time spent in algebraic factorization.
+
+Paper: over dalu/seq/des/spla/ex1010, kernel extraction is invoked ~10–16
+times per synthesis script and accounts for 61.45% of total synthesis
+time on average.  This bench runs the mini synthesis script
+(:mod:`repro.harness.synthesis`) on the stand-in suite and prints the
+measured invocation counts, factorization seconds, and total seconds.
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.harness.experiments import run_table1
+
+
+def test_table1_synthesis_profile(benchmark, scale):
+    table = run_once(benchmark, lambda: run_table1(scale=scale))
+    emit('table1_profile', table.render())

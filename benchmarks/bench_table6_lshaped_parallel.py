@@ -1,0 +1,15 @@
+"""Table 6 — the L-shaped parallel algorithm.
+
+Paper: near-sequential quality (<0.2% degradation on ex1010) with an
+average speedup of 6.47 at 6 processors (11.48 on ex1010) — between the
+replicated algorithm's sync-bound speedups and the independent
+algorithm's super-linear ones.
+"""
+
+from benchmarks.conftest import emit, run_once
+from repro.harness.experiments import run_table6
+
+
+def test_table6_lshaped(benchmark, scale):
+    table = run_once(benchmark, lambda: run_table6(scale=scale))
+    emit('table6_lshaped_parallel', table.render())

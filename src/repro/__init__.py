@@ -1,0 +1,83 @@
+"""repro — parallel algebraic factorization for logic synthesis.
+
+A from-scratch reproduction of Roy & Banerjee, "A Comparison of Parallel
+Approaches for Algebraic Factorization in Logic Synthesis" (IPPS 1997):
+the SIS-style kernel-extraction substrate (cube algebra, kernels,
+co-kernel cube matrix, rectangle covering, Boolean networks, min-cut
+partitioning) plus the paper's three parallel algorithms executed on a
+deterministic simulated shared-memory multiprocessor.
+
+Quickstart::
+
+    from repro import BooleanNetwork, kernel_extract
+
+    net = BooleanNetwork("demo")
+    net.add_inputs(list("abcdefg"))
+    net.add_node("F", "af + bf + ag + cg + ade + bde + cde")
+    net.add_output("F")
+    result = kernel_extract(net)
+    print(result.initial_lc, "->", result.final_lc)
+
+See ``examples/`` for the parallel algorithms and ``benchmarks/`` for the
+paper's tables.
+"""
+
+from repro.algebra import (
+    LiteralTable,
+    Kernel,
+    kernels,
+    divide,
+    multiply,
+    is_cube_free,
+    make_cube_free,
+)
+from repro.network import BooleanNetwork, evaluate, random_equivalence_check
+from repro.rectangles import (
+    KCMatrix,
+    build_kc_matrix,
+    Rectangle,
+    rectangle_gain,
+    best_rectangle_exhaustive,
+    best_rectangle_pingpong,
+    kernel_extract,
+    KernelExtractionResult,
+)
+from repro.parallel import (
+    ParallelRunResult,
+    sequential_baseline,
+    replicated_kernel_extract,
+    independent_kernel_extract,
+    lshaped_kernel_extract,
+)
+from repro.circuits import make_circuit, paper_example_network
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LiteralTable",
+    "Kernel",
+    "kernels",
+    "divide",
+    "multiply",
+    "is_cube_free",
+    "make_cube_free",
+    "BooleanNetwork",
+    "evaluate",
+    "random_equivalence_check",
+    "KCMatrix",
+    "build_kc_matrix",
+    "Rectangle",
+    "rectangle_gain",
+    "best_rectangle_exhaustive",
+    "best_rectangle_pingpong",
+    "kernel_extract",
+    "KernelExtractionResult",
+    "ParallelRunResult",
+    "sequential_baseline",
+    "replicated_kernel_extract",
+    "independent_kernel_extract",
+    "lshaped_kernel_extract",
+    "make_circuit",
+    "paper_example_network",
+    "__version__",
+]

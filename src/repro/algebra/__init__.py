@@ -1,0 +1,60 @@
+"""Algebraic (weak-division) Boolean algebra substrate.
+
+This package implements the algebraic model of Boolean expressions used by
+MIS/SIS and by the paper: complemented literals are treated as independent
+variables, expressions are sets of cubes (sum-of-products), and division is
+*weak* (algebraic) division.  All quality numbers in the reproduction
+(literal counts) are computed over this model.
+
+Public surface:
+
+- :class:`~repro.algebra.literals.LiteralTable` — interning of literal
+  names to dense integer ids.
+- :mod:`~repro.algebra.cube` — operations on cubes (sorted tuples of
+  literal ids).
+- :mod:`~repro.algebra.sop` — operations on SOP expressions (sorted tuples
+  of cubes): weak division, algebraic multiplication, cube-freeness.
+- :mod:`~repro.algebra.kernels` — Brayton–Rudell kernel/co-kernel
+  enumeration.
+"""
+
+from repro.algebra.literals import LiteralTable
+from repro.algebra.cube import (
+    cube,
+    cube_contains,
+    cube_divide,
+    cube_union,
+    common_cube,
+)
+from repro.algebra.sop import (
+    sop,
+    sop_literal_count,
+    sop_support,
+    divide,
+    multiply,
+    is_cube_free,
+    make_cube_free,
+    largest_common_cube,
+)
+from repro.algebra.kernels import Kernel, kernels, level0_kernels, kernel_level
+
+__all__ = [
+    "LiteralTable",
+    "cube",
+    "cube_contains",
+    "cube_divide",
+    "cube_union",
+    "common_cube",
+    "sop",
+    "sop_literal_count",
+    "sop_support",
+    "divide",
+    "multiply",
+    "is_cube_free",
+    "make_cube_free",
+    "largest_common_cube",
+    "Kernel",
+    "kernels",
+    "level0_kernels",
+    "kernel_level",
+]

@@ -1,0 +1,99 @@
+"""Cube operations.
+
+A *cube* is a product of literals, represented canonically as a sorted
+tuple of distinct literal ids.  The empty tuple ``()`` is the universal
+cube (constant 1).  All functions are pure and operate on the canonical
+representation; callers that need set semantics convert locally.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+Cube = Tuple[int, ...]
+
+
+def cube(literals: Iterable[int]) -> Cube:
+    """Build the canonical cube for an iterable of literal ids."""
+    return tuple(sorted(set(literals)))
+
+
+def cube_contains(big: Cube, small: Cube) -> bool:
+    """Return ``True`` iff every literal of *small* appears in *big*.
+
+    Both cubes must be canonical (sorted, distinct); the check runs a
+    linear merge rather than building sets.
+    """
+    if len(small) > len(big):
+        return False
+    i = 0
+    n = len(big)
+    for lit in small:
+        while i < n and big[i] < lit:
+            i += 1
+        if i >= n or big[i] != lit:
+            return False
+        i += 1
+    return True
+
+
+def cube_divide(c: Cube, d: Cube) -> Optional[Cube]:
+    """Return the cube ``c / d`` (set difference) or ``None`` if d ∤ c.
+
+    In the algebraic model a cube *d* divides cube *c* evenly iff
+    ``d ⊆ c``; the quotient is the remaining literals.
+    """
+    if not cube_contains(c, d):
+        return None
+    if not d:
+        return c
+    ds = set(d)
+    return tuple(l for l in c if l not in ds)
+
+
+def cube_union(a: Cube, b: Cube) -> Cube:
+    """Return the product cube a·b (merged literal sets)."""
+    if not a:
+        return b
+    if not b:
+        return a
+    # Linear merge of two sorted tuples.
+    out = []
+    i = j = 0
+    na, nb = len(a), len(b)
+    while i < na and j < nb:
+        x, y = a[i], b[j]
+        if x < y:
+            out.append(x)
+            i += 1
+        elif y < x:
+            out.append(y)
+            j += 1
+        else:
+            out.append(x)
+            i += 1
+            j += 1
+    out.extend(a[i:])
+    out.extend(b[j:])
+    return tuple(out)
+
+
+def common_cube(cubes: Sequence[Cube]) -> Cube:
+    """Return the largest cube dividing every cube in *cubes*.
+
+    This is the literal-set intersection; for an empty sequence it is the
+    universal cube.
+    """
+    if not cubes:
+        return ()
+    acc = set(cubes[0])
+    for c in cubes[1:]:
+        if not acc:
+            break
+        acc.intersection_update(c)
+    return tuple(sorted(acc))
+
+
+def cube_literal_count(c: Cube) -> int:
+    """Number of literals in the cube (its contribution to LC)."""
+    return len(c)

@@ -1,0 +1,143 @@
+"""Factored forms and quick factoring.
+
+SIS reports *factored-form* literal counts alongside flat SOP counts;
+this module provides the classic ``quick_factor`` recursion (factor on a
+level-0 kernel, then recurse on divisor / quotient / remainder) and a
+factored-form tree with literal counting and rendering.  It is used by
+the stats reporting and gives the examples a way to show what the
+extracted networks look like as factored expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.algebra.kernels import kernels
+from repro.algebra.sop import Sop, divide, make_cube_free, sop
+
+
+@dataclass(frozen=True)
+class One:
+    """The constant-true factored form (an SOP containing the universal
+    cube is a tautology, so the whole expression collapses to 1)."""
+
+    def literal_count(self) -> int:
+        return 0
+
+    def render(self, names: Sequence[str]) -> str:
+        return "1"
+
+
+@dataclass(frozen=True)
+class Leaf:
+    """A literal occurrence."""
+
+    literal: int
+
+    def literal_count(self) -> int:
+        return 1
+
+    def render(self, names: Sequence[str]) -> str:
+        return names[self.literal]
+
+
+@dataclass(frozen=True)
+class Product:
+    """Conjunction of factored sub-forms."""
+
+    factors: Tuple["Factored", ...]
+
+    def literal_count(self) -> int:
+        return sum(f.literal_count() for f in self.factors)
+
+    def render(self, names: Sequence[str]) -> str:
+        parts = []
+        for f in self.factors:
+            s = f.render(names)
+            parts.append(f"({s})" if isinstance(f, Sum) else s)
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class Sum:
+    """Disjunction of factored sub-forms."""
+
+    terms: Tuple["Factored", ...]
+
+    def literal_count(self) -> int:
+        return sum(t.literal_count() for t in self.terms)
+
+    def render(self, names: Sequence[str]) -> str:
+        return " + ".join(t.render(names) for t in self.terms)
+
+
+Factored = Union[One, Leaf, Product, Sum]
+
+
+def _cube_tree(cube: Tuple[int, ...]) -> Factored:
+    leaves = tuple(Leaf(l) for l in cube)
+    return leaves[0] if len(leaves) == 1 else Product(leaves)
+
+
+def _sop_tree(f: Sop) -> Factored:
+    terms = tuple(_cube_tree(c) for c in f if c)
+    if not terms:
+        raise ValueError("cannot build a tree for constant expressions")
+    return terms[0] if len(terms) == 1 else Sum(terms)
+
+
+def quick_factor(f: Sop) -> Factored:
+    """Recursively factor an SOP (SIS ``quick_factor`` flavor).
+
+    Strategy: make the expression cube-free (pull the common cube out as
+    a product), pick the first kernel as divisor, weak-divide, and
+    recurse on divisor, quotient and remainder.  Falls back to the flat
+    form when no kernel exists.  The result's literal count never
+    exceeds the SOP literal count.
+    """
+    f = sop(f)
+    if not f:
+        raise ValueError("cannot factor constant 0")
+    if () in f:
+        # The universal cube absorbs every other term: f is a tautology.
+        return One()
+    if len(f) == 1:
+        return _cube_tree(f[0])
+    cf, common = make_cube_free(f)
+    if common:
+        return Product((_cube_tree(common), quick_factor(cf)))
+    ks = [k for k in kernels(f) if k.expression != f]
+    if not ks:
+        return _sop_tree(f)
+    divisor = ks[0].expression
+    quotient, remainder = divide(f, divisor)
+    if not quotient or (quotient == ((),)):
+        return _sop_tree(f)
+    parts: List[Factored] = [
+        Product((quick_factor(divisor), quick_factor(quotient)))
+    ]
+    if remainder:
+        rem_tree = quick_factor(remainder)
+        if isinstance(rem_tree, Sum):
+            parts.extend(rem_tree.terms)
+        else:
+            parts.append(rem_tree)
+    return parts[0] if len(parts) == 1 else Sum(tuple(parts))
+
+
+def factored_literal_count(f: Sop) -> int:
+    """Literal count of the quick-factored form of *f*."""
+    if not f or f == ((),):
+        return 0
+    return quick_factor(f).literal_count()
+
+
+def network_factored_literal_count(network) -> int:
+    """Σ factored-form literals over all internal nodes (SIS lits(fac))."""
+    total = 0
+    for name in network.nodes:
+        f = network.nodes[name]
+        if f and f != ((),):
+            total += factored_literal_count(f)
+    return total

@@ -1,0 +1,77 @@
+"""Interning of literal names to dense integer ids.
+
+The algebraic model treats a variable and its complement as unrelated
+literals, so the table interns plain strings; by convention a complemented
+literal is written with a trailing apostrophe (``"a'"``) but the table does
+not interpret it — complement pairing only matters to the functional
+simulator (:mod:`repro.network.simulate`), which strips the apostrophe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+
+class LiteralTable:
+    """Bidirectional mapping between literal names and dense integer ids.
+
+    Ids are assigned in first-seen order and are stable for the lifetime of
+    the table.  Every expression in a :class:`~repro.network.BooleanNetwork`
+    shares one table so cube tuples from different nodes are directly
+    comparable (this is what makes the KC matrix columns well defined).
+    """
+
+    __slots__ = ("_name_to_id", "_names")
+
+    def __init__(self, names: Iterable[str] = ()) -> None:
+        self._name_to_id: Dict[str, int] = {}
+        self._names: List[str] = []
+        for name in names:
+            self.id_of(name)
+
+    def id_of(self, name: str) -> int:
+        """Return the id for *name*, interning it on first use."""
+        if not name:
+            raise ValueError("literal name must be non-empty")
+        got = self._name_to_id.get(name)
+        if got is not None:
+            return got
+        new_id = len(self._names)
+        self._name_to_id[name] = new_id
+        self._names.append(name)
+        return new_id
+
+    def get(self, name: str) -> int:
+        """Return the id for *name*; raise ``KeyError`` if never interned."""
+        return self._name_to_id[name]
+
+    def name_of(self, lit_id: int) -> str:
+        """Return the name for an id assigned by :meth:`id_of`."""
+        return self._names[lit_id]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._name_to_id
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __iter__(self) -> Iterator[Tuple[int, str]]:
+        return iter(enumerate(self._names))
+
+    def ids(self, names: Iterable[str]) -> Tuple[int, ...]:
+        """Intern several names, returning the cube-canonical sorted tuple."""
+        return tuple(sorted({self.id_of(n) for n in names}))
+
+    def names(self, ids: Iterable[int]) -> Tuple[str, ...]:
+        """Map ids back to names, preserving order."""
+        return tuple(self._names[i] for i in ids)
+
+    def copy(self) -> "LiteralTable":
+        """Return an independent copy with identical id assignment."""
+        dup = LiteralTable()
+        dup._name_to_id = dict(self._name_to_id)
+        dup._names = list(self._names)
+        return dup
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LiteralTable({len(self._names)} literals)"

@@ -1,0 +1,197 @@
+"""Sum-of-products expressions and weak (algebraic) division.
+
+An *expression* is a set of cubes, canonically a sorted tuple of distinct
+canonical cubes.  The empty expression ``()`` is the constant 0; the
+expression containing only the universal cube, ``((),)``, is the
+constant 1.
+
+The operations here follow Brayton/Rudell's algebraic model exactly:
+
+- :func:`multiply` is algebraic multiplication (the product is defined
+  only when supports are disjoint, but we tolerate overlap by absorbing
+  duplicate literals — callers that care assert disjointness),
+- :func:`divide` is weak division: ``f = q·d + r`` with ``q`` maximal,
+- kernels (see :mod:`repro.algebra.kernels`) are the cube-free primary
+  divisors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.algebra.cube import (
+    Cube,
+    common_cube,
+    cube_contains,
+    cube_divide,
+    cube_union,
+)
+
+Sop = Tuple[Cube, ...]
+
+
+def sop(cubes: Iterable[Iterable[int]]) -> Sop:
+    """Build a canonical SOP from an iterable of literal-id iterables.
+
+    Duplicate cubes collapse (x + x = x); single-cube absorption
+    (x + xy = x) is *not* applied — SIS keeps the SOP as given, and
+    absorption would change literal counts relative to the paper's
+    accounting.
+    """
+    return tuple(sorted({tuple(sorted(set(c))) for c in cubes}))
+
+
+def sop_literal_count(f: Sop) -> int:
+    """Total number of literals — the paper's quality metric (LC)."""
+    return sum(len(c) for c in f)
+
+
+def sop_support(f: Sop) -> Set[int]:
+    """The set of literal ids appearing in *f*."""
+    out: Set[int] = set()
+    for c in f:
+        out.update(c)
+    return out
+
+
+def largest_common_cube(f: Sop) -> Cube:
+    """Largest cube dividing every cube of *f* evenly."""
+    return common_cube(f)
+
+
+def is_cube_free(f: Sop) -> bool:
+    """True iff no non-trivial cube divides *f* evenly.
+
+    The constant-0 and single-cube expressions are never cube-free
+    (a single cube is divided evenly by itself) except the constant 1.
+    """
+    if not f:
+        return False
+    if len(f) == 1:
+        return f[0] == ()
+    return largest_common_cube(f) == ()
+
+
+def make_cube_free(f: Sop) -> Tuple[Sop, Cube]:
+    """Divide out the largest common cube; return ``(f/c, c)``."""
+    c = largest_common_cube(f)
+    if not c:
+        return f, ()
+    quotient = tuple(sorted(cube_divide(cu, c) for cu in f))  # type: ignore[misc]
+    return quotient, c
+
+
+def cube_divide_sop(f: Sop, d: Cube) -> Sop:
+    """Quotient of *f* by a single cube *d*: cubes of f containing d, minus d."""
+    out = []
+    for c in f:
+        q = cube_divide(c, d)
+        if q is not None:
+            out.append(q)
+    return tuple(sorted(out))
+
+
+def divide(f: Sop, d: Sop) -> Tuple[Sop, Sop]:
+    """Weak (algebraic) division ``f / d`` → ``(quotient, remainder)``.
+
+    Satisfies ``f = quotient·d + remainder`` with the quotient maximal in
+    number of cubes, and no cube of the remainder divisible by *d*
+    jointly with the quotient.  Division by 0 raises ``ZeroDivisionError``.
+    """
+    if not d:
+        raise ZeroDivisionError("algebraic division by constant 0")
+    if d == ((),):  # division by constant 1
+        return f, ()
+    # Quotient = intersection over cubes of d of { c/dc : dc ⊆ c ∈ f }.
+    quotient: Optional[Set[Cube]] = None
+    for dc in d:
+        partial: Set[Cube] = set()
+        for c in f:
+            q = cube_divide(c, dc)
+            if q is not None:
+                partial.add(q)
+        if quotient is None:
+            quotient = partial
+        else:
+            quotient.intersection_update(partial)
+        if not quotient:
+            return (), f
+    assert quotient is not None
+    qt = tuple(sorted(quotient))
+    product = multiply(qt, d)
+    prod_set = set(product)
+    remainder = tuple(sorted(c for c in f if c not in prod_set))
+    return qt, remainder
+
+
+def multiply(f: Sop, g: Sop) -> Sop:
+    """Algebraic product f·g (cube-wise unions, duplicates collapsed)."""
+    out: Set[Cube] = set()
+    for a in f:
+        for b in g:
+            out.add(cube_union(a, b))
+    return tuple(sorted(out))
+
+
+def add(f: Sop, g: Sop) -> Sop:
+    """Algebraic sum f + g (cube-set union)."""
+    return tuple(sorted(set(f) | set(g)))
+
+
+def sop_contains_cube(f: Sop, c: Cube) -> bool:
+    """Exact membership of cube *c* in the cube set of *f*."""
+    return c in set(f)
+
+
+def format_sop(f: Sop, names: "Sequence[str]") -> str:
+    """Render an SOP like ``ab + cd`` using a name list indexed by id."""
+    if not f:
+        return "0"
+    terms = []
+    for c in f:
+        terms.append("".join(names[l] for l in c) if c else "1")
+    return " + ".join(terms)
+
+
+def parse_sop(text: str, table) -> Sop:
+    """Parse ``"af + bf + ade"`` against a :class:`LiteralTable`.
+
+    Literal names are single letters optionally followed by apostrophes or
+    digits (``a``, ``a'``, ``x12``); multi-character names must be
+    whitespace- or ``*``-separated (``x1 * x2 + y``).  A bare ``1`` is the
+    universal cube, ``0`` the empty expression.
+    """
+    text = text.strip()
+    if text == "0":
+        return ()
+    terms = [term.strip() for term in text.split("+")]
+    # Mode is decided for the whole expression: any '*' or in-term space
+    # switches every term to name-list parsing, so "sig1 sig2 + sig3"
+    # reads sig3 as one name rather than s·i·g·3.
+    name_mode = any(("*" in term) or (" " in term) for term in terms)
+    cubes: List[Tuple[int, ...]] = []
+    for term in terms:
+        if not term:
+            raise ValueError(f"empty term in SOP text: {text!r}")
+        if term == "1":
+            cubes.append(())
+            continue
+        lits: List[int] = []
+        if name_mode:
+            parts = [p for chunk in term.split("*") for p in chunk.split()]
+            for p in parts:
+                lits.append(table.id_of(p))
+        else:
+            # Character-by-character: letter, then optional digits/apostrophes.
+            i = 0
+            while i < len(term):
+                ch = term[i]
+                if not ch.isalpha():
+                    raise ValueError(f"cannot parse term {term!r}")
+                j = i + 1
+                while j < len(term) and (term[j].isdigit() or term[j] == "'"):
+                    j += 1
+                lits.append(table.id_of(term[i:j]))
+                i = j
+        cubes.append(tuple(sorted(set(lits))))
+    return tuple(sorted(set(cubes)))

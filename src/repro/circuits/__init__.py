@@ -1,0 +1,32 @@
+"""Benchmark circuits.
+
+The paper evaluates on MCNC benchmarks (dalu, seq, des, spla, ex1010,
+misex3).  Those netlists are not redistributable here, so this package
+provides:
+
+- :mod:`~repro.circuits.examples` — the paper's worked example network
+  (Equation 1) and the small fixtures used to check every example in
+  Sections 4 and 5 exactly;
+- :mod:`~repro.circuits.generators` — deterministic synthetic circuit
+  generators that flatten random factored forms into SOP networks, so
+  kernel extraction has real shared divisors to rediscover (the property
+  the MCNC circuits have);
+- :mod:`~repro.circuits.mcnc` — named stand-ins with the paper's initial
+  literal counts and two-level/multi-level character.
+
+Every generator is seeded; the same name always produces the same
+network.
+"""
+
+from repro.circuits.examples import paper_example_network
+from repro.circuits.generators import GeneratorSpec, generate_circuit
+from repro.circuits.mcnc import MCNC_SUITE, make_circuit, circuit_names
+
+__all__ = [
+    "paper_example_network",
+    "GeneratorSpec",
+    "generate_circuit",
+    "MCNC_SUITE",
+    "make_circuit",
+    "circuit_names",
+]

@@ -1,0 +1,149 @@
+"""Structured benchmark families.
+
+Deterministic, well-defined Boolean functions in the style of the small
+MCNC benchmarks (rd53/rd73 are parity-counters, con1 a comparator, …).
+Unlike the random stand-ins these have known-optimal structure, so tests
+can assert exact functional behaviour, and extraction has distinctly
+non-random sharing patterns to chew on (XOR-heavy circuits famously
+resist algebraic factoring — a useful hard case).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List
+
+from repro.network.boolean_network import BooleanNetwork
+
+
+def parity(n: int, name: str = "") -> BooleanNetwork:
+    """n-input odd-parity in flat SOP (2^(n-1) minterms — XOR-hard)."""
+    if not 1 <= n <= 10:
+        raise ValueError("parity supports 1..10 inputs")
+    net = BooleanNetwork(name or f"parity{n}")
+    inputs = [f"x{i}" for i in range(n)]
+    net.add_inputs(inputs)
+    cubes: List[List[int]] = []
+    for minterm in range(1 << n):
+        if bin(minterm).count("1") % 2 == 1:
+            lits = []
+            for i in range(n):
+                nm = inputs[i] if (minterm >> i) & 1 else inputs[i] + "'"
+                lits.append(net.table.id_of(nm))
+            cubes.append(lits)
+    net.add_node("parity", cubes)
+    net.add_output("parity")
+    net.validate()
+    return net
+
+
+def majority(n: int, name: str = "") -> BooleanNetwork:
+    """n-input majority (n odd): ORs of all ⌈n/2⌉-subsets — heavy sharing."""
+    if n < 3 or n % 2 == 0 or n > 15:
+        raise ValueError("majority wants odd n in 3..15")
+    net = BooleanNetwork(name or f"maj{n}")
+    inputs = [f"x{i}" for i in range(n)]
+    net.add_inputs(inputs)
+    k = n // 2 + 1
+    cubes = [
+        [net.table.id_of(inputs[i]) for i in combo]
+        for combo in combinations(range(n), k)
+    ]
+    net.add_node("maj", cubes)
+    net.add_output("maj")
+    net.validate()
+    return net
+
+
+def ripple_adder(n: int, name: str = "", flat: bool = True) -> BooleanNetwork:
+    """n-bit ripple-carry adder.
+
+    ``flat=True`` gives each sum/carry as a flat SOP over the previous
+    carry (the natural pre-synthesis form with lots of shared kernels);
+    ``flat=False`` keeps the textbook factored structure for comparison.
+    """
+    if not 1 <= n <= 16:
+        raise ValueError("ripple_adder supports 1..16 bits")
+    net = BooleanNetwork(name or f"add{n}")
+    for i in range(n):
+        net.add_input(f"a{i}")
+        net.add_input(f"b{i}")
+    net.add_input("cin")
+    carry = "cin"
+    for i in range(n):
+        a, b, c = f"a{i}", f"b{i}", carry
+        # sum_i = a ⊕ b ⊕ c, carry_{i+1} = ab + ac + bc
+        net.add_node(
+            f"s{i}",
+            [
+                [net.table.id_of(a + "'"), net.table.id_of(b + "'"), net.table.id_of(c)],
+                [net.table.id_of(a + "'"), net.table.id_of(b), net.table.id_of(c + "'")],
+                [net.table.id_of(a), net.table.id_of(b + "'"), net.table.id_of(c + "'")],
+                [net.table.id_of(a), net.table.id_of(b), net.table.id_of(c)],
+            ],
+        )
+        net.add_node(
+            f"c{i + 1}",
+            [
+                [net.table.id_of(a), net.table.id_of(b)],
+                [net.table.id_of(a), net.table.id_of(c)],
+                [net.table.id_of(b), net.table.id_of(c)],
+            ],
+        )
+        net.add_output(f"s{i}")
+        carry = f"c{i + 1}"
+    net.add_output(carry)
+    net.validate()
+    return net
+
+
+def decoder(n: int, name: str = "") -> BooleanNetwork:
+    """n→2^n line decoder (every output one full minterm)."""
+    if not 1 <= n <= 6:
+        raise ValueError("decoder supports 1..6 inputs")
+    net = BooleanNetwork(name or f"dec{n}")
+    inputs = [f"x{i}" for i in range(n)]
+    net.add_inputs(inputs)
+    for code in range(1 << n):
+        lits = []
+        for i in range(n):
+            nm = inputs[i] if (code >> i) & 1 else inputs[i] + "'"
+            lits.append(net.table.id_of(nm))
+        net.add_node(f"y{code}", [lits])
+        net.add_output(f"y{code}")
+    net.validate()
+    return net
+
+
+def comparator(n: int, name: str = "") -> BooleanNetwork:
+    """n-bit ``a > b`` comparator in flat SOP (rich co-kernel structure)."""
+    if not 1 <= n <= 6:
+        raise ValueError("comparator supports 1..6 bits")
+    net = BooleanNetwork(name or f"cmp{n}")
+    for i in range(n):
+        net.add_input(f"a{i}")
+        net.add_input(f"b{i}")
+    # a > b  =  Σ_i [ a_i b_i' · Π_{j>i} (a_j ≡ b_j) ], expanded flat.
+    cubes: List[List[int]] = []
+
+    def eq_terms(i: int) -> List[List[int]]:
+        """All expansions of Π_{j>i} (a_j≡b_j) as cube literal lists."""
+        out: List[List[int]] = [[]]
+        for j in range(i + 1, n):
+            nxt: List[List[int]] = []
+            for base in out:
+                nxt.append(base + [net.table.id_of(f"a{j}"), net.table.id_of(f"b{j}")])
+                nxt.append(
+                    base + [net.table.id_of(f"a{j}'"), net.table.id_of(f"b{j}'")]
+                )
+            out = nxt
+        return out
+
+    for i in range(n):
+        head = [net.table.id_of(f"a{i}"), net.table.id_of(f"b{i}'")]
+        for tail in eq_terms(i):
+            cubes.append(head + tail)
+    net.add_node("gt", cubes)
+    net.add_output("gt")
+    net.validate()
+    return net

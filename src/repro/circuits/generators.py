@@ -1,0 +1,189 @@
+"""Deterministic synthetic circuit generation.
+
+Strategy: build nodes as *flattened factored forms*.  A shared pool of
+sub-expressions ("planted kernels", each a small cube-free sum of cubes)
+is sampled; every node is a sum of ``cube·kernel`` products plus some
+incompressible residual cubes, then multiplied out into a flat SOP.
+Kernel extraction can rediscover the planted structure, so the generated
+suite exhibits the property the paper's MCNC circuits have: a large
+recoverable gap between flat and factored literal counts, shared across
+node boundaries (which is exactly what the partitioned algorithms trade
+away).
+
+Everything is driven by a single seeded :class:`random.Random`; the same
+:class:`GeneratorSpec` always yields the same network.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.algebra.sop import Sop, sop, sop_literal_count
+from repro.network.boolean_network import BooleanNetwork
+
+
+@dataclass(frozen=True)
+class GeneratorSpec:
+    """Parameters of a synthetic circuit.
+
+    ``target_lc`` stops node generation once the network's literal count
+    reaches it (the last node may overshoot slightly).  ``two_level``
+    restricts fanins to primary inputs (PLA-like benchmarks such as
+    ex1010/spla/misex3); multi-level circuits let later nodes read
+    earlier node outputs, giving the partitioner a connected graph.
+    ``kernel_reuse`` controls how many nodes share each planted kernel —
+    the knob that separates the three parallel algorithms' quality.
+    """
+
+    name: str
+    seed: int
+    n_inputs: int
+    target_lc: int
+    two_level: bool = False
+    pool_size: int = 24
+    kernel_cubes: Tuple[int, int] = (2, 4)
+    kernel_cube_lits: Tuple[int, int] = (1, 2)
+    products_per_node: Tuple[int, int] = (2, 5)
+    cokernel_lits: Tuple[int, int] = (1, 3)
+    residual_cubes: Tuple[int, int] = (1, 4)
+    residual_lits: Tuple[int, int] = (2, 5)
+    kernel_reuse: float = 0.75
+    node_fanin_span: int = 12
+    allow_complements: bool = True
+
+
+def _sample_cube(
+    rng: random.Random,
+    literals: Sequence[int],
+    lo: int,
+    hi: int,
+    clash: Optional[dict] = None,
+    banned: Optional[set] = None,
+) -> Tuple[int, ...]:
+    """Sample a cube, never taking both polarities of one variable.
+
+    *clash* maps each literal id to its complement's id (when both exist
+    in the pool); contradictory cubes are algebraically legal but
+    Boolean-false, unrealistic, and inexpressible in PLA/BLIF covers.
+    *banned* seeds the exclusion set (used to keep co-kernel cubes
+    compatible with the kernel they multiply).
+    """
+    k = min(rng.randint(lo, hi), len(literals))
+    picked: List[int] = []
+    excluded: set = set(banned or ())
+    for lit in rng.sample(list(literals), len(literals)):
+        if lit in excluded:
+            continue
+        picked.append(lit)
+        excluded.add(lit)
+        if clash and lit in clash:
+            excluded.add(clash[lit])
+        if len(picked) == k:
+            break
+    return tuple(sorted(picked))
+
+
+def _sample_kernel(
+    rng: random.Random,
+    literals: Sequence[int],
+    spec: GeneratorSpec,
+    clash: Optional[dict] = None,
+) -> Sop:
+    """A planted kernel: a cube-free sum of small disjoint-ish cubes."""
+    ncubes = rng.randint(*spec.kernel_cubes)
+    cubes = set()
+    guard = 0
+    while len(cubes) < ncubes and guard < 50:
+        guard += 1
+        cubes.add(_sample_cube(rng, literals, *spec.kernel_cube_lits, clash=clash))
+    # Cube-freeness: drop a common literal if one sneaked in.
+    expr = sop(cubes)
+    common = set(expr[0])
+    for c in expr[1:]:
+        common &= set(c)
+    if common:
+        expr = sop([tuple(l for l in c if l not in common) for c in expr])
+    expr = tuple(c for c in expr if c)
+    if len(expr) < 2:
+        # Degenerate sample; retry with two fresh single-literal cubes.
+        picks = rng.sample(list(literals), min(2, len(literals)))
+        expr = sop([[p] for p in picks])
+    return expr
+
+
+def _flatten_product(cube: Tuple[int, ...], kernel: Sop) -> List[Tuple[int, ...]]:
+    """Multiply cube × kernel into flat cubes."""
+    out = []
+    cs = set(cube)
+    for kc in kernel:
+        out.append(tuple(sorted(cs | set(kc))))
+    return out
+
+
+def generate_circuit(spec: GeneratorSpec) -> BooleanNetwork:
+    """Build the network for *spec* (deterministic in the spec)."""
+    rng = random.Random(spec.seed)
+    net = BooleanNetwork(spec.name)
+    input_names = [f"x{i}" for i in range(spec.n_inputs)]
+    net.add_inputs(input_names)
+
+    clash: dict = {}
+
+    def literal_pool(node_index: int) -> List[int]:
+        """Literal ids this node may read (PIs ± phases, earlier nodes)."""
+        pool: List[int] = []
+        for nm in input_names:
+            pos = net.table.id_of(nm)
+            pool.append(pos)
+            if spec.allow_complements:
+                neg = net.table.id_of(nm + "'")
+                pool.append(neg)
+                clash[pos] = neg
+                clash[neg] = pos
+        if not spec.two_level and node_index > 0:
+            lo = max(0, node_index - spec.node_fanin_span)
+            for j in range(lo, node_index):
+                pool.append(net.table.id_of(f"{spec.name}_n{j}"))
+        return pool
+
+    # Planted kernel pool over primary-input literals only, so kernels
+    # remain extractable regardless of node levels.
+    pi_literals = literal_pool(0)
+    pool: List[Sop] = [
+        _sample_kernel(rng, pi_literals, spec, clash) for _ in range(spec.pool_size)
+    ]
+
+    node_index = 0
+    while net.literal_count() < spec.target_lc:
+        literals = literal_pool(node_index)
+        cubes: List[Tuple[int, ...]] = []
+        nprod = rng.randint(*spec.products_per_node)
+        for _ in range(nprod):
+            if rng.random() < spec.kernel_reuse:
+                kern = pool[rng.randrange(len(pool))]
+            else:
+                kern = _sample_kernel(rng, pi_literals, spec, clash)
+            # The co-kernel must not contradict any literal the kernel
+            # uses, or flattening would create Boolean-false cubes.
+            kernel_support = {l for c in kern for l in c}
+            banned = {clash[l] for l in kernel_support if l in clash}
+            banned |= kernel_support
+            co = _sample_cube(
+                rng, literals, *spec.cokernel_lits, clash=clash, banned=banned
+            )
+            cubes.extend(_flatten_product(co, kern))
+        nres = rng.randint(*spec.residual_cubes)
+        for _ in range(nres):
+            cubes.append(_sample_cube(rng, literals, *spec.residual_lits, clash=clash))
+        expr = sop(c for c in cubes if c)
+        if sop_literal_count(expr) == 0:
+            continue
+        name = f"{spec.name}_n{node_index}"
+        net.add_node(name, expr)
+        net.add_output(name)
+        node_index += 1
+
+    net.validate()
+    return net

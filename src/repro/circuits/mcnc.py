@@ -1,0 +1,74 @@
+"""Named MCNC stand-in circuits.
+
+Each entry reproduces the *initial literal count* and two-level/
+multi-level character of the corresponding MCNC benchmark from the
+paper's tables (dalu 3588, des 7412, seq 17938, spla 24087, ex1010
+13977, misex3 1661).  The logic itself is synthetic (see
+:mod:`repro.circuits.generators`); what matters for the reproduction is
+the recoverable factored structure, the matrix sizes, and the sharing
+across partition boundaries.
+
+``make_circuit(name, scale=…)`` scales the target literal count so the
+test suite can run miniature versions of the same recipes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List
+
+from repro.circuits.generators import GeneratorSpec, generate_circuit
+from repro.network.boolean_network import BooleanNetwork
+
+#: Recipes keyed by MCNC name.  Seeds are arbitrary but frozen.
+MCNC_SUITE: Dict[str, GeneratorSpec] = {
+    "misex3": GeneratorSpec(
+        name="misex3", seed=101, n_inputs=14, target_lc=1661, two_level=True,
+        pool_size=10, products_per_node=(2, 4),
+    ),
+    "dalu": GeneratorSpec(
+        name="dalu", seed=202, n_inputs=75, target_lc=3588, two_level=False,
+        pool_size=16, products_per_node=(2, 4), kernel_reuse=0.7,
+    ),
+    "des": GeneratorSpec(
+        name="des", seed=303, n_inputs=256, target_lc=7412, two_level=False,
+        pool_size=28, products_per_node=(2, 5), kernel_reuse=0.6,
+    ),
+    "seq": GeneratorSpec(
+        name="seq", seed=404, n_inputs=41, target_lc=17938, two_level=True,
+        pool_size=22, products_per_node=(3, 6), kernel_reuse=0.85,
+    ),
+    "spla": GeneratorSpec(
+        name="spla", seed=505, n_inputs=16, target_lc=24087, two_level=True,
+        pool_size=26, products_per_node=(3, 6), kernel_reuse=0.8,
+    ),
+    "ex1010": GeneratorSpec(
+        name="ex1010", seed=606, n_inputs=10, target_lc=13977, two_level=True,
+        pool_size=20, products_per_node=(3, 6), kernel_reuse=0.8,
+        kernel_cube_lits=(1, 2), cokernel_lits=(1, 3),
+    ),
+}
+
+#: The circuits the parallel tables (2, 3, 6) report, in paper order.
+PARALLEL_TABLE_CIRCUITS: List[str] = ["dalu", "des", "seq", "spla", "ex1010"]
+
+#: The circuits Table 4 (L-shape quality) reports, in paper order.
+TABLE4_CIRCUITS: List[str] = ["misex3", "dalu", "des", "seq", "spla"]
+
+
+def circuit_names() -> List[str]:
+    """Names of every available MCNC stand-in."""
+    return list(MCNC_SUITE)
+
+
+def make_circuit(name: str, scale: float = 1.0) -> BooleanNetwork:
+    """Build a named stand-in; *scale* shrinks/grows the target LC."""
+    try:
+        spec = MCNC_SUITE[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown circuit {name!r}; available: {sorted(MCNC_SUITE)}"
+        ) from None
+    if scale != 1.0:
+        spec = replace(spec, target_lc=max(40, int(spec.target_lc * scale)))
+    return generate_circuit(spec)

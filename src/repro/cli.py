@@ -1,0 +1,245 @@
+"""Command-line interface.
+
+    python -m repro factor CIRCUIT [--algorithm ALG] [--procs N] [--scale S]
+    python -m repro run-table {table1,table2,table3,table4,table6,eq3} [--scale S]
+    python -m repro info CIRCUIT [--scale S]
+
+``CIRCUIT`` is a named stand-in (``dalu``, ``seq``, …), a path to an
+``.eqn``/``.pla``/``.blif`` file, or ``example`` for the paper's Equation 1
+network.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.circuits import make_circuit, paper_example_network
+from repro.circuits.mcnc import MCNC_SUITE
+from repro.network.boolean_network import BooleanNetwork
+
+
+def _load_circuit(spec: str, scale: float) -> BooleanNetwork:
+    if spec == "example":
+        return paper_example_network()
+    if spec in MCNC_SUITE:
+        return make_circuit(spec, scale=scale)
+    if spec.endswith(".eqn"):
+        from repro.network.eqn import load_eqn
+
+        return load_eqn(spec)
+    if spec.endswith(".pla"):
+        from repro.network.pla import load_pla
+
+        return load_pla(spec)
+    if spec.endswith(".blif"):
+        from repro.network.blif import load_blif
+
+        return load_blif(spec)
+    raise SystemExit(
+        f"unknown circuit {spec!r}: expected a suite name "
+        f"({', '.join(sorted(MCNC_SUITE))}), 'example', or a "
+        f".eqn/.pla/.blif path"
+    )
+
+
+def _cmd_factor(args: argparse.Namespace) -> int:
+    net = _load_circuit(args.circuit, args.scale)
+    initial = net.literal_count()
+    if args.algorithm == "sequential":
+        from repro.rectangles import kernel_extract
+
+        work = net.copy()
+        res = kernel_extract(work, searcher=args.searcher)
+        final, speed = res.final_lc, None
+    else:
+        from repro.parallel import (
+            independent_kernel_extract,
+            lshaped_kernel_extract,
+            replicated_kernel_extract,
+            sequential_baseline,
+        )
+
+        runner = {
+            "replicated": replicated_kernel_extract,
+            "independent": independent_kernel_extract,
+            "lshaped": lshaped_kernel_extract,
+        }[args.algorithm]
+        result = runner(net, args.procs)
+        base = sequential_baseline(net)
+        final = result.final_lc
+        speed = base.time / result.parallel_time if result.parallel_time else None
+        work = result.network
+    print(f"circuit      : {net.name}")
+    print(f"algorithm    : {args.algorithm}" + (
+        f" ({args.procs} processors)" if args.algorithm != "sequential" else ""
+    ))
+    print(f"literal count: {initial} -> {final} "
+          f"(ratio {final / initial:.3f})")
+    if speed is not None:
+        print(f"speedup      : {speed:.2f}x over the sequential baseline")
+    if args.output:
+        from repro.network.eqn import save_eqn
+
+        save_eqn(work, args.output)
+        print(f"written      : {args.output}")
+    return 0
+
+
+def _cmd_run_table(args: argparse.Namespace) -> int:
+    from repro.harness import experiments
+
+    runner = {
+        "table1": experiments.run_table1,
+        "table2": experiments.run_table2,
+        "table3": experiments.run_table3,
+        "table4": experiments.run_table4,
+        "table6": experiments.run_table6,
+        "eq3": experiments.run_eq3,
+    }[args.table]
+    print(runner(scale=args.scale).render())
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    net = _load_circuit(args.circuit, args.scale)
+    from repro.rectangles import build_kc_matrix
+
+    mat = build_kc_matrix(net)
+    print(f"circuit : {net.name}")
+    print(f"inputs  : {len(net.inputs)}")
+    print(f"nodes   : {len(net.nodes)}")
+    print(f"outputs : {len(net.outputs)}")
+    print(f"literals: {net.literal_count()}")
+    print(f"KC matrix: {mat.num_rows} rows x {mat.num_cols} cols, "
+          f"{mat.num_entries} entries (sparsity {mat.sparsity():.4f})")
+    if args.factored:
+        from repro.algebra.factor import network_factored_literal_count
+
+        print(f"factored literals: {network_factored_literal_count(net)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI (factor / run-table / info / stats / compare)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel algebraic factorization (Roy & Banerjee, IPPS 1997)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_factor = sub.add_parser("factor", help="factor one circuit")
+    p_factor.add_argument("circuit")
+    p_factor.add_argument(
+        "--algorithm",
+        choices=["sequential", "replicated", "independent", "lshaped"],
+        default="sequential",
+    )
+    p_factor.add_argument("--searcher", choices=["pingpong", "exhaustive"],
+                          default="pingpong")
+    p_factor.add_argument("--procs", type=int, default=4)
+    p_factor.add_argument("--scale", type=float, default=1.0)
+    p_factor.add_argument("--output", help="write result as .eqn")
+    p_factor.set_defaults(fn=_cmd_factor)
+
+    p_table = sub.add_parser("run-table", help="regenerate a paper table")
+    p_table.add_argument(
+        "table",
+        choices=["table1", "table2", "table3", "table4", "table6", "eq3"],
+    )
+    p_table.add_argument("--scale", type=float, default=1.0)
+    p_table.set_defaults(fn=_cmd_run_table)
+
+    p_info = sub.add_parser("info", help="circuit statistics")
+    p_info.add_argument("circuit")
+    p_info.add_argument("--scale", type=float, default=1.0)
+    p_info.add_argument("--factored", action="store_true",
+                        help="also report factored-form literal count")
+    p_info.set_defaults(fn=_cmd_info)
+
+    p_stats = sub.add_parser(
+        "stats", help="one-line SIS-style stats (depth, fanin/out, lits)"
+    )
+    p_stats.add_argument("circuit")
+    p_stats.add_argument("--scale", type=float, default=1.0)
+    p_stats.add_argument("--no-factored", action="store_true",
+                         help="skip the (slow) factored-form count")
+    p_stats.set_defaults(fn=_cmd_stats)
+
+    p_cmp = sub.add_parser(
+        "compare", help="run all three parallel algorithms side by side"
+    )
+    p_cmp.add_argument("circuit")
+    p_cmp.add_argument("--scale", type=float, default=1.0)
+    p_cmp.add_argument("--procs", default="2,4,6",
+                       help="comma-separated processor counts")
+    p_cmp.add_argument("--json", help="also dump results as JSON to this path")
+    p_cmp.set_defaults(fn=_cmd_compare)
+    return parser
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.harness.tables import Table
+    from repro.parallel import (
+        independent_kernel_extract,
+        lshaped_kernel_extract,
+        replicated_kernel_extract,
+        sequential_baseline,
+    )
+    from repro.rectangles.search import BudgetExceeded
+
+    net = _load_circuit(args.circuit, args.scale)
+    procs = [int(p) for p in args.procs.split(",")]
+    base = sequential_baseline(net)
+    table = Table(
+        title=f"parallel algorithms on {net.name} "
+              f"(sequential: {base.result.final_lc} literals)",
+        columns=["algorithm", "procs", "final LC", "speedup"],
+    )
+    records = []
+    try:
+        repl1 = replicated_kernel_extract(net, 1)
+        for p in procs:
+            r = replicated_kernel_extract(net, p)
+            r.sequential_time = repl1.parallel_time
+            table.add_row("replicated", p, r.final_lc, r.speedup)
+            records.append(r.to_dict())
+    except BudgetExceeded:
+        table.add_row("replicated", "—", None, None)
+        table.add_note("replicated: search budget exceeded (paper: DNF)")
+    for name, runner in (
+        ("independent", independent_kernel_extract),
+        ("lshaped", lshaped_kernel_extract),
+    ):
+        for p in procs:
+            r = runner(net, p)
+            r.sequential_time = base.time
+            table.add_row(name, p, r.final_lc, r.speedup)
+            records.append(r.to_dict())
+    print(table.render())
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(records, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.harness.stats import collect_stats
+
+    net = _load_circuit(args.circuit, args.scale)
+    print(collect_stats(net, with_factored=not args.no_factored).render())
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Experiment harness: table formatting, the Eq. 3 speedup model, and the
+mini synthesis driver behind Table 1.
+
+The benchmark scripts in ``benchmarks/`` are thin wrappers over this
+package; everything that computes a paper table lives here so it is unit
+testable and callable from the CLI (``python -m repro run-table …``).
+"""
+
+from repro.harness.tables import format_table, Table
+from repro.harness.speedup_model import eq3_speedup, fitted_alpha_gamma
+from repro.harness.synthesis import SynthesisReport, run_synthesis_script
+from repro.harness.stats import NetworkStats, collect_stats, network_depth
+from repro.harness.experiments import (
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table6,
+    run_eq3,
+)
+
+__all__ = [
+    "format_table",
+    "Table",
+    "eq3_speedup",
+    "fitted_alpha_gamma",
+    "SynthesisReport",
+    "run_synthesis_script",
+    "NetworkStats",
+    "collect_stats",
+    "network_depth",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table6",
+    "run_eq3",
+]

@@ -1,0 +1,296 @@
+"""Experiment registry: one function per paper table/figure.
+
+Each ``run_tableN`` builds the circuits, executes the relevant
+algorithms, and returns a :class:`~repro.harness.tables.Table` whose rows
+mirror the paper's layout (paper reference values included as trailing
+columns so the reproduction and the original can be eyeballed together).
+
+``scale`` shrinks the stand-in circuits proportionally; the committed
+EXPERIMENTS.md numbers use ``scale=1.0``.  Generated circuits are cached
+per (name, scale) within the process because generation is deterministic.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.circuits.mcnc import (
+    MCNC_SUITE,
+    PARALLEL_TABLE_CIRCUITS,
+    TABLE4_CIRCUITS,
+    make_circuit,
+)
+from repro.harness.speedup_model import eq3_speedup
+from repro.harness.synthesis import run_synthesis_script
+from repro.harness.tables import Table
+from repro.network.boolean_network import BooleanNetwork
+from repro.parallel.common import sequential_baseline
+from repro.parallel.independent import independent_kernel_extract
+from repro.parallel.lshaped import lshaped_kernel_extract
+from repro.parallel.replicated import replicated_kernel_extract
+from repro.rectangles.search import BudgetExceeded
+
+PROC_COUNTS: Tuple[int, ...] = (2, 4, 6)
+
+#: Reference values transcribed from the paper, for side-by-side output.
+PAPER_TABLE2 = {  # circuit -> (LC@6p, S@2p, S@4p, S@6p); None = DNF
+    "dalu": (2139, 1.46, 1.83, 1.97),
+    "des": (6092, 1.82, 2.99, 3.56),
+    "seq": (2633, 1.64, 2.36, 2.54),
+    "spla": None,
+    "ex1010": None,
+}
+PAPER_TABLE3 = {  # circuit -> (LC@6p, S@2p, S@4p, S@6p)
+    "dalu": (3022, 2.23, 5.5, 8.68),
+    "des": (6658, 2.25, 3.13, 3.70),
+    "seq": (9455, 1.42, 4.95, 4.79),
+    "spla": (18484, 2.17, 7.21, 9.66),
+    "ex1010": (11968, 2.16, 9.65, 16.30),
+}
+PAPER_TABLE4 = {  # circuit -> (SIS LC, 2-way, 4-way, 6-way)
+    "misex3": (1142, 1143, 1147, 1144),
+    "dalu": (2837, 2837, 2837, 2851),
+    "des": (6648, 6648, 6648, 6648),
+    "seq": (9373, 9471, 9464, 9455),
+    "spla": (17716, 17716, 17727, 17702),
+}
+PAPER_TABLE6 = {  # circuit -> (LC@6p, S@2p, S@4p, S@6p)
+    "dalu": (3025, 1.99, 4.23, 6.88),
+    "des": (6653, 2.6, 3.13, 9.07),
+    "seq": (9255, 1.13, 2.34, 3.35),
+    "spla": (17717, 1.45, 1.54, 1.58),
+    "ex1010": (11865, 2.11, 7.8, 11.48),
+}
+
+
+@functools.lru_cache(maxsize=32)
+def _circuit(name: str, scale: float) -> BooleanNetwork:
+    return make_circuit(name, scale=scale)
+
+
+def get_circuit(name: str, scale: float = 1.0) -> BooleanNetwork:
+    """Cached deterministic circuit; callers must not mutate it."""
+    return _circuit(name, scale)
+
+
+# ----------------------------------------------------------------------
+# Table 1 — factorization's share of synthesis time
+# ----------------------------------------------------------------------
+
+def run_table1(
+    scale: float = 1.0,
+    circuits: Sequence[str] = tuple(PARALLEL_TABLE_CIRCUITS),
+) -> Table:
+    table = Table(
+        title="Table 1 — runtime share of kernel extraction in synthesis",
+        columns=[
+            "circuit", "size(LC)", "fac invoked", "fac time(s)",
+            "total time(s)", "fac share",
+        ],
+    )
+    tot_lc = tot_fac = tot_all = 0.0
+    tot_inv = 0
+    for name in circuits:
+        rep = run_synthesis_script(get_circuit(name, scale))
+        table.add_row(
+            name, rep.initial_lc, rep.factorization_invocations,
+            round(rep.factorization_time, 2), round(rep.total_time, 2),
+            f"{rep.factorization_share:.1%}",
+        )
+        tot_lc += rep.initial_lc
+        tot_inv += rep.factorization_invocations
+        tot_fac += rep.factorization_time
+        tot_all += rep.total_time
+    table.add_row(
+        "total", int(tot_lc), tot_inv, round(tot_fac, 2), round(tot_all, 2),
+        f"{(tot_fac / tot_all if tot_all else 0):.1%}",
+    )
+    table.add_note("paper: factorization averages 61.45% of synthesis time")
+    return table
+
+
+# ----------------------------------------------------------------------
+# Tables 2/3/6 — the three parallel algorithms
+# ----------------------------------------------------------------------
+
+def run_table2(
+    scale: float = 1.0,
+    circuits: Sequence[str] = tuple(PARALLEL_TABLE_CIRCUITS),
+    procs: Sequence[int] = PROC_COUNTS,
+    search_budget: int = 5_000_000,
+) -> Table:
+    """Replicated-circuit algorithm; S is vs its own 1-processor run."""
+    cols = ["circuit", "initial LC"]
+    for p in procs:
+        cols += [f"LC@{p}p", f"S@{p}p"]
+    cols += ["paper LC@6p", "paper S@6p"]
+    table = Table(
+        title="Table 2 — parallel kernel extraction, replicated circuit",
+        columns=cols,
+    )
+    for name in circuits:
+        net = get_circuit(name, scale)
+        paper = PAPER_TABLE2.get(name)
+        row: List = [name, net.literal_count()]
+        try:
+            base = replicated_kernel_extract(net, 1, search_budget=search_budget)
+            for p in procs:
+                r = replicated_kernel_extract(net, p, search_budget=search_budget)
+                row += [r.final_lc, base.parallel_time / r.parallel_time]
+        except BudgetExceeded:
+            row += [None] * (2 * len(procs))
+        row += [paper[0] if paper else None, paper[3] if paper else None]
+        table.add_row(*row)
+    table.add_note("'—' = search budget exceeded (paper: did not terminate)")
+    return table
+
+
+def _speedup_table(
+    title: str,
+    runner,
+    paper_ref: Dict,
+    scale: float,
+    circuits: Sequence[str],
+    procs: Sequence[int],
+) -> Table:
+    cols = ["circuit", "initial LC", "SIS LC"]
+    for p in procs:
+        cols += [f"LC@{p}p", f"S@{p}p"]
+    cols += ["paper LC@6p", "paper S@6p"]
+    table = Table(title=title, columns=cols)
+    ratios: List[float] = []
+    speed_last: List[float] = []
+    for name in circuits:
+        net = get_circuit(name, scale)
+        base = sequential_baseline(net)
+        paper = paper_ref.get(name)
+        row: List = [name, net.literal_count(), base.result.final_lc]
+        for p in procs:
+            r = runner(net, p)
+            s = base.time / r.parallel_time if r.parallel_time else float("inf")
+            row += [r.final_lc, s]
+            if p == procs[-1]:
+                ratios.append(r.final_lc / net.literal_count())
+                speed_last.append(s)
+        row += [paper[0] if paper else None, paper[3] if paper else None]
+        table.add_row(*row)
+    if ratios:
+        table.add_note(
+            f"avg quality ratio @{procs[-1]}p: {sum(ratios)/len(ratios):.3f}; "
+            f"avg speedup @{procs[-1]}p: {sum(speed_last)/len(speed_last):.2f}"
+        )
+    return table
+
+
+def run_table3(
+    scale: float = 1.0,
+    circuits: Sequence[str] = tuple(PARALLEL_TABLE_CIRCUITS),
+    procs: Sequence[int] = PROC_COUNTS,
+    partitioner: str = "mincut",
+) -> Table:
+    """Independent partitions; S is vs the sequential SIS baseline."""
+    return _speedup_table(
+        "Table 3 — parallel kernel extraction, independent partitions",
+        lambda net, p: independent_kernel_extract(net, p, partitioner=partitioner),
+        PAPER_TABLE3,
+        scale,
+        circuits,
+        procs,
+    )
+
+
+def run_table6(
+    scale: float = 1.0,
+    circuits: Sequence[str] = tuple(PARALLEL_TABLE_CIRCUITS),
+    procs: Sequence[int] = PROC_COUNTS,
+) -> Table:
+    """L-shaped algorithm; S is vs the sequential SIS baseline."""
+    return _speedup_table(
+        "Table 6 — parallel kernel extraction, L-shaped partitioning",
+        lambda net, p: lshaped_kernel_extract(net, p),
+        PAPER_TABLE6,
+        scale,
+        circuits,
+        procs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 4 — L-shaped quality on a single processor
+# ----------------------------------------------------------------------
+
+def run_table4(
+    scale: float = 1.0,
+    circuits: Sequence[str] = tuple(TABLE4_CIRCUITS),
+    ways: Sequence[int] = PROC_COUNTS,
+) -> Table:
+    cols = ["circuit", "initial LC", "SIS LC"] + [f"{w}-way LC" for w in ways]
+    cols += ["paper SIS", "paper 6-way"]
+    table = Table(
+        title="Table 4 — L-shaped partitioning quality (single processor)",
+        columns=cols,
+    )
+    for name in circuits:
+        net = get_circuit(name, scale)
+        base = sequential_baseline(net)
+        paper = PAPER_TABLE4.get(name)
+        row: List = [name, net.literal_count(), base.result.final_lc]
+        for w in ways:
+            r = lshaped_kernel_extract(net, w)
+            row.append(r.final_lc)
+        row += [paper[0] if paper else None, paper[3] if paper else None]
+        table.add_row(*row)
+    table.add_note("paper: avg quality ratio 0.690 (SIS) vs 0.691-0.692 (L-shaped)")
+    return table
+
+
+# ----------------------------------------------------------------------
+# Eq. 3 — analytic speedup model vs measurement
+# ----------------------------------------------------------------------
+
+def run_eq3(
+    scale: float = 1.0,
+    circuit: str = "dalu",
+    procs: Sequence[int] = (2, 3, 4, 6, 8),
+) -> Table:
+    """Eq. 3 validation: fit the one free sparsity ratio, check the curve.
+
+    The paper states S(p) = p²/(1 + γ(p−1)/(2αp))² with α, γ the full and
+    L-shaped matrix sparsities (proof omitted).  Raw sparsities depend on
+    bookkeeping the paper doesn't specify, so the honest comparison is:
+    measure speedups, fit γ/α once (least squares over all p), and check
+    how well the *shape* of the analytic curve tracks the measurements.
+    """
+    from repro.harness.speedup_model import fitted_alpha_gamma
+
+    table = Table(
+        title="Eq. 3 — analytic speedup model vs measured (L-shaped)",
+        columns=["p", "alpha", "gamma", "measured S", "model S (fitted)"],
+    )
+    net = get_circuit(circuit, scale)
+    base = sequential_baseline(net)
+    runs = []
+    for p in procs:
+        r = lshaped_kernel_extract(net, p)
+        measured = base.time / r.parallel_time if r.parallel_time else 0.0
+        runs.append((p, r, measured))
+    alpha = runs[0][1].details.get("alpha", 0.0) or 1e-6
+    try:
+        gamma_fit = fitted_alpha_gamma([(p, s) for p, _, s in runs], alpha)
+    except ValueError:
+        gamma_fit = 0.0
+    for p, r, measured in runs:
+        predicted = eq3_speedup(p, alpha, max(gamma_fit, 0.0))
+        table.add_row(
+            p,
+            f"{r.details.get('alpha', 0.0):.4f}",
+            f"{r.details.get('gamma', 0.0):.4f}",
+            measured,
+            predicted,
+        )
+    table.add_note(
+        f"circuit: {circuit} @ scale {scale}; fitted gamma/alpha = "
+        f"{gamma_fit / alpha:.2f}"
+    )
+    return table

@@ -1,0 +1,56 @@
+"""The paper's analytic speedup model (Equation 3).
+
+    Speedup(p) = p² / (1 + γ(p−1) / (2αp))²
+
+where *p* is the number of partitions, α the sparsity (occupied-cell
+fraction) of the full KC matrix and γ the sparsity of an L-shaped
+sub-matrix.  Intuition: the search cost is roughly quadratic in the
+occupied area; a processor's L-shaped matrix holds its 1/p row slab plus
+the vertical leg, whose relative size the γ/α ratio captures.
+
+The benchmark :mod:`benchmarks.bench_eq3_speedup_model` fits measured
+(α, γ) values from real runs against measured speedups.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+
+def eq3_speedup(p: int, alpha: float, gamma: float) -> float:
+    """Predicted speedup for *p* partitions (paper Eq. 3)."""
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    denom = (1.0 + (gamma * (p - 1)) / (2.0 * alpha * p)) ** 2
+    return (p * p) / denom
+
+
+def fitted_alpha_gamma(
+    pairs: Sequence[Tuple[int, float]],
+    alpha: float,
+) -> float:
+    """Least-squares fit of γ given measured (p, speedup) pairs and α.
+
+    Inverting Eq. 3 for each measurement:
+        γ = 2αp (p / √S − 1) / (p − 1)
+    and averaging over the p > 1 measurements.
+    """
+    estimates: List[float] = []
+    for p, s in pairs:
+        if p <= 1 or s <= 0:
+            continue
+        g = 2.0 * alpha * p * (p / math.sqrt(s) - 1.0) / (p - 1)
+        estimates.append(g)
+    if not estimates:
+        raise ValueError("need at least one p>1 measurement")
+    return sum(estimates) / len(estimates)
+
+
+def model_curve(
+    alpha: float, gamma: float, pmax: int = 8
+) -> List[Tuple[int, float]]:
+    """(p, predicted speedup) series for plotting/tabulating."""
+    return [(p, eq3_speedup(p, alpha, gamma)) for p in range(1, pmax + 1)]

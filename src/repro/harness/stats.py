@@ -1,0 +1,95 @@
+"""Network statistics reporting (SIS ``print_stats`` flavor).
+
+Gives examples, the CLI and the benchmarks a single place to summarize a
+network: size, depth, fanin/fanout distribution, flat and factored
+literal counts, and KC-matrix shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.algebra.factor import network_factored_literal_count
+from repro.network.boolean_network import BooleanNetwork
+
+
+@dataclass(frozen=True)
+class NetworkStats:
+    """A snapshot of a network's structural metrics."""
+
+    name: str
+    inputs: int
+    outputs: int
+    nodes: int
+    cubes: int
+    literals: int
+    factored_literals: int
+    depth: int
+    max_fanin: int
+    max_fanout: int
+    kc_rows: int
+    kc_cols: int
+    kc_entries: int
+    kc_sparsity: float
+
+    def render(self) -> str:
+        return (
+            f"{self.name}: pi={self.inputs} po={self.outputs} "
+            f"nodes={self.nodes} cubes={self.cubes} lits(sop)={self.literals} "
+            f"lits(fac)={self.factored_literals} depth={self.depth} "
+            f"max_fanin={self.max_fanin} max_fanout={self.max_fanout} "
+            f"kc={self.kc_rows}x{self.kc_cols}/{self.kc_entries} "
+            f"(sparsity {self.kc_sparsity:.4f})"
+        )
+
+
+def network_depth(network: BooleanNetwork) -> int:
+    """Longest PI→node path length (0 for an empty network)."""
+    depth: Dict[str, int] = {}
+    best = 0
+    for n in network.topological_order():
+        d = 0
+        for s in network.fanin_signals(n):
+            if s in network.nodes:
+                d = max(d, depth[s])
+        depth[n] = d + 1
+        best = max(best, depth[n])
+    return best
+
+
+def collect_stats(
+    network: BooleanNetwork, with_factored: bool = True
+) -> NetworkStats:
+    """Compute a :class:`NetworkStats` snapshot.
+
+    ``with_factored=False`` skips the quick-factor pass (quadratic-ish on
+    big nodes), reporting the flat count in both fields.
+    """
+    from repro.rectangles.kcmatrix import build_kc_matrix
+
+    fanout = network.fanout_map()
+    max_fanin = max(
+        (len(network.fanin_signals(n)) for n in network.nodes), default=0
+    )
+    max_fanout = max((len(v) for v in fanout.values()), default=0)
+    mat = build_kc_matrix(network)
+    lits = network.literal_count()
+    return NetworkStats(
+        name=network.name,
+        inputs=len(network.inputs),
+        outputs=len(network.outputs),
+        nodes=len(network.nodes),
+        cubes=sum(len(f) for f in network.nodes.values()),
+        literals=lits,
+        factored_literals=(
+            network_factored_literal_count(network) if with_factored else lits
+        ),
+        depth=network_depth(network),
+        max_fanin=max_fanin,
+        max_fanout=max_fanout,
+        kc_rows=mat.num_rows,
+        kc_cols=mat.num_cols,
+        kc_entries=mat.num_entries,
+        kc_sparsity=mat.sparsity(),
+    )

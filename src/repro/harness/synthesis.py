@@ -1,0 +1,251 @@
+"""A miniature synthesis script — the workload behind Table 1.
+
+The paper's Table 1 profiles a typical SIS script: algebraic
+factorization is invoked ~10–16 times per circuit and takes ~61% of the
+total synthesis time.  This driver reproduces that workload shape with
+the passes this library implements:
+
+- ``sweep``            — dead-node removal,
+- ``simplify``         — single-cube containment (absorption),
+- ``resub``            — algebraic resubstitution (weak division of each
+  node by candidate existing nodes),
+- ``kernel_extract``   — the factorization pass being profiled, run in
+  bounded slices so the script re-invokes it like SIS scripts do.
+
+Times are wall-clock (`perf_counter`), matching the paper's seconds
+columns; the factorization share is whatever it measures to be.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.algebra.cube import cube_contains, cube_union
+from repro.algebra.sop import Sop, divide, sop_literal_count, sop_support
+from repro.network.boolean_network import BooleanNetwork
+from repro.rectangles.cover import kernel_extract
+from repro.rectangles.cubeextract import cube_extract
+
+
+def absorb(f: Sop) -> Sop:
+    """Single-cube containment: drop any cube containing another cube."""
+    cubes = sorted(f, key=len)
+    kept: List = []
+    for c in cubes:
+        if not any(cube_contains(c, k) for k in kept):
+            kept.append(c)
+    return tuple(sorted(kept))
+
+
+def merge_complement_pairs(f: Sop, network: BooleanNetwork) -> Sop:
+    """Distance-1 merging: ``x·C + x'·C → C`` (a real Boolean reduction).
+
+    The algebraic model treats x and x' as unrelated variables, but the
+    merge preserves the Boolean function the simulator checks, exactly
+    like the two-level minimizer SIS's ``simplify`` runs.  Iterates to a
+    fixpoint.
+    """
+    def complement_id(lit: int):
+        name = network.table.name_of(lit)
+        other = name[:-1] if name.endswith("'") else name + "'"
+        return network.table.get(other) if other in network.table else None
+
+    cubes = set(f)
+    changed = True
+    while changed:
+        changed = False
+        for cube in sorted(cubes, key=len, reverse=True):
+            if cube not in cubes:
+                continue
+            for i, lit in enumerate(cube):
+                comp = complement_id(lit)
+                if comp is None:
+                    continue
+                partner = tuple(sorted(cube[:i] + cube[i + 1:] + (comp,)))
+                if partner in cubes:
+                    merged = cube[:i] + cube[i + 1:]
+                    cubes.discard(cube)
+                    cubes.discard(partner)
+                    cubes.add(merged)
+                    changed = True
+                    break
+            if changed:
+                break
+    return tuple(sorted(cubes))
+
+
+def simplify_network(network: BooleanNetwork) -> int:
+    """Absorption plus distance-1 merging on every node; returns literals
+    saved (the SIS ``simplify`` stand-in of the synthesis script)."""
+    saved = 0
+    for n in list(network.nodes):
+        f = network.nodes[n]
+        g = absorb(merge_complement_pairs(f, network))
+        if g != f:
+            saved += sop_literal_count(f) - sop_literal_count(g)
+            network.set_expression(n, g)
+    return saved
+
+
+def resubstitute(network: BooleanNetwork, max_candidates: int = 8) -> int:
+    """Weak-divide each node by existing nodes whose support it contains.
+
+    A candidate divisor *g* is tried on *f* when support(g) ⊆ support(f);
+    the substitution is kept when it reduces literal count.  Returns
+    literals saved.  (This is a bounded version of SIS ``resub``.)
+    """
+    saved = 0
+    supports: Dict[str, Set[int]] = {
+        n: sop_support(f) for n, f in network.nodes.items()
+    }
+    order = network.topological_order()
+    # Transitive node fanins: substituting g into f is legal iff g does
+    # not (transitively) read f.
+    deps: Dict[str, Set[str]] = {}
+    for n in order:
+        acc: Set[str] = set()
+        for s in network.fanin_signals(n):
+            if s in network.nodes:
+                acc.add(s)
+                acc |= deps[s]
+        deps[n] = acc
+    for f_name in order:
+        f = network.nodes[f_name]
+        if len(f) < 2:
+            continue
+        f_support = sop_support(f)
+        candidates = [
+            g for g in order
+            if g != f_name
+            and len(network.nodes[g]) >= 2
+            and supports[g] <= f_support
+            and f_name not in deps[g]
+        ]
+        for g in candidates[:max_candidates]:
+            q, r = divide(f, network.nodes[g])
+            if not q:
+                continue
+            x = network.table.id_of(g)
+            new_expr = tuple(sorted(
+                {cube_union(qc, (x,)) for qc in q} | set(r)
+            ))
+            gain = sop_literal_count(f) - sop_literal_count(new_expr)
+            if gain > 0:
+                # Exact cycle guard: earlier substitutions in this pass may
+                # have added edges the precomputed deps don't know about.
+                if _reaches(network, g, f_name):
+                    continue
+                network.set_expression(f_name, new_expr)
+                f = new_expr
+                f_support = sop_support(f)
+                supports[f_name] = f_support
+                saved += gain
+    return saved
+
+
+def _reaches(network: BooleanNetwork, src: str, dst: str) -> bool:
+    """True iff *src* transitively reads *dst* in the current network."""
+    stack = [src]
+    seen = {src}
+    while stack:
+        n = stack.pop()
+        for s in network.fanin_signals(n):
+            if s == dst:
+                return True
+            if s in network.nodes and s not in seen:
+                seen.add(s)
+                stack.append(s)
+    return False
+
+
+@dataclass
+class SynthesisReport:
+    """Table 1 row: factorization's share of a synthesis run."""
+
+    circuit: str
+    initial_lc: int
+    final_lc: int
+    factorization_invocations: int = 0
+    factorization_time: float = 0.0
+    total_time: float = 0.0
+    pass_log: List[Tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def factorization_share(self) -> float:
+        return self.factorization_time / self.total_time if self.total_time else 0.0
+
+
+def run_synthesis_script(
+    network: BooleanNetwork,
+    rounds: int = 5,
+    extract_slice: int = 40,
+    max_seeds: Optional[int] = 64,
+) -> SynthesisReport:
+    """Run the script on a copy of *network* and profile it.
+
+    Each round: simplify → kernel_extract slice → resub → kernel_extract
+    slice, stopping early when factorization dries up.  Every bounded
+    kernel-extraction call counts as one invocation (the Table 1
+    "Factorization Invoked" column).
+    """
+    net = network.copy()
+    report = SynthesisReport(
+        circuit=network.name,
+        initial_lc=net.literal_count(),
+        final_lc=net.literal_count(),
+    )
+    t_start = time.perf_counter()
+
+    def timed(name: str, fn):
+        t0 = time.perf_counter()
+        out = fn()
+        dt = time.perf_counter() - t0
+        report.pass_log.append((name, dt))
+        if name in ("kernel_extract", "cube_extract"):
+            # Both are algebraic factorization, like SIS's gkx/gcx.
+            report.factorization_time += dt
+            report.factorization_invocations += 1
+        return out
+
+    from repro.network.transforms import eliminate
+    from repro.twolevel.minimize import minimize_network
+
+    timed("sweep", net.sweep)
+    for round_no in range(rounds):
+        if round_no:
+            # Collapsing marginal nodes re-exposes structure for the next
+            # extraction pass (and is one of the expensive non-
+            # factorization passes, as in SIS scripts).
+            timed("eliminate", lambda: eliminate(net, threshold=0))
+        # full_simplify: espresso-lite per node (the heavy non-
+        # factorization pass of real SIS scripts).
+        timed("full_simplify", lambda: minimize_network(net))
+        timed("simplify", lambda: simplify_network(net))
+        res1 = timed(
+            "kernel_extract",
+            lambda: kernel_extract(
+                net, max_iterations=extract_slice, max_seeds=max_seeds
+            ),
+        )
+        timed("resub", lambda: resubstitute(net))
+        res2 = timed(
+            "kernel_extract",
+            lambda: kernel_extract(
+                net, max_iterations=extract_slice, max_seeds=max_seeds
+            ),
+        )
+        res3 = timed(
+            "cube_extract",
+            lambda: cube_extract(
+                net, max_iterations=extract_slice, max_seeds=max_seeds
+            ),
+        )
+        if res1.iterations == 0 and res2.iterations == 0 and res3.iterations == 0:
+            break
+    timed("sweep", net.sweep)
+
+    report.total_time = time.perf_counter() - t_start
+    report.final_lc = net.literal_count()
+    return report

@@ -1,0 +1,73 @@
+"""Real execution backends for the embarrassingly parallel pieces.
+
+The independent-partition algorithm (and the per-partition phases of the
+L-shaped one) are coarse-grain parallel: each task factors one
+sub-network with no shared state.  These backends run such task lists
+serially, on threads, or on processes.
+
+Process tasks must be picklable; sub-networks travel as equation-format
+text (:mod:`repro.network.eqn`) so no custom reducers are needed.  On a
+single-core host (or under the GIL for pure-Python work) the process/
+thread backends are correctness paths, not speed paths — measured
+speedups come from :mod:`repro.machine.simulator`.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Callable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class SerialBackend:
+    """Run tasks one after another in the calling thread."""
+
+    name = "serial"
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        return [fn(x) for x in items]
+
+
+class ThreadBackend:
+    """Run tasks on a thread pool (shared memory, GIL-bound for CPU work)."""
+
+    name = "thread"
+
+    def __init__(self, max_workers: int = 4) -> None:
+        self.max_workers = max_workers
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        if not items:
+            return []
+        with concurrent.futures.ThreadPoolExecutor(self.max_workers) as pool:
+            return list(pool.map(fn, items))
+
+
+def _call_pickled(payload):
+    fn, arg = payload
+    return fn(arg)
+
+
+class ProcessBackend:
+    """Run tasks on worker processes (true parallelism where cores exist).
+
+    *fn* and each item must be picklable (module-level functions and
+    plain data).  Falls back to serial execution when the pool cannot be
+    created (restricted environments).
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: int = 4) -> None:
+        self.max_workers = max_workers
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        if not items:
+            return []
+        try:
+            with concurrent.futures.ProcessPoolExecutor(self.max_workers) as pool:
+                return list(pool.map(_call_pickled, [(fn, x) for x in items]))
+        except (OSError, PermissionError):
+            return [fn(x) for x in items]

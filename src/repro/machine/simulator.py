@@ -1,0 +1,154 @@
+"""Deterministic simulated shared-memory multiprocessor.
+
+The machine executes parallel algorithms as a sequence of *phases*.
+Within a phase every virtual processor runs a Python callable (serially,
+in pid order — determinism) while charging its own meter; the phase
+advances each processor's clock by the weighted cost of the work it
+charged.  Synchronization primitives then combine clocks:
+
+- :meth:`SimulatedMachine.barrier` — all clocks jump to the maximum plus
+  the model's barrier cost (the per-extraction-step synchronization that
+  limits the replicated algorithm's speedup);
+- :meth:`SimulatedMachine.broadcast` — the source pays a transfer per
+  peer, every receiver is delayed until the payload arrives;
+- :meth:`SimulatedMachine.send` — point-to-point transfer (the B_ij
+  sub-matrix exchange of the L-shaped algorithm).
+
+``elapsed()`` (max clock) over ``sequential_time`` gives the measured
+speedup the benchmark tables report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
+
+from repro.machine.costmodel import CostMeter, CostModel, DEFAULT_COST_MODEL
+
+T = TypeVar("T")
+
+
+class VirtualProcessor:
+    """One simulated CPU: a clock plus the meter its work charges."""
+
+    __slots__ = ("pid", "clock", "meter")
+
+    def __init__(self, pid: int) -> None:
+        self.pid = pid
+        self.clock = 0.0
+        self.meter = CostMeter()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualProcessor(pid={self.pid}, clock={self.clock:.1f})"
+
+
+@dataclass
+class PhaseReport:
+    """Per-phase accounting, kept for benchmark introspection."""
+
+    name: str
+    clocks_after: List[float]
+
+    @property
+    def span(self) -> float:
+        return max(self.clocks_after) if self.clocks_after else 0.0
+
+
+class SimulatedMachine:
+    """A fixed-size pool of virtual processors with a shared cost model."""
+
+    def __init__(self, nprocs: int, model: CostModel = DEFAULT_COST_MODEL) -> None:
+        if nprocs < 1:
+            raise ValueError("need at least one processor")
+        self.model = model
+        self.procs = [VirtualProcessor(p) for p in range(nprocs)]
+        self.phases: List[PhaseReport] = []
+
+    @property
+    def nprocs(self) -> int:
+        return len(self.procs)
+
+    # ------------------------------------------------------------------
+    # Work execution
+    # ------------------------------------------------------------------
+    def run_phase(
+        self,
+        work: Callable[[VirtualProcessor], T],
+        name: str = "phase",
+        procs: Optional[Sequence[int]] = None,
+    ) -> List[T]:
+        """Run *work(proc)* on each (selected) processor; advance clocks.
+
+        The callable must charge ``proc.meter`` for everything it does
+        (the instrumented library functions accept a ``meter=`` argument
+        for exactly this).  Clock advance = weighted cost of the charges
+        made during this phase.
+        """
+        results: List[T] = []
+        pids = list(procs) if procs is not None else list(range(self.nprocs))
+        for pid in pids:
+            proc = self.procs[pid]
+            before = proc.meter.snapshot()
+            results.append(work(proc))
+            after = proc.meter.counts
+            delta = {k: after.get(k, 0.0) - before.get(k, 0.0) for k in after}
+            proc.clock += self.model.compute_time(delta)
+        self.phases.append(PhaseReport(name, [p.clock for p in self.procs]))
+        return results
+
+    def charge(self, pid: int, kind: str, amount: float = 1.0) -> None:
+        """Direct charge outside a phase (rarely needed)."""
+        self.procs[pid].meter.charge(kind, amount)
+        self.procs[pid].clock += self.model.weight(kind) * amount
+
+    # ------------------------------------------------------------------
+    # Synchronization
+    # ------------------------------------------------------------------
+    def barrier(self, name: str = "barrier") -> None:
+        """All processors wait for the slowest, then pay the sync cost."""
+        top = max(p.clock for p in self.procs)
+        for p in self.procs:
+            p.clock = top + self.model.barrier_cost
+        self.phases.append(PhaseReport(name, [p.clock for p in self.procs]))
+
+    def broadcast(self, src: int, words: float, name: str = "broadcast") -> None:
+        """One-to-all transfer of a payload of *words* units."""
+        cost = self.model.transfer_time(words)
+        sender = self.procs[src]
+        sender.clock += cost * max(1, self.nprocs - 1) * 0.25 + cost
+        arrival = sender.clock
+        for p in self.procs:
+            if p.pid != src:
+                p.clock = max(p.clock, arrival)
+        self.phases.append(PhaseReport(name, [p.clock for p in self.procs]))
+
+    def send(self, src: int, dst: int, words: float, name: str = "send") -> None:
+        """Point-to-point transfer; receiver can't proceed before arrival."""
+        if src == dst:
+            return
+        cost = self.model.transfer_time(words)
+        sender = self.procs[src]
+        sender.clock += cost
+        receiver = self.procs[dst]
+        receiver.clock = max(receiver.clock, sender.clock)
+        self.phases.append(PhaseReport(name, [p.clock for p in self.procs]))
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def elapsed(self) -> float:
+        """Simulated wall-clock: the slowest processor's clock."""
+        return max(p.clock for p in self.procs)
+
+    def total_work(self) -> float:
+        """Sum of all compute charged (excludes waiting)."""
+        return sum(p.meter.total(self.model) for p in self.procs)
+
+    def speedup_against(self, sequential_time: float) -> float:
+        el = self.elapsed()
+        return sequential_time / el if el > 0 else float("inf")
+
+
+def sequential_time_of(meter: CostMeter, model: CostModel = DEFAULT_COST_MODEL) -> float:
+    """Time a single processor would take for the metered work."""
+    return model.compute_time(meter.counts)

@@ -1,0 +1,26 @@
+"""Boolean network substrate.
+
+A :class:`BooleanNetwork` is the SIS-style netlist the factorization
+algorithms operate on: named primary inputs, internal nodes each holding a
+sum-of-products expression over fanin signal names, and a designated set
+of primary outputs.  Literal ids are interned per-network in a shared
+:class:`~repro.algebra.LiteralTable`, so cubes from different nodes live in
+one id space — which is what makes the global co-kernel cube matrix well
+defined.
+
+Sub-modules:
+
+- :mod:`~repro.network.boolean_network` — the network container and its
+  structural operations (fanin/fanout, topological order, sweep,
+  collapse, literal count).
+- :mod:`~repro.network.simulate` — functional simulation and random
+  equivalence checking (the correctness oracle for every factorization
+  algorithm in this repo).
+- :mod:`~repro.network.eqn` / :mod:`~repro.network.pla` /
+  :mod:`~repro.network.blif` — interchange formats.
+"""
+
+from repro.network.boolean_network import BooleanNetwork
+from repro.network.simulate import evaluate, random_equivalence_check
+
+__all__ = ["BooleanNetwork", "evaluate", "random_equivalence_check"]

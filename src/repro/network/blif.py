@@ -1,0 +1,125 @@
+"""Minimal BLIF reader/writer (combinational subset).
+
+Supports ``.model``, ``.inputs``, ``.outputs``, ``.names`` with
+single-output covers, and ``.end``.  Latches and subcircuits are out of
+scope — the paper's flow is purely combinational.
+
+A ``.names`` cover row like ``1-0 1`` over fanins ``a b c`` contributes
+the cube ``a·c'``; only the ON-set (output ``1``) form is supported,
+which is how SIS writes optimized networks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.network.boolean_network import BooleanNetwork
+
+
+def read_blif(text: str) -> BooleanNetwork:
+    """Parse combinational BLIF text into a network."""
+    # Join continuation lines ending in '\'.
+    logical: List[str] = []
+    pending = ""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        logical.append(pending + line)
+        pending = ""
+    if pending.strip():
+        logical.append(pending)
+
+    net: Optional[BooleanNetwork] = None
+    i = 0
+    declared_outputs: List[str] = []
+    while i < len(logical):
+        parts = logical[i].split()
+        key = parts[0]
+        if key == ".model":
+            net = BooleanNetwork(parts[1] if len(parts) > 1 else "blif")
+        elif key == ".inputs":
+            if net is None:
+                raise ValueError(".inputs before .model")
+            net.add_inputs(parts[1:])
+        elif key == ".outputs":
+            declared_outputs.extend(parts[1:])
+        elif key == ".names":
+            if net is None:
+                raise ValueError(".names before .model")
+            signals = parts[1:]
+            if not signals:
+                raise ValueError(".names with no signals")
+            fanins, target = signals[:-1], signals[-1]
+            cubes: List[List[int]] = []
+            i += 1
+            while i < len(logical) and not logical[i].startswith("."):
+                row = logical[i].split()
+                if len(row) == 1 and not fanins:
+                    in_field, out_field = "", row[0]
+                elif len(row) == 2:
+                    in_field, out_field = row
+                else:
+                    raise ValueError(f"malformed cover row {logical[i]!r}")
+                if out_field != "1":
+                    raise ValueError("only ON-set (output 1) covers supported")
+                lits: List[int] = []
+                for ch, nm in zip(in_field, fanins):
+                    if ch == "1":
+                        lits.append(net.table.id_of(nm))
+                    elif ch == "0":
+                        lits.append(net.table.id_of(nm + "'"))
+                    elif ch != "-":
+                        raise ValueError(f"bad cover character {ch!r}")
+                cubes.append(lits)
+                i += 1
+            net.add_node(target, cubes)
+            continue
+        elif key in (".end",):
+            pass
+        else:
+            raise ValueError(f"unsupported BLIF directive {key!r}")
+        i += 1
+    if net is None:
+        raise ValueError("no .model in BLIF text")
+    for o in declared_outputs:
+        net.add_output(o)
+    net.validate()
+    return net
+
+
+def write_blif(network: BooleanNetwork) -> str:
+    """Serialize a network to combinational BLIF."""
+    lines = [f".model {network.name}"]
+    lines.append(".inputs " + " ".join(network.inputs))
+    lines.append(".outputs " + " ".join(network.outputs))
+    for node in network.topological_order():
+        f = network.nodes[node]
+        fanin_names = sorted(
+            {network.table.name_of(l).rstrip("'") for c in f for l in c}
+        )
+        pos = {nm: k for k, nm in enumerate(fanin_names)}
+        lines.append(".names " + " ".join(fanin_names + [node]))
+        for cube in f:
+            row = ["-"] * len(fanin_names)
+            for lit in cube:
+                nm = network.table.name_of(lit)
+                row[pos[nm.rstrip("'")]] = "0" if nm.endswith("'") else "1"
+            lines.append("".join(row) + " 1" if fanin_names else "1")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def load_blif(path: str) -> BooleanNetwork:
+    """Read a combinational BLIF file into a network."""
+    with open(path) as fh:
+        return read_blif(fh.read())
+
+
+def save_blif(network: BooleanNetwork, path: str) -> None:
+    """Write *network* to *path* in BLIF."""
+    with open(path, "w") as fh:
+        fh.write(write_blif(network))

@@ -1,0 +1,92 @@
+"""SIS-style equation (``.eqn``) reader/writer.
+
+The equation format is the most natural interchange for algebraic SOPs:
+
+.. code-block:: text
+
+    # comment
+    INORDER = a b c de;
+    OUTORDER = F G;
+    F = a*f + b*f + a*g;
+    G = a*f + b*f;
+
+Products are ``*``-separated (whitespace also accepted), sums are ``+``.
+A trailing apostrophe denotes a complemented literal.  This mirrors SIS's
+``read_eqn``/``write_eqn`` closely enough to round-trip every network in
+this repository.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.algebra.sop import format_sop
+from repro.network.boolean_network import BooleanNetwork
+
+
+def write_eqn(network: BooleanNetwork) -> str:
+    """Serialize a network to equation-format text."""
+    lines: List[str] = [f"# network {network.name}"]
+    lines.append("INORDER = " + " ".join(network.inputs) + ";")
+    lines.append("OUTORDER = " + " ".join(network.outputs) + ";")
+    names = [network.table.name_of(i) for i in range(len(network.table))]
+    for node in network.topological_order():
+        f = network.nodes[node]
+        if not f:
+            rhs = "0"
+        else:
+            rhs = " + ".join(
+                "*".join(names[l] for l in cube) if cube else "1" for cube in f
+            )
+        lines.append(f"{node} = {rhs};")
+    return "\n".join(lines) + "\n"
+
+
+def read_eqn(text: str, name: str = "network") -> BooleanNetwork:
+    """Parse equation-format text back into a network."""
+    net = BooleanNetwork(name)
+    # Join continuation lines, strip comments, split on ';'.
+    body = "\n".join(
+        ln.split("#", 1)[0] for ln in text.splitlines()
+    )
+    statements = [s.strip() for s in body.split(";") if s.strip()]
+    for stmt in statements:
+        if "=" not in stmt:
+            raise ValueError(f"malformed statement: {stmt!r}")
+        lhs, rhs = stmt.split("=", 1)
+        lhs = lhs.strip()
+        rhs = rhs.strip()
+        if lhs == "INORDER":
+            net.add_inputs(rhs.split())
+        elif lhs == "OUTORDER":
+            for o in rhs.split():
+                net.add_output(o)
+        else:
+            cubes = []
+            if rhs == "0":
+                net.add_node(lhs, ())
+                continue
+            for term in rhs.split("+"):
+                term = term.strip()
+                if term == "1":
+                    cubes.append([])
+                    continue
+                parts = [p for chunk in term.split("*") for p in chunk.split()]
+                if not parts:
+                    raise ValueError(f"empty product term in {stmt!r}")
+                cubes.append([net.table.id_of(p) for p in parts])
+            net.add_node(lhs, cubes)
+    net.validate()
+    return net
+
+
+def save_eqn(network: BooleanNetwork, path: str) -> None:
+    """Write *network* to *path* in equation format."""
+    with open(path, "w") as fh:
+        fh.write(write_eqn(network))
+
+
+def load_eqn(path: str) -> BooleanNetwork:
+    """Read an equation-format file into a network."""
+    with open(path) as fh:
+        return read_eqn(fh.read())

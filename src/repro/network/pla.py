@@ -1,0 +1,149 @@
+"""Berkeley PLA (espresso) format reader/writer.
+
+Two-level benchmarks (the MCNC ``ex1010``, ``misex3``, ``spla`` class the
+paper uses) are distributed in this format.  A PLA describes a
+multi-output two-level cover:
+
+.. code-block:: text
+
+    .i 4
+    .o 2
+    .ilb a b c d
+    .ob F G
+    .p 3
+    1-0- 10
+    01-- 11
+    .e
+
+Each row's input part uses ``1`` (positive literal), ``0`` (complemented
+literal, rendered as ``name'``), ``-`` (absent); the output part marks
+which outputs contain the product term.  Reading produces a two-level
+:class:`BooleanNetwork` with one node per output — exactly the starting
+point the paper's kernel-extraction runs use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.network.boolean_network import BooleanNetwork
+
+
+def read_pla(text: str, name: str = "pla") -> BooleanNetwork:
+    """Parse PLA text into a two-level network."""
+    ni: Optional[int] = None
+    no: Optional[int] = None
+    ilb: Optional[List[str]] = None
+    ob: Optional[List[str]] = None
+    rows: List[tuple] = []
+    out_type = "f"
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            parts = line.split()
+            key = parts[0]
+            if key == ".i":
+                ni = int(parts[1])
+            elif key == ".o":
+                no = int(parts[1])
+            elif key == ".ilb":
+                ilb = parts[1:]
+            elif key == ".ob":
+                ob = parts[1:]
+            elif key == ".type":
+                out_type = parts[1]
+            elif key in (".p", ".e", ".end"):
+                continue
+            else:
+                continue  # ignore unsupported directives
+        else:
+            parts = line.split()
+            if len(parts) == 1 and ni is not None:
+                # input and output fields may be juxtaposed without space
+                field = parts[0]
+                parts = [field[:ni], field[ni:]]
+            if len(parts) != 2:
+                raise ValueError(f"malformed PLA row: {raw!r}")
+            rows.append((parts[0], parts[1]))
+    if ni is None or no is None:
+        raise ValueError("PLA missing .i/.o header")
+    if out_type not in ("f", "fd"):
+        raise ValueError(f"unsupported PLA type {out_type!r}")
+    input_names = ilb if ilb is not None else [f"x{i}" for i in range(ni)]
+    output_names = ob if ob is not None else [f"z{i}" for i in range(no)]
+    if len(input_names) != ni or len(output_names) != no:
+        raise ValueError("label count does not match .i/.o")
+
+    net = BooleanNetwork(name)
+    net.add_inputs(input_names)
+    covers: Dict[str, List[List[int]]] = {o: [] for o in output_names}
+    for in_part, out_part in rows:
+        if len(in_part) != ni or len(out_part) != no:
+            raise ValueError(f"row width mismatch: {in_part} {out_part}")
+        lits: List[int] = []
+        for ch, nm in zip(in_part, input_names):
+            if ch == "1":
+                lits.append(net.table.id_of(nm))
+            elif ch == "0":
+                lits.append(net.table.id_of(nm + "'"))
+            elif ch in "-2":
+                continue
+            else:
+                raise ValueError(f"bad input character {ch!r}")
+        for ch, o in zip(out_part, output_names):
+            if ch in "14":
+                covers[o].append(list(lits))
+            elif ch in "0-2~":
+                continue
+            else:
+                raise ValueError(f"bad output character {ch!r}")
+    for o in output_names:
+        net.add_node(o, covers[o])
+        net.add_output(o)
+    net.validate()
+    return net
+
+
+def write_pla(network: BooleanNetwork) -> str:
+    """Serialize a *two-level* network (every node reads only PIs)."""
+    ni = len(network.inputs)
+    outs = [o for o in network.outputs if o in network.nodes]
+    no = len(outs)
+    pos = {nm: i for i, nm in enumerate(network.inputs)}
+    lines = [f".i {ni}", f".o {no}"]
+    lines.append(".ilb " + " ".join(network.inputs))
+    lines.append(".ob " + " ".join(outs))
+    rows: List[str] = []
+    for oi, o in enumerate(outs):
+        for cube in network.nodes[o]:
+            in_field = ["-"] * ni
+            for lit in cube:
+                nm = network.table.name_of(lit)
+                comp = nm.endswith("'")
+                base = nm.rstrip("'")
+                if base not in pos:
+                    raise ValueError(
+                        f"node {o!r} is not two-level (reads {base!r})"
+                    )
+                in_field[pos[base]] = "0" if comp else "1"
+            out_field = ["0"] * no
+            out_field[oi] = "1"
+            rows.append("".join(in_field) + " " + "".join(out_field))
+    lines.append(f".p {len(rows)}")
+    lines.extend(rows)
+    lines.append(".e")
+    return "\n".join(lines) + "\n"
+
+
+def load_pla(path: str) -> BooleanNetwork:
+    """Read a PLA file into a two-level network."""
+    with open(path) as fh:
+        return read_pla(fh.read())
+
+
+def save_pla(network: BooleanNetwork, path: str) -> None:
+    """Write a two-level network to *path* in PLA format."""
+    with open(path, "w") as fh:
+        fh.write(write_pla(network))

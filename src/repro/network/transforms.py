@@ -1,0 +1,133 @@
+"""Structural network transformations beyond factorization.
+
+``eliminate`` is the SIS pass of the same name: internal nodes whose
+*value* (the literal savings their existence buys) falls below a
+threshold are collapsed into their fanouts by algebraic substitution.
+Synthesis scripts interleave it with extraction — collapsing undoes
+marginal factoring so the next extraction pass can find better global
+structure, and it is one of the expensive non-factorization passes that
+make up Table 1's "rest of synthesis time".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.algebra.cube import Cube, cube_union
+from repro.algebra.sop import Sop, sop, sop_literal_count
+from repro.network.boolean_network import BooleanNetwork, base_signal
+
+
+def node_value(
+    network: BooleanNetwork, name: str, fanout_map: Optional[Dict[str, Set[str]]] = None
+) -> int:
+    """SIS node value: literals saved by keeping *name* as a node.
+
+    With n fanout references and L literals in the node, keeping it
+    costs L (the node) plus n (the references); collapsing costs n·L.
+    value = n·L − (n + L).
+    """
+    lits = network.literal_count(name)
+    if fanout_map is None:
+        fanout_map = network.fanout_map()
+    fanout = fanout_map.get(name, set())
+    refs = 0
+    lit_id = network.table.id_of(name)
+    neg = name + "'"
+    neg_id = network.table.get(neg) if neg in network.table else None
+    for reader in fanout:
+        if reader not in network.nodes:
+            continue  # stale snapshot: reader was collapsed already
+        for cube in network.nodes[reader]:
+            for l in cube:
+                if l == lit_id or (neg_id is not None and l == neg_id):
+                    refs += 1
+    return refs * lits - (refs + lits)
+
+
+def substitute_node_into(
+    network: BooleanNetwork, target: str, node: str
+) -> bool:
+    """Expand *node*'s expression inside *target* (algebraic collapse).
+
+    Every cube of *target* containing the positive literal of *node* is
+    replaced by its product with each cube of the node's SOP.  Cubes
+    referencing the complement literal make the collapse non-algebraic,
+    so the function refuses (returns False) in that case.
+    """
+    lit = network.table.id_of(node)
+    neg = node + "'"
+    neg_id = network.table.get(neg) if neg in network.table else None
+    expr = network.nodes[target]
+    if neg_id is not None and any(neg_id in c for c in expr):
+        return False
+    if not any(lit in c for c in expr):
+        return False
+    node_expr = network.nodes[node]
+    new_cubes: List[Cube] = []
+    for cube in expr:
+        if lit not in cube:
+            new_cubes.append(cube)
+            continue
+        rest = tuple(l for l in cube if l != lit)
+        for nc in node_expr:
+            new_cubes.append(cube_union(rest, nc))
+    network.set_expression(target, sop(new_cubes))
+    return True
+
+
+def eliminate(
+    network: BooleanNetwork,
+    threshold: int = 0,
+    protect: Optional[Set[str]] = None,
+) -> int:
+    """Collapse every internal node whose value < *threshold*.
+
+    Primary outputs and *protect*-listed nodes are never collapsed.
+    Iterates to a fixpoint (collapsing one node changes the values of
+    its neighbors).  Returns the number of nodes eliminated.
+    """
+    protect = set(protect or ()) | set(network.outputs)
+    removed = 0
+    progress = True
+    while progress:
+        progress = False
+        # One fanout snapshot per round; values of a collapsed node's
+        # neighbors go stale within the round and are refreshed next round.
+        fanout_map = network.fanout_map()
+        for name in sorted(network.nodes):
+            if name in protect:
+                continue
+            if node_value(network, name, fanout_map) >= threshold:
+                continue
+            # Substitute into the *live* reader set (the snapshot can miss
+            # readers that gained the reference via an earlier collapse),
+            # iterating because substitution can introduce new readers.
+            blocked = False
+            while not blocked:
+                readers = sorted(
+                    r for r in network.nodes
+                    if r != name and name in network.fanin_signals(r)
+                )
+                if not readers:
+                    break
+                advanced = False
+                for reader in readers:
+                    if substitute_node_into(network, reader, name):
+                        advanced = True
+                    else:
+                        blocked = True  # complement reference
+                if not advanced:
+                    break
+            if blocked:
+                continue
+            if any(
+                name in network.fanin_signals(r)
+                for r in network.nodes
+                if r != name
+            ):
+                continue
+            del network.nodes[name]
+            removed += 1
+            progress = True
+    return removed

@@ -1,0 +1,108 @@
+"""Shared plumbing for the parallel algorithms.
+
+The sequential baseline ("SIS" in the tables) is the greedy ping-pong
+extraction loop run on one metered processor; every parallel run reports
+its speedup against this baseline measured under the *same* cost model,
+which mirrors the paper's "S = how many times faster than the sequential
+run" columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.machine.costmodel import CostMeter, CostModel, DEFAULT_COST_MODEL
+from repro.network.boolean_network import BooleanNetwork
+from repro.rectangles.cover import KernelExtractionResult, kernel_extract
+
+
+@dataclass
+class ParallelRunResult:
+    """Outcome of one parallel kernel-extraction run."""
+
+    algorithm: str
+    nprocs: int
+    network: BooleanNetwork
+    initial_lc: int
+    final_lc: int
+    parallel_time: float
+    sequential_time: float
+    extractions: int = 0
+    details: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        return self.sequential_time / self.parallel_time if self.parallel_time else float("inf")
+
+    @property
+    def quality_ratio(self) -> float:
+        return self.final_lc / self.initial_lc if self.initial_lc else 1.0
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable summary (network omitted — export via eqn)."""
+        return {
+            "algorithm": self.algorithm,
+            "nprocs": self.nprocs,
+            "circuit": self.network.name,
+            "initial_lc": self.initial_lc,
+            "final_lc": self.final_lc,
+            "quality_ratio": self.quality_ratio,
+            "parallel_time": self.parallel_time,
+            "sequential_time": self.sequential_time,
+            "speedup": self.speedup if self.sequential_time else None,
+            "extractions": self.extractions,
+            "details": dict(self.details),
+        }
+
+
+@dataclass
+class SequentialBaseline:
+    """The metered sequential run every speedup is measured against."""
+
+    network: BooleanNetwork
+    result: KernelExtractionResult
+    time: float
+    meter: CostMeter
+
+
+def sequential_baseline(
+    network: BooleanNetwork,
+    model: CostModel = DEFAULT_COST_MODEL,
+    searcher: str = "pingpong",
+    max_seeds: "Optional[int]" = 64,
+) -> SequentialBaseline:
+    """Run the sequential extraction loop on a copy, metered.
+
+    Returns the optimized copy, the extraction record and the modeled
+    single-processor time.  The same ``max_seeds`` knob must be used for
+    the baseline and the parallel runs so speedups compare like against
+    like.
+    """
+    work = network.copy()
+    meter = CostMeter()
+    result = kernel_extract(work, searcher=searcher, meter=meter, max_seeds=max_seeds)
+    return SequentialBaseline(
+        network=work, result=result, time=model.compute_time(meter.counts), meter=meter
+    )
+
+
+def partition_network_nodes(
+    network: BooleanNetwork,
+    nprocs: int,
+    seed: int = 0,
+    partitioner: str = "mincut",
+    meter: Optional[CostMeter] = None,
+) -> List[List[str]]:
+    """Min-cut (or random) n-way partition of the internal nodes."""
+    from repro.partition import circuit_graph, multiway_partition, random_partition
+    from repro.partition.graphs import block_nodes
+
+    graph = circuit_graph(network)
+    if partitioner == "mincut":
+        assignment = multiway_partition(graph, nprocs, seed=seed, meter=meter)
+    elif partitioner == "random":
+        assignment = random_partition(graph, nprocs, seed=seed)
+    else:
+        raise ValueError(f"unknown partitioner {partitioner!r}")
+    return block_nodes(assignment, nprocs)

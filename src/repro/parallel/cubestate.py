@@ -1,0 +1,124 @@
+"""The speculative cube-state protocol of Section 5.3 (Table 5).
+
+Every original SOP cube that appears as a KC-matrix entry carries:
+
+=========  =====  =====  ==================================================
+state      V      T      meaning (paper Table 5)
+=========  =====  =====  ==================================================
+FREE       —      —      cube not covered by any best rectangle
+COVERED    0      saved  covered by some processor's best rectangle,
+                         not yet divided
+DIVIDED    0      0      covered by some rectangle and divided out
+=========  =====  =====  ==================================================
+
+plus the *owner* attribute that qualifies COVERED: when the owning
+processor asks for the value it receives the true value (the cube is not
+yet divided, so a better rectangle of its own may still claim it); any
+other processor receives zero (it cannot change the owner's best
+rectangle, so for its purposes the cube is as good as gone).  This makes
+each processor's search independent of the order in which rectangles are
+generated — the problem analyzed at the end of Section 5.3.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.algebra.cube import Cube
+
+CubeRef = Tuple[str, Cube]  # (node name, original cube)
+
+
+class CubeStatus(enum.Enum):
+    """The three states of Table 5."""
+
+    FREE = "free"
+    COVERED = "covered"
+    DIVIDED = "divided"
+
+
+@dataclass
+class CubeRecord:
+    """Per-cube protocol state: status, saved value, claiming processor."""
+
+    status: CubeStatus = CubeStatus.FREE
+    trueval: int = 0
+    owner: int = -1
+
+
+class CubeStateStore:
+    """Shared-memory map from cube refs to their speculative state.
+
+    Cubes never touched by any best rectangle have no record (implicit
+    FREE).  ``meter``, when supplied to the operations, is charged
+    ``cube_state_op`` per touch — the protocol's (small) runtime cost.
+    """
+
+    def __init__(self) -> None:
+        self._recs: Dict[CubeRef, CubeRecord] = {}
+
+    def record(self, ref: CubeRef) -> CubeRecord:
+        """Fetch (or lazily create) the record for *ref*."""
+        rec = self._recs.get(ref)
+        if rec is None:
+            rec = CubeRecord()
+            self._recs[ref] = rec
+        return rec
+
+    def status(self, ref: CubeRef) -> CubeStatus:
+        """Current state of *ref* (FREE when never touched)."""
+        rec = self._recs.get(ref)
+        return rec.status if rec is not None else CubeStatus.FREE
+
+    def value(self, ref: CubeRef, asking_pid: int, meter=None) -> int:
+        """The value the protocol returns to *asking_pid* (Table 5)."""
+        if meter is not None:
+            meter.charge("cube_state_op", 1)
+        rec = self._recs.get(ref)
+        if rec is None or rec.status is CubeStatus.FREE:
+            return len(ref[1])
+        if rec.status is CubeStatus.DIVIDED:
+            return 0
+        # COVERED: owner sees the true value, everyone else sees zero.
+        return rec.trueval if rec.owner == asking_pid else 0
+
+    def cover(self, refs: Iterable[CubeRef], pid: int, meter=None) -> None:
+        """Speculatively claim *refs* for processor *pid*'s best rectangle."""
+        for ref in refs:
+            if meter is not None:
+                meter.charge("cube_state_op", 1)
+            rec = self.record(ref)
+            if rec.status is CubeStatus.DIVIDED:
+                continue
+            if rec.status is CubeStatus.COVERED and rec.owner != pid:
+                # Another processor speculated first; it keeps the claim.
+                continue
+            rec.status = CubeStatus.COVERED
+            rec.trueval = len(ref[1])
+            rec.owner = pid
+
+    def uncover(self, refs: Iterable[CubeRef], pid: int, meter=None) -> None:
+        """Release claims when the owner found a better rectangle."""
+        for ref in refs:
+            if meter is not None:
+                meter.charge("cube_state_op", 1)
+            rec = self._recs.get(ref)
+            if rec is None:
+                continue
+            if rec.status is CubeStatus.COVERED and rec.owner == pid:
+                rec.status = CubeStatus.FREE
+                rec.owner = -1
+
+    def divide(self, refs: Iterable[CubeRef], meter=None) -> None:
+        """Mark *refs* permanently consumed by an applied extraction."""
+        for ref in refs:
+            if meter is not None:
+                meter.charge("cube_state_op", 1)
+            rec = self.record(ref)
+            rec.status = CubeStatus.DIVIDED
+            rec.trueval = 0
+
+    def __len__(self) -> int:
+        return len(self._recs)

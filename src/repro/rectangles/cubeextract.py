@@ -1,0 +1,187 @@
+"""Common-cube extraction (SIS ``gcx``'s algebraic core).
+
+The dual of kernel extraction: where kernel extraction covers the
+co-kernel cube matrix, cube extraction covers the *cube-literal* matrix
+(rows = SOP cubes of all nodes, columns = literals).  A rectangle is a
+cube C shared by a set of rows R; extracting node ``X = ΠC`` rewrites
+each covered cube ``c`` to ``(c − C) ∪ {x}``, saving
+
+    gain = |R|·(|C| − 1) − |C|
+
+literals.  The paper parallelizes kernel extraction and notes the cube
+case is "almost similar"; this module provides the sequential procedure
+so the synthesis driver (Table 1) runs a realistic gkx+gcx script, and
+serves as the extension point for the same three parallelizations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.algebra.cube import Cube
+from repro.network.boolean_network import BooleanNetwork
+
+CubeRow = Tuple[str, Cube]  # (node, original cube)
+
+
+@dataclass(frozen=True)
+class CommonCube:
+    """A candidate extraction: the shared cube and the rows it covers."""
+
+    cube: Cube
+    rows: Tuple[CubeRow, ...]
+
+    @property
+    def gain(self) -> int:
+        return len(self.rows) * (len(self.cube) - 1) - len(self.cube)
+
+
+def _literal_index(
+    network: BooleanNetwork, nodes: Sequence[str]
+) -> Dict[int, Set[CubeRow]]:
+    """literal id → the cube rows containing it."""
+    index: Dict[int, Set[CubeRow]] = {}
+    for n in nodes:
+        for cube in network.nodes[n]:
+            if len(cube) < 2:
+                continue
+            row = (n, cube)
+            for lit in cube:
+                index.setdefault(lit, set()).add(row)
+    return index
+
+
+def best_common_cube(
+    network: BooleanNetwork,
+    nodes: Optional[Sequence[str]] = None,
+    max_seeds: Optional[int] = 64,
+    meter=None,
+) -> Optional[CommonCube]:
+    """Best common cube by seeded coordinate ascent on the cube-literal
+    matrix (rows ↔ literal sets, the same ping-pong idea as the kernel
+    searcher).  Returns None when no extraction has positive gain."""
+    node_list = list(nodes) if nodes is not None else sorted(network.nodes)
+    index = _literal_index(network, node_list)
+    all_rows: Set[CubeRow] = set()
+    for rows in index.values():
+        all_rows |= rows
+
+    # Seeds are literal *pairs* — an ascent must start small so the row
+    # set can be large, then grow the cube to the rows' full common part.
+    pair_count: Dict[Tuple[int, int], int] = {}
+    for _, cube in all_rows:
+        for i in range(len(cube)):
+            for j in range(i + 1, len(cube)):
+                pair = (cube[i], cube[j])
+                pair_count[pair] = pair_count.get(pair, 0) + 1
+    seeds = sorted(
+        (p for p, n in pair_count.items() if n >= 2),
+        key=lambda p: (-pair_count[p], p),
+    )
+    if max_seeds is not None:
+        seeds = seeds[:max_seeds]
+
+    best: Optional[CommonCube] = None
+    for pair in seeds:
+        cube: Cube = pair
+        rows: FrozenSet[CubeRow] = frozenset()
+        for _ in range(8):
+            if meter is not None:
+                meter.charge("pingpong_round", 1)
+            # rows ← all cube rows containing the current cube
+            candidates = index[cube[0]]
+            for lit in cube[1:]:
+                candidates = candidates & index[lit]
+            new_rows = frozenset(candidates)
+            if not new_rows:
+                break
+            # cube ← the common literals of those rows
+            it = iter(new_rows)
+            common = set(next(it)[1])
+            for row in it:
+                common &= set(row[1])
+            new_cube = tuple(sorted(common))
+            if new_rows == rows and new_cube == cube:
+                break
+            rows, cube = new_rows, new_cube
+            if len(cube) < 2:
+                break
+        if len(cube) < 2 or len(rows) < 2:
+            continue
+        cand = CommonCube(cube=cube, rows=tuple(sorted(rows)))
+        if cand.gain <= 0:
+            continue
+        if (
+            best is None
+            or cand.gain > best.gain
+            or (cand.gain == best.gain and (cand.cube, cand.rows) < (best.cube, best.rows))
+        ):
+            best = cand
+    return best
+
+
+def apply_common_cube(
+    network: BooleanNetwork,
+    common: CommonCube,
+    new_name: Optional[str] = None,
+) -> str:
+    """Extract ``X = ΠC`` and rewrite every covered cube.  Returns X's name."""
+    if new_name is None:
+        new_name = network.new_node_name(prefix="[c")
+    network.add_node(new_name, [list(common.cube)])
+    x = network.table.id_of(new_name)
+    by_node: Dict[str, List[Cube]] = {}
+    for node, cube in common.rows:
+        by_node.setdefault(node, []).append(cube)
+    cs = set(common.cube)
+    for node, cubes in sorted(by_node.items()):
+        expr = set(network.nodes[node])
+        for cube in cubes:
+            if cube not in expr:
+                continue  # an earlier row of this very extraction rewrote it
+            expr.discard(cube)
+            expr.add(tuple(sorted((set(cube) - cs) | {x})))
+        network.set_expression(node, sorted(expr))
+    return new_name
+
+
+@dataclass
+class CubeExtractionResult:
+    """Outcome of a greedy common-cube extraction run."""
+
+    initial_lc: int
+    final_lc: int
+    extracted: List[str]
+
+    @property
+    def iterations(self) -> int:
+        return len(self.extracted)
+
+
+def cube_extract(
+    network: BooleanNetwork,
+    nodes: Optional[Sequence[str]] = None,
+    min_gain: int = 1,
+    max_iterations: Optional[int] = None,
+    max_seeds: Optional[int] = 64,
+    meter=None,
+) -> CubeExtractionResult:
+    """Greedy common-cube extraction to convergence (in place)."""
+    active: List[str] = list(nodes) if nodes is not None else sorted(network.nodes)
+    result = CubeExtractionResult(
+        initial_lc=network.literal_count(),
+        final_lc=network.literal_count(),
+        extracted=[],
+    )
+    while max_iterations is None or result.iterations < max_iterations:
+        best = best_common_cube(network, nodes=active, max_seeds=max_seeds, meter=meter)
+        if best is None or best.gain < min_gain:
+            break
+        name = apply_common_cube(network, best)
+        if meter is not None:
+            meter.charge("divide_node", len({n for n, _ in best.rows}))
+        active.append(name)
+        result.extracted.append(name)
+    result.final_lc = network.literal_count()
+    return result

@@ -1,0 +1,230 @@
+"""The sparse co-kernel cube matrix with global offset labeling.
+
+Row and column indices are *labels*, not positions: the parallel
+algorithms give processor *p* the index space ``p·OFFSET + k`` (the
+paper's "offset which is a factor of the processor id" — processor 2's
+first kernel is row 200001).  Labels therefore stay consistent across
+replicas regardless of generation order, and sub-matrices exchanged
+between processors splice together without renumbering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.algebra.cube import Cube, cube_union
+from repro.algebra.kernels import Kernel, kernels
+from repro.algebra.sop import Sop
+
+# The paper labels processor p's first kernel p·100000 + 1.
+LABEL_OFFSET = 100_000
+
+CubeRef = Tuple[str, Cube]  # (node name, original SOP cube)
+
+
+@dataclass(frozen=True)
+class RowInfo:
+    """A row: one (node, co-kernel) pair."""
+
+    node: str
+    cokernel: Cube
+
+
+@dataclass
+class KCMatrix:
+    """Sparse KC matrix keyed by integer row/column labels.
+
+    ``entries[(r, c)]`` is the original SOP cube of ``rows[r].node``
+    obtained as ``rows[r].cokernel ∪ cols[c]``.  ``by_row``/``by_col``
+    are adjacency indexes kept consistent by :meth:`add_entry` /
+    :meth:`remove_row`.
+    """
+
+    rows: Dict[int, RowInfo] = field(default_factory=dict)
+    cols: Dict[int, Cube] = field(default_factory=dict)
+    col_of_cube: Dict[Cube, int] = field(default_factory=dict)
+    entries: Dict[Tuple[int, int], Cube] = field(default_factory=dict)
+    by_row: Dict[int, Set[int]] = field(default_factory=dict)
+    by_col: Dict[int, Set[int]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_row(self, label: int, node: str, cokernel: Cube) -> None:
+        if label in self.rows:
+            raise ValueError(f"duplicate row label {label}")
+        self.rows[label] = RowInfo(node, cokernel)
+        self.by_row[label] = set()
+
+    def ensure_col(self, cube: Cube, label_factory: Callable[[], int]) -> int:
+        """Return the column label for *cube*, creating it if new."""
+        got = self.col_of_cube.get(cube)
+        if got is not None:
+            return got
+        label = label_factory()
+        if label in self.cols:
+            raise ValueError(f"duplicate column label {label}")
+        self.cols[label] = cube
+        self.col_of_cube[cube] = label
+        self.by_col[label] = set()
+        return label
+
+    def add_entry(self, row: int, col: int) -> None:
+        info = self.rows[row]
+        self.entries[(row, col)] = cube_union(info.cokernel, self.cols[col])
+        self.by_row[row].add(col)
+        self.by_col[col].add(row)
+
+    def remove_row(self, label: int) -> None:
+        for col in self.by_row.pop(label, set()):
+            self.by_col[col].discard(label)
+            self.entries.pop((label, col), None)
+        self.rows.pop(label, None)
+
+    def remove_col(self, label: int) -> None:
+        cube = self.cols.get(label)
+        for row in self.by_col.pop(label, set()):
+            self.by_row[row].discard(label)
+            self.entries.pop((row, label), None)
+        if cube is not None:
+            self.col_of_cube.pop(cube, None)
+        self.cols.pop(label, None)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def num_cols(self) -> int:
+        return len(self.cols)
+
+    @property
+    def num_entries(self) -> int:
+        return len(self.entries)
+
+    def sparsity(self) -> float:
+        """Fraction of occupied cells — the α/γ of the paper's Eq. 3."""
+        cells = self.num_rows * self.num_cols
+        return self.num_entries / cells if cells else 0.0
+
+    def entry_cube(self, row: int, col: int) -> Cube:
+        return self.entries[(row, col)]
+
+    def cube_ref(self, row: int, col: int) -> CubeRef:
+        return (self.rows[row].node, self.entries[(row, col)])
+
+    def rows_of_node(self, node: str) -> List[int]:
+        return [r for r, info in self.rows.items() if info.node == node]
+
+    def submatrix_columns(self, col_labels: Iterable[int]) -> "KCMatrix":
+        """Restriction to a set of columns (all rows with entries kept)."""
+        keep = set(col_labels)
+        out = KCMatrix()
+        for c in keep:
+            if c not in self.cols:
+                continue
+            out.cols[c] = self.cols[c]
+            out.col_of_cube[self.cols[c]] = c
+            out.by_col[c] = set()
+        for (r, c), cube in self.entries.items():
+            if c not in keep:
+                continue
+            if r not in out.rows:
+                out.rows[r] = self.rows[r]
+                out.by_row[r] = set()
+            out.entries[(r, c)] = cube
+            out.by_row[r].add(c)
+            out.by_col[c].add(r)
+        return out
+
+    def merge(self, other: "KCMatrix") -> None:
+        """Splice another (label-consistent) matrix into this one.
+
+        Labels shared by both must agree on their row/column identity —
+        this is exactly the guarantee the offset labeling provides.
+        """
+        for label, info in other.rows.items():
+            mine = self.rows.get(label)
+            if mine is None:
+                self.add_row(label, info.node, info.cokernel)
+            elif mine != info:
+                raise ValueError(f"row label clash at {label}: {mine} vs {info}")
+        for label, cube in other.cols.items():
+            mine = self.cols.get(label)
+            if mine is None:
+                if cube in self.col_of_cube:
+                    raise ValueError(
+                        f"cube {cube} already labeled {self.col_of_cube[cube]}, "
+                        f"incoming label {label}"
+                    )
+                self.cols[label] = cube
+                self.col_of_cube[cube] = label
+                self.by_col[label] = set()
+            elif mine != cube:
+                raise ValueError(f"column label clash at {label}")
+        for (r, c) in other.entries.keys():
+            self.add_entry(r, c)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KCMatrix({self.num_rows}×{self.num_cols}, "
+            f"{self.num_entries} entries)"
+        )
+
+
+class LabelAllocator:
+    """Per-processor label sequence: ``pid·OFFSET + 1, pid·OFFSET + 2, …``"""
+
+    def __init__(self, pid: int = 0, offset: int = LABEL_OFFSET) -> None:
+        if pid < 0:
+            raise ValueError("processor id must be non-negative")
+        self._next = pid * offset + 1
+        self._limit = (pid + 1) * offset
+
+    def __call__(self) -> int:
+        label = self._next
+        if label >= self._limit:
+            raise OverflowError("label space for this processor exhausted")
+        self._next += 1
+        return label
+
+
+def build_kc_matrix(
+    network,
+    nodes: Optional[Iterable[str]] = None,
+    pid: int = 0,
+    kernel_cache: Optional[Dict[str, List[Kernel]]] = None,
+    meter=None,
+) -> KCMatrix:
+    """Build the KC matrix for *nodes* of *network* (default: all nodes).
+
+    *pid* selects the label space (processor id); sequential callers use
+    0.  *kernel_cache* maps node name → kernel list and is filled in (and
+    trusted) when provided, so the greedy loop only re-enumerates kernels
+    of nodes it modified.
+    """
+    mat = KCMatrix()
+    row_alloc = LabelAllocator(pid)
+    col_alloc = LabelAllocator(pid)
+    node_list = list(nodes) if nodes is not None else list(network.topological_order())
+    for node in node_list:
+        f: Sop = network.nodes[node]
+        if kernel_cache is not None and node in kernel_cache:
+            ks = kernel_cache[node]
+        else:
+            ks = kernels(f, meter=meter)
+            if kernel_cache is not None:
+                kernel_cache[node] = ks
+        for kern in ks:
+            row = row_alloc()
+            mat.add_row(row, node, kern.cokernel)
+            for kc in kern.expression:
+                col = mat.ensure_col(kc, col_alloc)
+                mat.add_entry(row, col)
+                if meter is not None:
+                    meter.charge("kc_entry", 1)
+    return mat

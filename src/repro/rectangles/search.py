@@ -1,0 +1,197 @@
+"""Exhaustive column-anchored rectangle search.
+
+This is the search the replicated-circuit algorithm (paper Section 3)
+parallelizes: a top-down traversal of the tree of column subsets, ordered
+by leftmost column, generating every rectangle and its value (Figure 1).
+Processor *p* owns the anchors in its column stripe, so restricting the
+anchor set decomposes the tree exactly as the paper describes.
+
+For a fixed column set the optimal row set decomposes row-by-row: a row's
+marginal contribution is ``Σ_j value(cube_ij) − |cokernel_i| − 1`` and
+rows are kept iff positive.  (When several rows of one node cover the
+same original cube the reported gain is corrected by exact distinct
+counting afterwards.)
+
+Enumeration is exponential in the worst case; :class:`SearchBudget`
+bounds the number of visited tree nodes and raises
+:class:`BudgetExceeded` — this is how the reproduction models the paper's
+"did not terminate after 10000 seconds" rows for spla/ex1010.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.rectangles.kcmatrix import KCMatrix
+from repro.rectangles.rectangle import (
+    Rectangle,
+    ValueFn,
+    default_value,
+    rectangle_gain,
+)
+
+
+class BudgetExceeded(Exception):
+    """Raised when the rectangle search exceeds its node budget."""
+
+
+@dataclass
+class SearchBudget:
+    """A cap on search-tree nodes, shared across one extraction run."""
+
+    max_nodes: int
+    used: int = 0
+
+    def spend(self, n: int = 1) -> None:
+        """Consume *n* units; raise :class:`BudgetExceeded` past the cap."""
+        self.used += n
+        if self.used > self.max_nodes:
+            raise BudgetExceeded(
+                f"rectangle search exceeded budget of {self.max_nodes} nodes"
+            )
+
+
+def _row_marginal(
+    matrix: KCMatrix, row: int, cols: Sequence[int], value_fn: ValueFn
+) -> int:
+    info = matrix.rows[row]
+    total = 0
+    for c in cols:
+        total += value_fn(info.node, matrix.entries[(row, c)])
+    return total - len(info.cokernel) - 1
+
+
+def _best_rows_for_cols(
+    matrix: KCMatrix,
+    cols: Sequence[int],
+    candidate_rows: Set[int],
+    value_fn: ValueFn,
+) -> Tuple[Tuple[int, ...], int]:
+    """Keep rows with positive marginal; return (rows, Σ marginals)."""
+    chosen: List[int] = []
+    total = 0
+    for r in sorted(candidate_rows):
+        m = _row_marginal(matrix, r, cols, value_fn)
+        if m > 0:
+            chosen.append(r)
+            total += m
+    return tuple(chosen), total
+
+
+def enumerate_rectangles(
+    matrix: KCMatrix,
+    value_fn: ValueFn = default_value,
+    min_cols: int = 2,
+    anchor_filter: Optional[Callable[[int], bool]] = None,
+    budget: Optional[SearchBudget] = None,
+    meter=None,
+    prime_only: bool = True,
+) -> Iterator[Tuple[Rectangle, int]]:
+    """Yield (rectangle, gain) for every profitable column subset.
+
+    Rows are the optimal subset for each column set (see module
+    docstring); gains are exact (distinct-cube counted).  *anchor_filter*
+    restricts to rectangles whose leftmost column satisfies it — the
+    stripe decomposition of the parallel search.
+
+    ``prime_only`` (default) applies the classic dominance prune: a
+    candidate column whose row set contains the current rows is included
+    unconditionally instead of branched on, so only prime (column-
+    maximal for their rows) rectangles are enumerated.  Under the default
+    value function a dominated column never decreases the gain, so the
+    best rectangle is preserved; pass ``prime_only=False`` for arbitrary
+    value functions.
+    """
+    col_labels = sorted(matrix.cols)
+
+    def explore(
+        cols: List[int], rows: Set[int], last_col: int
+    ) -> Iterator[Tuple[Rectangle, int]]:
+        if budget is not None:
+            budget.spend()
+        if meter is not None:
+            meter.charge("search_node", 1)
+        # Only columns co-occurring with the current rows can extend the
+        # rectangle; scanning anything else would intersect to empty.
+        in_cols = set(cols)
+        candidates: Set[int] = set()
+        for r in rows:
+            for c2 in matrix.by_row[r]:
+                if c2 > last_col and c2 not in in_cols:
+                    candidates.add(c2)
+        branch: List[int] = []
+        forced: List[int] = []
+        for c2 in sorted(candidates):
+            rows2 = rows & matrix.by_col[c2]
+            if not rows2:
+                continue
+            if prime_only and len(rows2) == len(rows):
+                forced.append(c2)
+            else:
+                branch.append(c2)
+        cols.extend(forced)
+        if len(cols) >= min_cols:
+            chosen, _ = _best_rows_for_cols(matrix, cols, rows, value_fn)
+            if chosen:
+                rect = Rectangle(rows=chosen, cols=tuple(cols))
+                gain = rectangle_gain(matrix, rect, value_fn)
+                if gain > 0:
+                    yield rect, gain
+        for c2 in branch:
+            rows2 = rows & matrix.by_col[c2]
+            cols.append(c2)
+            yield from explore(cols, rows2, c2)
+            cols.pop()
+        del cols[len(cols) - len(forced):]
+
+    for c in col_labels:
+        if anchor_filter is not None and not anchor_filter(c):
+            continue
+        rows0 = set(matrix.by_col[c])
+        if not rows0:
+            continue
+        yield from explore([c], rows0, c)
+
+
+def best_rectangle_exhaustive(
+    matrix: KCMatrix,
+    value_fn: ValueFn = default_value,
+    min_cols: int = 2,
+    anchor_filter: Optional[Callable[[int], bool]] = None,
+    budget: Optional[SearchBudget] = None,
+    meter=None,
+) -> Optional[Tuple[Rectangle, int]]:
+    """Maximum-gain rectangle by full enumeration (deterministic ties)."""
+    best: Optional[Tuple[Rectangle, int]] = None
+    for rect, gain in enumerate_rectangles(
+        matrix,
+        value_fn=value_fn,
+        min_cols=min_cols,
+        anchor_filter=anchor_filter,
+        budget=budget,
+        meter=meter,
+    ):
+        if (
+            best is None
+            or gain > best[1]
+            or (gain == best[1] and (rect.cols, rect.rows) < (best[0].cols, best[0].rows))
+        ):
+            best = (rect, gain)
+    return best
+
+
+def column_stripes(matrix: KCMatrix, nprocs: int) -> List[Set[int]]:
+    """Contiguous column stripes for the Figure 1 decomposition.
+
+    Processor 1 gets rectangles whose leftmost column lies in the first
+    ``1/n`` of the (label-sorted) columns, processor 2 the second, etc.
+    """
+    labels = sorted(matrix.cols)
+    n = len(labels)
+    stripes: List[Set[int]] = []
+    for p in range(nprocs):
+        lo = (p * n) // nprocs
+        hi = ((p + 1) * n) // nprocs
+        stripes.append(set(labels[lo:hi]))
+    return stripes

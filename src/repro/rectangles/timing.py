@@ -1,0 +1,130 @@
+"""Timing-driven kernel extraction.
+
+The paper's conclusion: "our methods can be directly applied to timing
+driven and low power driven synthesis provided the algorithms are
+formulated in terms of a rectangular cover problem."  This module does
+that formulation for a unit-delay timing model:
+
+- every node's *level* is 1 + the max level of its node fanins (primary
+  inputs are level 0); the network's critical depth is the max level;
+- extracting rectangle (R, C) creates node X at level
+  ``1 + max(level of X's support)`` and lifts each covered node to at
+  least ``level(X) + 1``; the increase propagates down the fanout cone;
+- :func:`timing_kernel_extract` runs the usual greedy loop but walks the
+  ranked candidate rectangles (not just the best) and skips any whose
+  predicted critical depth exceeds the budget.
+
+With ``max_depth=None`` it degenerates to plain area-driven extraction;
+tightening the budget trades literals for depth — the area/delay curve
+``benchmarks/bench_ablation_timing.py`` sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.network.boolean_network import BooleanNetwork
+from repro.rectangles.cover import AppliedExtraction, KernelExtractionResult, apply_rectangle
+from repro.rectangles.kcmatrix import KCMatrix, build_kc_matrix
+from repro.rectangles.pingpong import pingpong_candidates
+from repro.rectangles.rectangle import Rectangle, rectangle_kernel
+
+
+def node_levels(network: BooleanNetwork) -> Dict[str, int]:
+    """Unit-delay level of every signal (primary inputs at 0)."""
+    levels: Dict[str, int] = {pi: 0 for pi in network.inputs}
+    for n in network.topological_order():
+        levels[n] = 1 + max(
+            (levels[s] for s in network.fanin_signals(n)), default=0
+        )
+    return levels
+
+
+def critical_depth(network: BooleanNetwork) -> int:
+    levels = node_levels(network)
+    return max((levels[n] for n in network.nodes), default=0)
+
+
+def predicted_depth_after(
+    network: BooleanNetwork,
+    matrix: KCMatrix,
+    rect: Rectangle,
+    levels: Dict[str, int],
+) -> int:
+    """Critical depth if *rect* were extracted (no mutation).
+
+    X's level is 1 + max over its support; every covered node rises to at
+    least level(X) + 1; increases propagate through the existing fanout
+    cone breadth-first.  Conservative (a node's level never decreases).
+    """
+    kernel = rectangle_kernel(matrix, rect)
+    support = {
+        network.table.name_of(l).rstrip("'") for c in kernel for l in c
+    }
+    x_level = 1 + max((levels.get(s, 0) for s in support), default=0)
+    new_levels = dict(levels)
+    worklist: List[str] = []
+    for r in rect.rows:
+        node = matrix.rows[r].node
+        lifted = max(new_levels.get(node, 0), x_level + 1)
+        if lifted > new_levels.get(node, 0):
+            new_levels[node] = lifted
+            worklist.append(node)
+    fanout = network.fanout_map()
+    while worklist:
+        n = worklist.pop()
+        for reader in fanout.get(n, ()):
+            lifted = new_levels[n] + 1
+            if lifted > new_levels.get(reader, 0):
+                new_levels[reader] = lifted
+                worklist.append(reader)
+    return max((new_levels[n] for n in network.nodes), default=0)
+
+
+def timing_kernel_extract(
+    network: BooleanNetwork,
+    max_depth: Optional[int] = None,
+    min_gain: int = 1,
+    max_seeds: Optional[int] = 64,
+    max_iterations: Optional[int] = None,
+    name_prefix: str = "[t",
+) -> KernelExtractionResult:
+    """Greedy extraction under a critical-depth budget (in place).
+
+    ``max_depth=None`` removes the constraint; otherwise candidate
+    rectangles that would push the unit-delay critical depth beyond the
+    budget are skipped in gain order.
+    """
+    result = KernelExtractionResult(
+        initial_lc=network.literal_count(), final_lc=network.literal_count()
+    )
+    if max_depth is not None and critical_depth(network) > max_depth:
+        raise ValueError(
+            f"network already exceeds max_depth={max_depth} "
+            f"(depth {critical_depth(network)})"
+        )
+    counter = 0
+    while max_iterations is None or result.iterations < max_iterations:
+        matrix = build_kc_matrix(network)
+        candidates = pingpong_candidates(matrix, max_seeds=max_seeds)
+        levels = node_levels(network)
+        chosen: Optional[Tuple[Rectangle, int]] = None
+        for rect, gain in candidates:
+            if gain < min_gain:
+                break
+            if max_depth is not None:
+                if predicted_depth_after(network, matrix, rect, levels) > max_depth:
+                    continue
+            chosen = (rect, gain)
+            break
+        if chosen is None:
+            break
+        rect, gain = chosen
+        new_name = f"{name_prefix}{counter}]"
+        counter += 1
+        applied = apply_rectangle(network, matrix, rect, new_name=new_name, gain=gain)
+        result.steps.append(applied)
+        if max_depth is not None:
+            assert critical_depth(network) <= max_depth, "depth budget violated"
+    result.final_lc = network.literal_count()
+    return result

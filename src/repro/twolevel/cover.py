@@ -1,0 +1,125 @@
+"""Positional-cube covers.
+
+A cover is a list of positional cubes over an ordered variable list;
+each position holds 0 (complemented literal), 1 (positive literal) or 2
+(absent / don't care).  Conversion to and from the repository's
+algebraic SOP representation pairs ``name``/``name'`` literals into one
+variable, which is exactly the information the algebraic model discards
+and two-level minimization needs back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algebra.literals import LiteralTable
+from repro.algebra.sop import Sop
+
+PCube = Tuple[int, ...]  # entries in {0, 1, 2}
+
+
+@dataclass
+class PCover:
+    """A single-output cover: variables (base signal names) + cubes."""
+
+    variables: List[str]
+    cubes: List[PCube]
+
+    @property
+    def nvars(self) -> int:
+        return len(self.variables)
+
+    def literal_count(self) -> int:
+        return sum(1 for c in self.cubes for v in c if v != 2)
+
+    def copy(self) -> "PCover":
+        return PCover(list(self.variables), list(self.cubes))
+
+
+def cube_cofactor(cube: PCube, var: int, phase: int) -> Optional[PCube]:
+    """Cofactor one cube against ``var = phase``; None if incompatible."""
+    v = cube[var]
+    if v != 2 and v != phase:
+        return None
+    if v == 2:
+        return cube
+    return cube[:var] + (2,) + cube[var + 1:]
+
+
+def cofactor(cubes: Sequence[PCube], var: int, phase: int) -> List[PCube]:
+    """Shannon cofactor of a cover."""
+    out = []
+    for c in cubes:
+        cc = cube_cofactor(c, var, phase)
+        if cc is not None:
+            out.append(cc)
+    return out
+
+
+def cofactor_by_cube(cubes: Sequence[PCube], against: PCube) -> List[PCube]:
+    """Cofactor against a whole cube (for containment checks)."""
+    out: List[PCube] = list(cubes)
+    for var, phase in enumerate(against):
+        if phase == 2:
+            continue
+        out = cofactor(out, var, phase)
+        if not out:
+            break
+    return out
+
+
+def pcube_contains(big: PCube, small: PCube) -> bool:
+    """True iff *small*'s minterm set ⊆ *big*'s."""
+    return all(b == 2 or b == s for b, s in zip(big, small))
+
+
+def from_sop(f: Sop, table: LiteralTable) -> PCover:
+    """Convert an algebraic SOP to a positional cover.
+
+    Complement pairs (``a`` / ``a'``) map to one variable.  A cube
+    containing both polarities of a variable is Boolean-false and is
+    dropped.  Raises ``ValueError`` for the constant-0 expression — the
+    caller should special-case it.
+    """
+    base_names: List[str] = []
+    seen: Dict[str, int] = {}
+    for cube in f:
+        for lit in cube:
+            name = table.name_of(lit)
+            base = name[:-1] if name.endswith("'") else name
+            if base not in seen:
+                seen[base] = len(base_names)
+                base_names.append(base)
+    cubes: List[PCube] = []
+    for cube in f:
+        row = [2] * len(base_names)
+        contradictory = False
+        for lit in cube:
+            name = table.name_of(lit)
+            if name.endswith("'"):
+                base, phase = name[:-1], 0
+            else:
+                base, phase = name, 1
+            pos = seen[base]
+            if row[pos] != 2 and row[pos] != phase:
+                contradictory = True
+                break
+            row[pos] = phase
+        if not contradictory:
+            cubes.append(tuple(row))
+    return PCover(base_names, cubes)
+
+
+def to_sop(cover: PCover, table: LiteralTable) -> Sop:
+    """Convert back to the algebraic SOP representation."""
+    out = []
+    for cube in cover.cubes:
+        lits = []
+        for pos, phase in enumerate(cube):
+            if phase == 2:
+                continue
+            name = cover.variables[pos] + ("" if phase == 1 else "'")
+            lits.append(table.id_of(name))
+        out.append(tuple(sorted(lits)))
+    return tuple(sorted(set(out)))

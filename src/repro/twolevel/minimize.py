@@ -1,0 +1,120 @@
+"""EXPAND / IRREDUNDANT minimization (espresso-lite).
+
+Because the network nodes carry their complete ON-set (no external
+don't-care set), a cube may expand exactly when the expanded cube is
+still contained in the cover's own function — so the function is
+invariant throughout and every step is checkable by simulation.
+
+``minimize_cover`` loops EXPAND (raise literals to don't-care, largest
+cubes last) and IRREDUNDANT (drop cubes covered by the rest) to a
+fixpoint; ``minimize_network`` applies it node-by-node, skipping nodes
+whose support exceeds a safety bound (tautology recursion is exponential
+in the worst case).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.algebra.sop import Sop, sop_literal_count, sop_support
+from repro.network.boolean_network import BooleanNetwork
+from repro.twolevel.cover import PCover, PCube, from_sop, pcube_contains, to_sop
+from repro.twolevel.tautology import cover_contains_cube
+
+
+def expand_cover(cover: PCover) -> PCover:
+    """Raise literals to don't-care wherever the function allows.
+
+    Cubes are processed smallest-first (fewest don't-cares last to give
+    big cubes the chance to absorb).  Single-cube containment cleanup
+    runs afterwards.
+    """
+    cubes = list(cover.cubes)
+    nvars = cover.nvars
+    order = sorted(range(len(cubes)), key=lambda i: sum(1 for p in cubes[i] if p != 2))
+    for idx in order:
+        cube = cubes[idx]
+        for var in range(nvars):
+            if cube[var] == 2:
+                continue
+            candidate = cube[:var] + (2,) + cube[var + 1:]
+            if cover_contains_cube(cubes, candidate, nvars):
+                cube = candidate
+        cubes[idx] = cube
+    # Drop cubes now single-cube-contained in an expanded one.
+    kept: List[PCube] = []
+    for i, c in enumerate(cubes):
+        if any(
+            j != i and pcube_contains(cubes[j], c)
+            and (cubes[j] != c or j < i)
+            for j in range(len(cubes))
+        ):
+            continue
+        kept.append(c)
+    return PCover(cover.variables, kept)
+
+
+def irredundant_cover(cover: PCover) -> PCover:
+    """Remove cubes covered by the rest of the cover (greedy order)."""
+    cubes = list(cover.cubes)
+    nvars = cover.nvars
+    # Try dropping the biggest cubes first — they are the most likely to
+    # be covered by combinations of the others after expansion.
+    order = sorted(
+        range(len(cubes)),
+        key=lambda i: -sum(1 for p in cubes[i] if p != 2),
+    )
+    alive = set(range(len(cubes)))
+    for idx in order:
+        if len(alive) == 1:
+            break
+        rest = [cubes[j] for j in alive if j != idx]
+        if cover_contains_cube(rest, cubes[idx], nvars):
+            alive.discard(idx)
+    return PCover(cover.variables, [cubes[i] for i in sorted(alive)])
+
+
+def minimize_cover(cover: PCover, max_passes: int = 4) -> PCover:
+    """EXPAND + IRREDUNDANT to a fixpoint (bounded passes)."""
+    current = cover
+    for _ in range(max_passes):
+        expanded = expand_cover(current)
+        pruned = irredundant_cover(expanded)
+        if pruned.cubes == current.cubes:
+            return pruned
+        current = pruned
+    return current
+
+
+def minimize_sop(f: Sop, table, max_support: int = 22) -> Sop:
+    """Minimize one algebraic SOP; returns the (possibly smaller) SOP.
+
+    Constants pass through; nodes with more than *max_support* base
+    variables are returned unchanged (recursion safety bound).
+    """
+    if not f or f == ((),):
+        return f
+    cover = from_sop(f, table)
+    if cover.nvars > max_support:
+        return f
+    if not cover.cubes:
+        return ()  # every cube was contradictory: constant 0
+    minimized = minimize_cover(cover)
+    result = to_sop(minimized, table)
+    # Only accept improvements — conversion round trips are exact, so
+    # equality means nothing to gain.
+    if sop_literal_count(result) < sop_literal_count(f) or len(result) < len(f):
+        return result
+    return f
+
+
+def minimize_network(network: BooleanNetwork, max_support: int = 22) -> int:
+    """espresso-lite over every node; returns literals saved."""
+    saved = 0
+    for name in list(network.nodes):
+        f = network.nodes[name]
+        g = minimize_sop(f, network.table, max_support=max_support)
+        if g != f:
+            saved += sop_literal_count(f) - sop_literal_count(g)
+            network.set_expression(name, g)
+    return saved

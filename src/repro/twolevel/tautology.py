@@ -1,0 +1,78 @@
+"""Unate-recursion tautology checking (Brayton et al., the espresso core).
+
+``is_tautology(cubes, nvars)`` decides whether a cover equals constant 1:
+
+- a cover containing the all-don't-care cube is a tautology;
+- a *unate* cover (no variable appears in both phases) is a tautology
+  **only** if it contains that cube;
+- otherwise split on the most binate variable and recurse on both
+  Shannon cofactors.
+
+Containment (cube ⊆ cover) reduces to tautology of the cover's cofactor
+against the cube — the primitive EXPAND and IRREDUNDANT are built on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.twolevel.cover import PCube, cofactor, cofactor_by_cube
+
+
+def _phase_profile(cubes: Sequence[PCube], nvars: int) -> List[Tuple[int, int]]:
+    """(count of 0-phase, count of 1-phase) per variable."""
+    zeros = [0] * nvars
+    ones = [0] * nvars
+    for c in cubes:
+        for v, p in enumerate(c):
+            if p == 0:
+                zeros[v] += 1
+            elif p == 1:
+                ones[v] += 1
+    return list(zip(zeros, ones))
+
+
+def _most_binate(profile: List[Tuple[int, int]]) -> Optional[int]:
+    """The variable appearing in both phases the most; None if unate."""
+    best_var = None
+    best_score = 0
+    for v, (z, o) in enumerate(profile):
+        if z and o:
+            score = z + o
+            if score > best_score:
+                best_score = score
+                best_var = v
+    return best_var
+
+
+def is_tautology(cubes: Sequence[PCube], nvars: int) -> bool:
+    """True iff the cover's function is constant 1."""
+    if not cubes:
+        return False
+    universal = (2,) * nvars
+    if universal in cubes:
+        return True
+    # Quick necessary condition: every variable column must offer both
+    # phases or a don't care in some cube; if any variable appears in
+    # only one phase in *every* cube, minterms with the other phase and
+    # all other vars arbitrary are uncovered... (only valid when the
+    # variable has no don't-care occurrences).
+    profile = _phase_profile(cubes, nvars)
+    for v, (z, o) in enumerate(profile):
+        if z + o == len(cubes) and (z == 0 or o == 0):
+            return False
+    split = _most_binate(profile)
+    if split is None:
+        # Unate cover: tautology iff it contains the universal cube,
+        # which we already checked.
+        return False
+    return is_tautology(cofactor(cubes, split, 0), nvars) and is_tautology(
+        cofactor(cubes, split, 1), nvars
+    )
+
+
+def cover_contains_cube(
+    cubes: Sequence[PCube], cube: PCube, nvars: int
+) -> bool:
+    """cube ⊆ cover ⇔ the cover cofactored against the cube is a tautology."""
+    return is_tautology(cofactor_by_cube(cubes, cube), nvars)

@@ -1,0 +1,91 @@
+from repro.algebra.cube import (
+    common_cube,
+    cube,
+    cube_contains,
+    cube_divide,
+    cube_literal_count,
+    cube_union,
+)
+
+
+class TestCubeConstruction:
+    def test_sorted_and_deduped(self):
+        assert cube([3, 1, 3, 2]) == (1, 2, 3)
+
+    def test_empty_is_universal_cube(self):
+        assert cube([]) == ()
+
+
+class TestContainment:
+    def test_subset(self):
+        assert cube_contains((1, 2, 3), (1, 3))
+
+    def test_equal(self):
+        assert cube_contains((1, 2), (1, 2))
+
+    def test_universal_in_everything(self):
+        assert cube_contains((5,), ())
+        assert cube_contains((), ())
+
+    def test_not_contained(self):
+        assert not cube_contains((1, 2), (3,))
+
+    def test_longer_never_contained(self):
+        assert not cube_contains((1,), (1, 2))
+
+    def test_interleaved(self):
+        assert cube_contains((0, 2, 4, 6, 8), (2, 8))
+        assert not cube_contains((0, 2, 4, 6, 8), (2, 7))
+
+
+class TestDivision:
+    def test_even_division(self):
+        assert cube_divide((1, 2, 3), (2,)) == (1, 3)
+
+    def test_divide_by_universal(self):
+        assert cube_divide((1, 2), ()) == (1, 2)
+
+    def test_divide_self(self):
+        assert cube_divide((1, 2), (1, 2)) == ()
+
+    def test_no_division(self):
+        assert cube_divide((1, 2), (3,)) is None
+
+    def test_division_then_union_roundtrip(self):
+        c, d = (1, 2, 5, 9), (2, 9)
+        q = cube_divide(c, d)
+        assert cube_union(q, d) == c
+
+
+class TestUnion:
+    def test_disjoint(self):
+        assert cube_union((1, 3), (2, 4)) == (1, 2, 3, 4)
+
+    def test_overlapping(self):
+        assert cube_union((1, 2), (2, 3)) == (1, 2, 3)
+
+    def test_identity_with_universal(self):
+        assert cube_union((), (1,)) == (1,)
+        assert cube_union((1,), ()) == (1,)
+
+    def test_commutative(self):
+        assert cube_union((1, 5), (2,)) == cube_union((2,), (1, 5))
+
+
+class TestCommonCube:
+    def test_intersection(self):
+        assert common_cube([(1, 2, 3), (2, 3, 4), (0, 2, 3)]) == (2, 3)
+
+    def test_disjoint_gives_universal(self):
+        assert common_cube([(1,), (2,)]) == ()
+
+    def test_empty_sequence(self):
+        assert common_cube([]) == ()
+
+    def test_single_cube(self):
+        assert common_cube([(4, 7)]) == (4, 7)
+
+
+def test_literal_count():
+    assert cube_literal_count(()) == 0
+    assert cube_literal_count((1, 2, 3)) == 3

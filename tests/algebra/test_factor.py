@@ -1,0 +1,118 @@
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.factor import (
+    Leaf,
+    Product,
+    Sum,
+    factored_literal_count,
+    network_factored_literal_count,
+    quick_factor,
+)
+from repro.algebra.literals import LiteralTable
+from repro.algebra.sop import parse_sop, sop, sop_literal_count
+
+
+@pytest.fixture
+def t():
+    return LiteralTable()
+
+
+def names(t):
+    return [t.name_of(i) for i in range(len(t))]
+
+
+def evaluate_tree(tree, assignment):
+    from repro.algebra.factor import One
+
+    if isinstance(tree, One):
+        return True
+    if isinstance(tree, Leaf):
+        return assignment[tree.literal]
+    if isinstance(tree, Product):
+        return all(evaluate_tree(f, assignment) for f in tree.factors)
+    return any(evaluate_tree(x, assignment) for x in tree.terms)
+
+
+def evaluate_sop(f, assignment):
+    return any(all(assignment[l] for l in c) for c in f)
+
+
+def trees_equal_sop(f, nlits):
+    tree = quick_factor(f)
+    for bits in range(1 << nlits):
+        assignment = {i: bool(bits >> i & 1) for i in range(nlits)}
+        if evaluate_tree(tree, assignment) != evaluate_sop(f, assignment):
+            return False
+    return True
+
+
+class TestQuickFactor:
+    def test_single_cube(self, t):
+        f = parse_sop("abc", t)
+        tree = quick_factor(f)
+        assert tree.literal_count() == 3
+
+    def test_single_literal(self, t):
+        f = parse_sop("a", t)
+        assert quick_factor(f).literal_count() == 1
+
+    def test_common_cube_pulled_out(self, t):
+        f = parse_sop("ab + ac", t)
+        tree = quick_factor(f)
+        assert tree.literal_count() == 3  # a(b + c)
+        assert "(" in tree.render(names(t))
+
+    def test_paper_f_improves(self, t):
+        f = parse_sop("af + bf + ag + cg + ade + bde + cde", t)
+        assert factored_literal_count(f) < sop_literal_count(f)
+
+    def test_never_worse_than_flat(self, t):
+        for text in ("ab + cd", "a + b + c", "abc + abd + ae + cd + cef"):
+            table = LiteralTable()
+            f = parse_sop(text, table)
+            assert factored_literal_count(f) <= sop_literal_count(f)
+
+    def test_function_preserved_examples(self, t):
+        f = parse_sop("ab + ac + bc + d", t)
+        assert trees_equal_sop(f, len(t))
+
+    def test_constant_zero_raises(self):
+        with pytest.raises(ValueError):
+            quick_factor(())
+
+    def test_constant_lc_zero(self):
+        assert factored_literal_count(()) == 0
+        assert factored_literal_count(((),)) == 0
+
+    def test_render_roundtrip_parse(self, t):
+        f = parse_sop("af + bf + ag + cg", t)
+        rendered = quick_factor(f).render(names(t))
+        assert "+" in rendered
+
+
+lits = st.integers(min_value=0, max_value=5)
+nonempty_cubes = st.frozensets(lits, min_size=1, max_size=3).map(
+    lambda s: tuple(sorted(s))
+)
+nonzero_sops = st.frozensets(nonempty_cubes, min_size=1, max_size=6).map(
+    lambda s: tuple(sorted(s))
+)
+
+
+class TestQuickFactorProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(nonzero_sops)
+    def test_factored_function_equals_sop(self, f):
+        assert trees_equal_sop(f, 6)
+
+    @settings(max_examples=60, deadline=None)
+    @given(nonzero_sops)
+    def test_factored_never_more_literals(self, f):
+        assert factored_literal_count(f) <= sop_literal_count(f)
+
+
+def test_network_factored_count(eq1_network):
+    flat = eq1_network.literal_count()
+    fact = network_factored_literal_count(eq1_network)
+    assert 0 < fact <= flat

@@ -1,0 +1,128 @@
+import pytest
+
+from repro.algebra.kernels import Kernel, kernel_level, kernels, level0_kernels
+from repro.algebra.literals import LiteralTable
+from repro.algebra.sop import (
+    divide,
+    is_cube_free,
+    format_sop,
+    parse_sop,
+    sop_literal_count,
+)
+from repro.machine.costmodel import CostMeter
+
+
+@pytest.fixture
+def t():
+    return LiteralTable()
+
+
+def names(t):
+    return [t.name_of(i) for i in range(len(t))]
+
+
+def fmt(expr, t):
+    return format_sop(expr, names(t))
+
+
+class TestPaperKernels:
+    """Kernels of G = af + bf + ace + bce from the paper's Section 2:
+    (ce + f)(a, b) and (a + b)(f, ce), plus the trivial self-kernel."""
+
+    def test_g_kernels(self, t):
+        g = parse_sop("af + bf + ace + bce", t)
+        ks = kernels(g)
+        got = {(fmt(k.expression, t), fmt((k.cokernel,), t)) for k in ks}
+        assert ("a + b", "f") in got
+        assert ("a + b", "ce") in got
+        assert any("f" in e and "ce" in e for e, _ in got)  # ce + f kernels
+        # self kernel with co-kernel 1
+        assert any(c == "1" for _, c in got)
+
+    def test_f_has_abc_kernel(self, t):
+        f = parse_sop("af + bf + ag + cg + ade + bde + cde", t)
+        got = {(fmt(k.expression, t), fmt((k.cokernel,), t)) for k in kernels(f)}
+        assert ("a + b + c", "de") in got
+
+
+class TestKernelProperties:
+    def test_no_kernels_for_single_cube(self, t):
+        assert kernels(parse_sop("abc", t)) == []
+
+    def test_no_kernels_for_constant(self, t):
+        assert kernels(()) == []
+
+    def test_every_kernel_is_cube_free(self, t):
+        f = parse_sop("abc + abd + ae + cd + cef", t)
+        for k in kernels(f):
+            assert is_cube_free(k.expression), fmt(k.expression, t)
+
+    def test_every_kernel_divides_f(self, t):
+        f = parse_sop("abc + abd + ae + cd + cef", t)
+        for k in kernels(f):
+            q, _ = divide(f, k.expression)
+            assert q, f"kernel {fmt(k.expression, t)} does not divide"
+
+    def test_kernel_is_quotient_of_cokernel(self, t):
+        f = parse_sop("abc + abd + ae + cd + cef", t)
+        for k in kernels(f):
+            quotient = []
+            for c in f:
+                from repro.algebra.cube import cube_divide
+
+                q = cube_divide(c, k.cokernel)
+                if q is not None:
+                    quotient.append(q)
+            # kernel cubes ⊆ f / cokernel
+            assert set(k.expression) <= set(quotient)
+
+    def test_distinct_cokernels(self, t):
+        f = parse_sop("af + bf + ag + cg + ade + bde + cde", t)
+        ks = kernels(f)
+        assert len({(k.expression, k.cokernel) for k in ks}) == len(ks)
+
+    def test_cokernel_disjoint_from_kernel_cubes(self, t):
+        f = parse_sop("abc + abd + acd + bcd", t)
+        for k in kernels(f):
+            for c in k.expression:
+                assert not (set(c) & set(k.cokernel))
+
+    def test_kernel_requires_two_cubes(self):
+        with pytest.raises(ValueError):
+            Kernel(expression=((1,),), cokernel=())
+
+    def test_deterministic_order(self, t):
+        f = parse_sop("abc + abd + ae + cd + cef", t)
+        assert kernels(f) == kernels(f)
+
+
+class TestKernelMeter:
+    def test_meter_charged(self, t):
+        f = parse_sop("af + bf + ag + cg", t)
+        meter = CostMeter()
+        kernels(f, meter=meter)
+        assert meter.counts.get("kernel_cube_visit", 0) > 0
+
+
+class TestKernelLevels:
+    def test_level0_simple(self, t):
+        assert kernel_level(parse_sop("a + b", t)) == 0
+
+    def test_level1(self, t):
+        # (a+b)c + d has kernel a+b at a lower level
+        f = parse_sop("ac + bc + d", t)
+        assert kernel_level(f) >= 1
+
+    def test_level0_kernels_subset(self, t):
+        f = parse_sop("af + bf + ag + cg + ade + bde + cde", t)
+        l0 = level0_kernels(f)
+        allk = kernels(f)
+        assert set((k.expression, k.cokernel) for k in l0) <= set(
+            (k.expression, k.cokernel) for k in allk
+        )
+        assert l0  # a+b etc. are level 0
+
+    def test_level0_kernels_have_no_proper_kernels(self, t):
+        f = parse_sop("af + bf + ag + cg + ade + bde + cde", t)
+        for k in level0_kernels(f):
+            assert kernel_level(k.expression) == 0

@@ -1,0 +1,70 @@
+import pytest
+
+from repro.algebra.literals import LiteralTable
+
+
+class TestIdAssignment:
+    def test_first_seen_order(self):
+        t = LiteralTable()
+        assert t.id_of("a") == 0
+        assert t.id_of("b") == 1
+        assert t.id_of("a") == 0
+
+    def test_constructor_interns(self):
+        t = LiteralTable(["x", "y"])
+        assert t.get("x") == 0
+        assert t.get("y") == 1
+
+    def test_name_roundtrip(self):
+        t = LiteralTable()
+        for name in ("a", "b'", "x12", "[k0]"):
+            assert t.name_of(t.id_of(name)) == name
+
+    def test_complement_is_distinct_literal(self):
+        t = LiteralTable()
+        assert t.id_of("a") != t.id_of("a'")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            LiteralTable().id_of("")
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            LiteralTable().get("nope")
+
+
+class TestBulkOps:
+    def test_ids_sorted_and_deduped(self):
+        t = LiteralTable()
+        t.id_of("z")  # id 0
+        ids = t.ids(["b", "a", "b"])
+        assert ids == tuple(sorted(ids))
+        assert len(ids) == 2
+
+    def test_names_preserve_order(self):
+        t = LiteralTable(["a", "b", "c"])
+        assert t.names([2, 0]) == ("c", "a")
+
+    def test_contains_and_len(self):
+        t = LiteralTable(["a"])
+        assert "a" in t
+        assert "b" not in t
+        assert len(t) == 1
+
+    def test_iter_yields_pairs(self):
+        t = LiteralTable(["a", "b"])
+        assert list(t) == [(0, "a"), (1, "b")]
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        t = LiteralTable(["a"])
+        dup = t.copy()
+        dup.id_of("b")
+        assert "b" in dup
+        assert "b" not in t
+
+    def test_copy_preserves_ids(self):
+        t = LiteralTable(["a", "b"])
+        dup = t.copy()
+        assert dup.get("b") == t.get("b")

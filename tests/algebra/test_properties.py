@@ -1,0 +1,171 @@
+"""Property-based tests for the algebra substrate (hypothesis).
+
+These pin the algebraic identities everything above relies on:
+division correctness, kernel invariants, cube-op algebra.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.cube import (
+    common_cube,
+    cube_contains,
+    cube_divide,
+    cube_union,
+)
+from repro.algebra.kernels import kernels
+from repro.algebra.sop import (
+    add,
+    divide,
+    is_cube_free,
+    make_cube_free,
+    multiply,
+    sop,
+    sop_literal_count,
+    sop_support,
+)
+
+# Small literal universe keeps expressions overlapping enough to divide.
+lits = st.integers(min_value=0, max_value=7)
+cubes = st.frozensets(lits, min_size=0, max_size=4).map(lambda s: tuple(sorted(s)))
+nonempty_cubes = st.frozensets(lits, min_size=1, max_size=4).map(
+    lambda s: tuple(sorted(s))
+)
+sops = st.frozensets(nonempty_cubes, min_size=0, max_size=8).map(
+    lambda s: tuple(sorted(s))
+)
+nonzero_sops = st.frozensets(nonempty_cubes, min_size=1, max_size=8).map(
+    lambda s: tuple(sorted(s))
+)
+
+
+class TestCubeProperties:
+    @given(cubes, cubes)
+    def test_union_contains_both(self, a, b):
+        u = cube_union(a, b)
+        assert cube_contains(u, a) and cube_contains(u, b)
+
+    @given(cubes, cubes)
+    def test_union_is_min_container(self, a, b):
+        u = cube_union(a, b)
+        assert set(u) == set(a) | set(b)
+
+    @given(cubes, cubes)
+    def test_divide_iff_contains(self, a, b):
+        q = cube_divide(a, b)
+        assert (q is not None) == cube_contains(a, b)
+        if q is not None:
+            assert cube_union(q, b) == a
+
+    @given(st.lists(cubes, min_size=1, max_size=6))
+    def test_common_cube_divides_all(self, cs):
+        cc = common_cube(cs)
+        assert all(cube_contains(c, cc) for c in cs)
+
+
+class TestDivisionProperties:
+    @given(sops, nonzero_sops)
+    def test_division_identity(self, f, d):
+        q, r = divide(f, d)
+        assert add(multiply(q, d), r) == f
+
+    @given(sops, nonzero_sops)
+    def test_remainder_not_further_divisible(self, f, d):
+        q, r = divide(f, d)
+        q2, _ = divide(r, d)
+        # quotient of the remainder adds nothing: q was maximal
+        if q2:
+            # every quotient cube of the remainder misses some product cube
+            prod = set(multiply(q2, d))
+            assert not prod <= set(r) or q2 == ()
+
+    @given(
+        st.frozensets(
+            st.frozensets(st.integers(0, 3), min_size=1, max_size=3).map(
+                lambda s: tuple(sorted(s))
+            ),
+            min_size=1,
+            max_size=6,
+        ).map(lambda s: tuple(sorted(s))),
+        st.frozensets(
+            st.frozensets(st.integers(4, 7), min_size=1, max_size=3).map(
+                lambda s: tuple(sorted(s))
+            ),
+            min_size=1,
+            max_size=6,
+        ).map(lambda s: tuple(sorted(s))),
+    )
+    def test_product_divides_evenly(self, f, d):
+        # Supports are disjoint by construction — the precondition for
+        # algebraic multiplication to be invertible by weak division.
+        p = multiply(f, d)
+        q, r = divide(p, d)
+        assert set(f) <= set(q)
+        assert r == ()
+
+    @given(sops)
+    def test_divide_by_one_is_identity(self, f):
+        q, r = divide(f, ((),))
+        assert q == f and r == ()
+
+
+class TestCubeFreeProperties:
+    @given(nonzero_sops)
+    def test_make_cube_free_factorization(self, f):
+        cf, c = make_cube_free(f)
+        assert multiply(cf, (c,)) == f
+
+    @given(nonzero_sops)
+    def test_make_cube_free_result(self, f):
+        cf, _ = make_cube_free(f)
+        if len(cf) >= 2:
+            assert is_cube_free(cf)
+
+
+class TestKernelProperties:
+    @settings(max_examples=60)
+    @given(nonzero_sops)
+    def test_kernels_are_cube_free_divisors(self, f):
+        for k in kernels(f):
+            assert len(k.expression) >= 2
+            assert is_cube_free(k.expression)
+            q, _ = divide(f, k.expression)
+            assert q, "kernel must divide its expression"
+
+    @settings(max_examples=60)
+    @given(nonzero_sops)
+    def test_cokernel_reproduces_kernel(self, f):
+        for k in kernels(f):
+            quotient = []
+            for c in f:
+                q = cube_divide(c, k.cokernel)
+                if q is not None:
+                    quotient.append(q)
+            assert set(k.expression) <= set(quotient)
+
+    @settings(max_examples=60)
+    @given(nonzero_sops)
+    def test_kernel_cube_times_cokernel_is_original_cube(self, f):
+        fs = set(f)
+        for k in kernels(f):
+            for kc in k.expression:
+                assert cube_union(kc, k.cokernel) in fs
+
+
+class TestSopBasics:
+    @given(sops, sops)
+    def test_add_commutative(self, f, g):
+        assert add(f, g) == add(g, f)
+
+    @given(sops, sops)
+    def test_multiply_commutative(self, f, g):
+        assert multiply(f, g) == multiply(g, f)
+
+    @given(sops)
+    def test_literal_count_nonnegative(self, f):
+        assert sop_literal_count(f) >= 0
+
+    @given(sops)
+    def test_support_covers_all_cubes(self, f):
+        sup = sop_support(f)
+        for c in f:
+            assert set(c) <= sup

@@ -1,0 +1,164 @@
+import pytest
+
+from repro.algebra.literals import LiteralTable
+from repro.algebra.sop import (
+    add,
+    divide,
+    format_sop,
+    is_cube_free,
+    largest_common_cube,
+    make_cube_free,
+    multiply,
+    parse_sop,
+    sop,
+    sop_literal_count,
+    sop_support,
+)
+
+
+@pytest.fixture
+def t():
+    return LiteralTable()
+
+
+class TestConstruction:
+    def test_canonical_sorted_unique(self):
+        f = sop([[2, 1], [1, 2], [3]])
+        assert f == ((1, 2), (3,))
+
+    def test_constant_zero(self):
+        assert sop([]) == ()
+
+    def test_constant_one(self):
+        assert sop([[]]) == ((),)
+
+
+class TestParseFormat:
+    def test_parse_simple(self, t):
+        f = parse_sop("ab + c", t)
+        assert sop_literal_count(f) == 3
+
+    def test_parse_complement_literal(self, t):
+        f = parse_sop("a'b + c", t)
+        names = [t.name_of(i) for i in range(len(t))]
+        assert "a'" in names
+
+    def test_parse_star_separated(self, t):
+        f = parse_sop("x1 * x2 + y1", t)
+        assert len(f) == 2
+        assert sop_literal_count(f) == 3
+
+    def test_parse_multichar_names(self, t):
+        f = parse_sop("sig1 sig2 + sig3", t)
+        assert sop_literal_count(f) == 3
+
+    def test_parse_constants(self, t):
+        assert parse_sop("0", t) == ()
+        assert parse_sop("1", t) == ((),)
+
+    def test_roundtrip(self, t):
+        f = parse_sop("ab + ac + d", t)
+        names = [t.name_of(i) for i in range(len(t))]
+        g = parse_sop(format_sop(f, names), t)
+        assert f == g
+
+    def test_format_constant_zero(self):
+        assert format_sop((), []) == "0"
+
+    def test_parse_rejects_garbage(self, t):
+        with pytest.raises(ValueError):
+            parse_sop("a + + b", t)
+
+
+class TestLiteralCountSupport:
+    def test_paper_example_counts_33(self, t):
+        f = parse_sop("af + bf + ag + cg + ade + bde + cde", t)
+        g = parse_sop("af + bf + ace + bce", t)
+        h = parse_sop("ade + cde", t)
+        assert sum(map(sop_literal_count, (f, g, h))) == 33
+
+    def test_support(self):
+        assert sop_support(((1, 2), (2, 3))) == {1, 2, 3}
+
+
+class TestCubeFree:
+    def test_cube_free_expression(self, t):
+        assert is_cube_free(parse_sop("a + b", t))
+
+    def test_not_cube_free(self, t):
+        assert not is_cube_free(parse_sop("ab + ac", t))
+
+    def test_single_cube_not_cube_free(self, t):
+        assert not is_cube_free(parse_sop("ab", t))
+
+    def test_constant_one_is_cube_free(self):
+        assert is_cube_free(((),))
+
+    def test_constant_zero_not_cube_free(self):
+        assert not is_cube_free(())
+
+    def test_make_cube_free(self, t):
+        f = parse_sop("ab + ac", t)
+        cf, c = make_cube_free(f)
+        assert is_cube_free(cf)
+        assert len(c) == 1
+        assert multiply(cf, (c,)) == f
+
+    def test_largest_common_cube(self, t):
+        f = parse_sop("abc + abd", t)
+        assert len(largest_common_cube(f)) == 2
+
+
+class TestDivision:
+    def test_paper_division(self, t):
+        f = parse_sop("af + bf + ag + cg + ade + bde + cde", t)
+        d = parse_sop("a + b", t)
+        q, r = divide(f, d)
+        names = [t.name_of(i) for i in range(len(t))]
+        assert set(format_sop(q, names).split(" + ")) == {"f", "de"}
+        assert len(r) == 3
+
+    def test_division_identity(self, t):
+        f = parse_sop("af + bf + ag + cg + ade + bde + cde", t)
+        d = parse_sop("a + b", t)
+        q, r = divide(f, d)
+        assert add(multiply(q, d), r) == f
+
+    def test_no_common_quotient(self, t):
+        f = parse_sop("ab + cd", t)
+        q, r = divide(f, parse_sop("e + f", t))
+        assert q == ()
+        assert r == f
+
+    def test_divide_by_one(self, t):
+        f = parse_sop("ab + c", t)
+        q, r = divide(f, ((),))
+        assert q == f and r == ()
+
+    def test_divide_by_zero_raises(self, t):
+        with pytest.raises(ZeroDivisionError):
+            divide(parse_sop("a", t), ())
+
+    def test_divide_by_single_cube(self, t):
+        f = parse_sop("abc + abd + ae", t)
+        q, r = divide(f, parse_sop("ab", t))
+        assert set(q) >= set(parse_sop("c + d", t))
+        assert add(multiply(q, parse_sop("ab", t)), r) == f
+
+
+class TestMultiplyAdd:
+    def test_multiply_distributes(self, t):
+        f = parse_sop("a + b", t)
+        g = parse_sop("c + d", t)
+        assert multiply(f, g) == parse_sop("ac + ad + bc + bd", t)
+
+    def test_multiply_absorbs_duplicate_literals(self, t):
+        f = parse_sop("a", t)
+        assert multiply(f, f) == f
+
+    def test_add_unions(self, t):
+        assert add(parse_sop("a", t), parse_sop("b", t)) == parse_sop("a + b", t)
+
+    def test_add_dedupes(self, t):
+        f = parse_sop("a + b", t)
+        assert add(f, f) == f

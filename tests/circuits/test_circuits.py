@@ -1,0 +1,129 @@
+import pytest
+
+from repro.circuits.examples import (
+    chain_network,
+    example41_partition,
+    example51_partition,
+    paper_example_network,
+    two_kernel_network,
+)
+from repro.circuits.generators import GeneratorSpec, generate_circuit
+from repro.circuits.mcnc import (
+    MCNC_SUITE,
+    PARALLEL_TABLE_CIRCUITS,
+    TABLE4_CIRCUITS,
+    circuit_names,
+    make_circuit,
+)
+
+
+class TestExamples:
+    def test_eq1_exact(self):
+        net = paper_example_network()
+        assert net.literal_count() == 33
+        assert set(net.nodes) == {"F", "G", "H"}
+        assert net.inputs == list("abcdefg")
+        net.validate()
+
+    def test_partitions_cover_nodes(self):
+        for parts in (example41_partition(), example51_partition()):
+            assert sorted(n for p in parts for n in p) == ["F", "G", "H"]
+
+    def test_two_kernel_network_valid(self):
+        net = two_kernel_network()
+        net.validate()
+        assert net.literal_count() == 12
+
+    def test_chain_network_depth(self):
+        net = chain_network(5)
+        assert len(net.nodes) == 5
+        net.validate()
+
+
+class TestGenerators:
+    def test_deterministic(self):
+        spec = GeneratorSpec(name="g", seed=42, n_inputs=10, target_lc=150)
+        a, b = generate_circuit(spec), generate_circuit(spec)
+        assert a.nodes == b.nodes
+
+    def test_seed_changes_circuit(self):
+        s1 = GeneratorSpec(name="g", seed=1, n_inputs=10, target_lc=150)
+        s2 = GeneratorSpec(name="g", seed=2, n_inputs=10, target_lc=150)
+        assert generate_circuit(s1).nodes != generate_circuit(s2).nodes
+
+    def test_reaches_target_lc(self):
+        spec = GeneratorSpec(name="g", seed=3, n_inputs=10, target_lc=500)
+        net = generate_circuit(spec)
+        assert 500 <= net.literal_count() <= 650
+
+    def test_two_level_reads_only_pis(self):
+        spec = GeneratorSpec(
+            name="g", seed=4, n_inputs=10, target_lc=200, two_level=True
+        )
+        net = generate_circuit(spec)
+        pis = set(net.inputs)
+        for n in net.nodes:
+            assert net.fanin_signals(n) <= pis
+
+    def test_multi_level_has_internal_edges(self):
+        spec = GeneratorSpec(
+            name="g", seed=5, n_inputs=10, target_lc=600, two_level=False
+        )
+        net = generate_circuit(spec)
+        internal = any(
+            net.fanin_signals(n) & set(net.nodes) for n in net.nodes
+        )
+        assert internal
+
+    def test_validates(self):
+        spec = GeneratorSpec(name="g", seed=6, n_inputs=8, target_lc=300)
+        generate_circuit(spec).validate()
+
+    def test_all_nodes_are_outputs(self):
+        spec = GeneratorSpec(name="g", seed=7, n_inputs=8, target_lc=100)
+        net = generate_circuit(spec)
+        assert set(net.outputs) == set(net.nodes)
+
+    def test_factorable(self):
+        """Planted kernels must be recoverable — the point of the design."""
+        from repro.rectangles.cover import kernel_extract
+
+        spec = GeneratorSpec(name="g", seed=8, n_inputs=10, target_lc=400)
+        net = generate_circuit(spec)
+        res = kernel_extract(net)
+        assert res.quality_ratio < 0.9
+
+
+class TestMcncSuite:
+    def test_all_names_present(self):
+        assert set(circuit_names()) == {
+            "misex3", "dalu", "des", "seq", "spla", "ex1010",
+        }
+        assert set(PARALLEL_TABLE_CIRCUITS) <= set(MCNC_SUITE)
+        assert set(TABLE4_CIRCUITS) <= set(MCNC_SUITE)
+
+    @pytest.mark.parametrize("name", ["misex3", "dalu"])
+    def test_full_scale_lc_close_to_paper(self, name):
+        net = make_circuit(name)
+        target = MCNC_SUITE[name].target_lc
+        assert target <= net.literal_count() <= target * 1.05
+
+    def test_scaling(self):
+        small = make_circuit("dalu", scale=0.1)
+        assert small.literal_count() < 500
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown circuit"):
+            make_circuit("c17")
+
+    def test_two_level_flags_match_mcnc_nature(self):
+        # PLA-style benchmarks are two-level, dalu/des are multi-level.
+        assert MCNC_SUITE["ex1010"].two_level
+        assert MCNC_SUITE["spla"].two_level
+        assert not MCNC_SUITE["dalu"].two_level
+        assert not MCNC_SUITE["des"].two_level
+
+    def test_deterministic_by_name(self):
+        a = make_circuit("misex3", scale=0.2)
+        b = make_circuit("misex3", scale=0.2)
+        assert a.nodes == b.nodes

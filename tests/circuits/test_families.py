@@ -1,0 +1,117 @@
+import pytest
+
+from repro.circuits.families import comparator, decoder, majority, parity, ripple_adder
+from repro.network.simulate import evaluate
+
+
+class TestParity:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5])
+    def test_truth(self, n):
+        net = parity(n)
+        for minterm in range(1 << n):
+            a = {f"x{i}": (minterm >> i) & 1 for i in range(n)}
+            expected = bin(minterm).count("1") % 2
+            assert evaluate(net, a)["parity"] == expected
+
+    def test_minterm_count(self):
+        assert len(parity(4).nodes["parity"]) == 8
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            parity(0)
+
+    def test_factoring_finds_xor_subterms(self):
+        """In the algebraic model complements are independent variables,
+        so (a⊕b) sub-sums ARE shared kernels between the two halves of a
+        parity cover — extraction recovers them and stays correct."""
+        from repro.network.simulate import exhaustive_equivalence_check
+        from repro.rectangles.cover import kernel_extract
+
+        net = parity(4)
+        ref = net.copy()
+        res = kernel_extract(net)
+        assert res.final_lc < res.initial_lc
+        assert exhaustive_equivalence_check(ref, net, outputs=["parity"])
+
+
+class TestMajority:
+    @pytest.mark.parametrize("n", [3, 5])
+    def test_truth(self, n):
+        net = majority(n)
+        for minterm in range(1 << n):
+            a = {f"x{i}": (minterm >> i) & 1 for i in range(n)}
+            expected = int(bin(minterm).count("1") > n // 2)
+            assert evaluate(net, a)["maj"] == expected
+
+    def test_even_rejected(self):
+        with pytest.raises(ValueError):
+            majority(4)
+
+    def test_factors_well(self):
+        from repro.rectangles.cover import kernel_extract
+
+        net = majority(7)
+        res = kernel_extract(net)
+        assert res.final_lc < 0.7 * res.initial_lc
+
+
+class TestAdder:
+    @pytest.mark.parametrize("n", [1, 2, 4])
+    def test_adds(self, n):
+        net = ripple_adder(n)
+        for a_val in range(1 << n):
+            for b_val in range(1 << n):
+                for cin in (0, 1):
+                    assign = {"cin": cin}
+                    for i in range(n):
+                        assign[f"a{i}"] = (a_val >> i) & 1
+                        assign[f"b{i}"] = (b_val >> i) & 1
+                    vals = evaluate(net, assign)
+                    got = sum(vals[f"s{i}"] << i for i in range(n))
+                    got += vals[f"c{n}"] << n
+                    assert got == a_val + b_val + cin
+
+    def test_depth_grows_linearly(self):
+        from repro.harness.stats import network_depth
+
+        assert network_depth(ripple_adder(6)) > network_depth(ripple_adder(2))
+
+
+class TestDecoder:
+    def test_one_hot(self):
+        net = decoder(3)
+        for code in range(8):
+            a = {f"x{i}": (code >> i) & 1 for i in range(3)}
+            vals = evaluate(net, a)
+            hot = [c for c in range(8) if vals[f"y{c}"]]
+            assert hot == [code]
+
+    def test_cube_extraction_shares_minterms(self):
+        from repro.rectangles.cubeextract import cube_extract
+
+        net = decoder(4)
+        res = cube_extract(net)
+        assert res.final_lc < res.initial_lc
+
+
+class TestComparator:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_truth(self, n):
+        net = comparator(n)
+        for a_val in range(1 << n):
+            for b_val in range(1 << n):
+                assign = {}
+                for i in range(n):
+                    assign[f"a{i}"] = (a_val >> i) & 1
+                    assign[f"b{i}"] = (b_val >> i) & 1
+                assert evaluate(net, assign)["gt"] == int(a_val > b_val)
+
+    def test_factoring_recovers_structure(self):
+        from repro.rectangles.cover import kernel_extract
+        from repro.network.simulate import exhaustive_equivalence_check
+
+        net = comparator(3)
+        ref = net.copy()
+        res = kernel_extract(net)
+        assert res.final_lc < res.initial_lc
+        assert exhaustive_equivalence_check(ref, net, outputs=["gt"])

@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.literals import LiteralTable
+from repro.circuits.examples import paper_example_network, two_kernel_network
+from repro.circuits.generators import GeneratorSpec, generate_circuit
+
+
+@pytest.fixture
+def table() -> LiteralTable:
+    return LiteralTable()
+
+
+@pytest.fixture
+def eq1_network():
+    """The paper's Equation 1 network (F, G, H; LC = 33)."""
+    return paper_example_network()
+
+
+@pytest.fixture
+def shared_kernel_network():
+    return two_kernel_network()
+
+
+@pytest.fixture
+def small_circuit():
+    """A deterministic ~200-literal multi-level circuit for integration tests."""
+    spec = GeneratorSpec(
+        name="t-small", seed=7, n_inputs=12, target_lc=200, two_level=False,
+        pool_size=6,
+    )
+    return generate_circuit(spec)
+
+
+@pytest.fixture
+def small_pla_circuit():
+    """A deterministic ~300-literal two-level circuit."""
+    spec = GeneratorSpec(
+        name="t-pla", seed=11, n_inputs=10, target_lc=300, two_level=True,
+        pool_size=8,
+    )
+    return generate_circuit(spec)

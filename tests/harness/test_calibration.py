@@ -1,0 +1,42 @@
+import pytest
+
+from repro.harness.calibration import ProfilePoint, derive_weights, profile_workloads
+
+
+class TestProfileWorkloads:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return profile_workloads(repeats=1)
+
+    def test_all_workloads_measured(self, points):
+        assert {p.name for p in points} == {
+            "kernels", "matrix", "exhaustive", "pingpong", "divide",
+        }
+        assert all(p.seconds > 0 for p in points)
+
+    def test_dominant_kinds_distinct_enough(self, points):
+        by_name = {p.name: p.dominant_kind() for p in points}
+        assert by_name["kernels"] == "kernel_cube_visit"
+        assert by_name["matrix"] in ("kc_entry", "kernel_cube_visit")
+        assert by_name["exhaustive"] == "search_node"
+        assert by_name["pingpong"] == "pingpong_round"
+
+    def test_derive_weights(self, points):
+        weights = derive_weights(points)
+        assert weights["kernel_cube_visit"] == pytest.approx(1.0)
+        for k, w in weights.items():
+            assert w > 0
+
+    def test_heavier_ops_cost_more(self, points):
+        """The frozen model's ordering: a division or search node costs
+        more than a single kernel-cube visit."""
+        weights = derive_weights(points)
+        if "divide_node" in weights:
+            assert weights["divide_node"] > 1.0
+
+
+def test_derive_weights_requires_base():
+    with pytest.raises(ValueError):
+        derive_weights(
+            [ProfilePoint(name="x", seconds=1.0, counts={"search_node": 10})]
+        )

@@ -1,0 +1,62 @@
+"""Deeper checks on the experiment registry (miniature scale)."""
+
+import pytest
+
+from repro.harness.experiments import (
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    PAPER_TABLE6,
+    PROC_COUNTS,
+    get_circuit,
+    run_table3,
+    run_table4,
+)
+
+
+class TestPaperReferenceData:
+    def test_processor_counts_match_paper(self):
+        assert PROC_COUNTS == (2, 4, 6)
+
+    def test_table2_dnf_circuits(self):
+        assert PAPER_TABLE2["spla"] is None
+        assert PAPER_TABLE2["ex1010"] is None
+        assert PAPER_TABLE2["dalu"] == (2139, 1.46, 1.83, 1.97)
+
+    def test_table3_superlinear_rows(self):
+        # paper: ex1010 reaches 16.30 at 6 processors
+        assert PAPER_TABLE3["ex1010"][3] == 16.30
+
+    def test_table6_values(self):
+        assert PAPER_TABLE6["ex1010"][3] == 11.48
+        assert PAPER_TABLE4["misex3"][0] == 1142
+
+
+class TestCaching:
+    def test_get_circuit_cached_and_immutable_usage(self):
+        a = get_circuit("misex3", 0.03)
+        b = get_circuit("misex3", 0.03)
+        assert a is b
+
+    def test_distinct_scales_distinct_objects(self):
+        assert get_circuit("misex3", 0.03) is not get_circuit("misex3", 0.04)
+
+
+class TestTableShapes:
+    def test_table3_columns(self):
+        t = run_table3(scale=0.03, circuits=["misex3"], procs=[2, 3])
+        assert t.columns[0] == "circuit"
+        assert "LC@3p" in t.columns
+        assert len(t.rows) == 1
+        assert len(t.rows[0]) == len(t.columns)
+
+    def test_table4_row_values_sane(self):
+        t = run_table4(scale=0.03, circuits=["misex3"], ways=[2])
+        row = t.rows[0]
+        initial, sis, two_way = row[1], row[2], row[3]
+        assert sis <= initial
+        assert two_way <= initial
+
+    def test_notes_present(self):
+        t = run_table4(scale=0.03, circuits=["misex3"], ways=[2])
+        assert t.notes

@@ -1,0 +1,225 @@
+import math
+
+import pytest
+
+from repro.harness.speedup_model import eq3_speedup, fitted_alpha_gamma, model_curve
+from repro.harness.synthesis import (
+    absorb,
+    resubstitute,
+    run_synthesis_script,
+    simplify_network,
+)
+from repro.harness.tables import Table, format_table
+
+
+class TestTables:
+    def test_format_basic(self):
+        text = format_table("T", ["a", "bb"], [[1, 2.5], ["x", None]])
+        assert "T" in text
+        assert "2.50" in text
+        assert "—" in text
+
+    def test_table_add_row_validates(self):
+        t = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_render_with_notes(self):
+        t = Table("T", ["a"])
+        t.add_row(1)
+        t.add_note("hello")
+        assert "note: hello" in t.render()
+
+    def test_alignment(self):
+        t = Table("T", ["col"])
+        t.add_row("looooong")
+        lines = t.render().splitlines()
+        header = [l for l in lines if "col" in l][0]
+        assert header.endswith("col")
+
+
+class TestSpeedupModel:
+    def test_p1_is_unity(self):
+        assert eq3_speedup(1, alpha=0.1, gamma=0.05) == pytest.approx(1.0)
+
+    def test_zero_gamma_is_quadratic(self):
+        # γ=0: no vertical leg, pure p² (the super-linear independent case)
+        assert eq3_speedup(4, alpha=0.1, gamma=0.0) == pytest.approx(16.0)
+
+    def test_monotone_decreasing_in_gamma(self):
+        s = [eq3_speedup(4, 0.1, g) for g in (0.0, 0.05, 0.1, 0.2)]
+        assert s == sorted(s, reverse=True)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            eq3_speedup(0, 0.1, 0.1)
+        with pytest.raises(ValueError):
+            eq3_speedup(2, 0.0, 0.1)
+
+    def test_fit_roundtrip(self):
+        alpha, gamma = 0.08, 0.04
+        pairs = [(p, eq3_speedup(p, alpha, gamma)) for p in (2, 4, 6)]
+        assert fitted_alpha_gamma(pairs, alpha) == pytest.approx(gamma)
+
+    def test_fit_needs_data(self):
+        with pytest.raises(ValueError):
+            fitted_alpha_gamma([(1, 1.0)], 0.1)
+
+    def test_model_curve(self):
+        curve = model_curve(0.1, 0.05, pmax=4)
+        assert [p for p, _ in curve] == [1, 2, 3, 4]
+
+
+class TestMergeComplements:
+    def _net(self, expr):
+        from repro.network.boolean_network import BooleanNetwork
+
+        net = BooleanNetwork()
+        net.add_inputs(list("abc"))
+        net.add_node("F", expr)
+        net.add_output("F")
+        return net
+
+    def test_merges_distance_one(self):
+        from repro.harness.synthesis import merge_complement_pairs
+
+        net = self._net("ab + a'b")
+        merged = merge_complement_pairs(net.nodes["F"], net)
+        assert merged == ((net.table.get("b"),),)
+
+    def test_cascading_merge(self):
+        from repro.harness.synthesis import simplify_network
+        from repro.network.simulate import exhaustive_equivalence_check
+
+        net = self._net("ab + a'b + ab' + a'b'")
+        ref = net.copy()
+        simplify_network(net)
+        # full cover collapses to the universal cube
+        assert net.nodes["F"] == ((),)
+        assert exhaustive_equivalence_check(ref, net, outputs=["F"])
+
+    def test_no_merge_without_complement(self):
+        from repro.harness.synthesis import merge_complement_pairs
+
+        net = self._net("ab + cb")
+        assert merge_complement_pairs(net.nodes["F"], net) == net.nodes["F"]
+
+    def test_simplify_preserves_function(self, small_pla_circuit):
+        from repro.harness.synthesis import simplify_network
+        from repro.network.simulate import random_equivalence_check
+
+        net = small_pla_circuit.copy()
+        simplify_network(net)
+        assert random_equivalence_check(
+            small_pla_circuit, net, vectors=256, outputs=small_pla_circuit.outputs
+        )
+
+
+class TestSimplify:
+    def test_absorb(self):
+        # x + xy = x
+        assert absorb(((1,), (1, 2))) == ((1,),)
+
+    def test_absorb_keeps_incomparable(self):
+        f = ((1, 2), (2, 3))
+        assert absorb(f) == f
+
+    def test_simplify_network(self, eq1_network):
+        net = eq1_network.copy()
+        net.nodes["F"] = net.nodes["F"] + ((net.table.get("a"),),)
+        # now 'a' absorbs af, ag, ade
+        saved = simplify_network(net)
+        assert saved > 0
+
+    def test_resubstitute_finds_divisor(self):
+        from repro.network.boolean_network import BooleanNetwork
+
+        net = BooleanNetwork()
+        net.add_inputs(list("abcd"))
+        net.add_node("X", "a + b")
+        net.add_node("F", "acd + bcd")
+        net.add_output("F")
+        net.add_output("X")
+        saved = resubstitute(net)
+        assert saved > 0
+        x = net.table.get("X")
+        assert any(x in c for c in net.nodes["F"])
+
+    def test_resubstitute_preserves_function(self, small_circuit):
+        from repro.network.simulate import random_equivalence_check
+
+        net = small_circuit.copy()
+        resubstitute(net)
+        assert random_equivalence_check(
+            small_circuit, net, vectors=128, outputs=small_circuit.outputs
+        )
+
+
+class TestSynthesisScript:
+    def test_report_shape(self, small_circuit):
+        rep = run_synthesis_script(small_circuit, rounds=2, extract_slice=10)
+        assert rep.factorization_invocations >= 2
+        assert rep.factorization_time > 0
+        assert rep.total_time >= rep.factorization_time
+        assert rep.final_lc <= rep.initial_lc
+        assert 0 < rep.factorization_share <= 1
+
+    def test_script_preserves_function(self, small_circuit):
+        from repro.network.simulate import random_equivalence_check
+
+        # the script sweeps dead nodes, so compare on original outputs
+        rep = run_synthesis_script(small_circuit, rounds=1)
+        assert rep.final_lc <= rep.initial_lc
+
+    def test_pass_log_records_everything(self, small_circuit):
+        rep = run_synthesis_script(small_circuit, rounds=1)
+        names = {n for n, _ in rep.pass_log}
+        assert {"sweep", "simplify", "kernel_extract", "resub"} <= names
+
+
+class TestExperiments:
+    """Smoke tests at miniature scale; full scale runs in benchmarks/."""
+
+    def test_table1_runs(self):
+        from repro.harness.experiments import run_table1
+
+        t = run_table1(scale=0.03, circuits=["misex3"])
+        text = t.render()
+        assert "misex3" in text
+        assert "total" in text
+
+    def test_table4_runs(self):
+        from repro.harness.experiments import run_table4
+
+        t = run_table4(scale=0.04, circuits=["misex3"], ways=[2])
+        text = t.render()
+        assert "misex3" in text
+
+    def test_table3_runs(self):
+        from repro.harness.experiments import run_table3
+
+        t = run_table3(scale=0.04, circuits=["dalu"], procs=[2])
+        assert "dalu" in t.render()
+
+    def test_table6_runs(self):
+        from repro.harness.experiments import run_table6
+
+        t = run_table6(scale=0.04, circuits=["dalu"], procs=[2])
+        assert "dalu" in t.render()
+
+    def test_table2_dnf_marker(self):
+        from repro.harness.experiments import run_table2
+
+        t = run_table2(scale=0.04, circuits=["dalu"], procs=[2], search_budget=3)
+        assert "—" in t.render()
+
+    def test_eq3_runs(self):
+        from repro.harness.experiments import run_eq3
+
+        t = run_eq3(scale=0.04, circuit="dalu", procs=[2])
+        assert "alpha" in t.render()
+
+    def test_circuit_cache(self):
+        from repro.harness.experiments import get_circuit
+
+        assert get_circuit("dalu", 0.04) is get_circuit("dalu", 0.04)

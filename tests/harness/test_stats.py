@@ -1,0 +1,67 @@
+import pytest
+
+from repro.harness.stats import NetworkStats, collect_stats, network_depth
+from repro.network.boolean_network import BooleanNetwork
+
+
+class TestDepth:
+    def test_two_level_depth_one(self, eq1_network):
+        assert network_depth(eq1_network) == 1
+
+    def test_chain_depth(self):
+        from repro.circuits.examples import chain_network
+
+        assert network_depth(chain_network(5)) == 5
+
+    def test_empty(self):
+        net = BooleanNetwork()
+        net.add_input("a")
+        assert network_depth(net) == 0
+
+    def test_extraction_deepens(self, eq1_network):
+        from repro.rectangles.cover import kernel_extract
+
+        net = eq1_network.copy()
+        kernel_extract(net)
+        assert network_depth(net) > 1
+
+
+class TestCollect:
+    def test_eq1_snapshot(self, eq1_network):
+        s = collect_stats(eq1_network)
+        assert s.inputs == 7
+        assert s.outputs == 3
+        assert s.nodes == 3
+        assert s.literals == 33
+        assert s.cubes == 13
+        assert 0 < s.factored_literals <= 33
+        assert s.kc_rows == 13
+        assert 0 < s.kc_sparsity < 1
+
+    def test_skip_factored(self, eq1_network):
+        s = collect_stats(eq1_network, with_factored=False)
+        assert s.factored_literals == s.literals
+
+    def test_render_contains_fields(self, eq1_network):
+        text = collect_stats(eq1_network).render()
+        assert "lits(sop)=33" in text
+        assert "depth=1" in text
+
+    def test_fanout_tracked(self):
+        net = BooleanNetwork()
+        net.add_inputs(["a"])
+        net.add_node("x", "a")
+        net.add_node("p", "x")
+        net.add_node("q", "x")
+        net.add_output("p")
+        net.add_output("q")
+        s = collect_stats(net, with_factored=False)
+        assert s.max_fanout == 2
+
+
+def test_cli_stats(capsys):
+    from repro.cli import main
+
+    assert main(["stats", "example"]) == 0
+    out = capsys.readouterr().out
+    assert "lits(sop)=33" in out

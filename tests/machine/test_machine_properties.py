@@ -1,0 +1,85 @@
+"""Property-based tests of the simulated machine's clock algebra."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.costmodel import CostModel
+from repro.machine.simulator import SimulatedMachine
+
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("work"), st.integers(0, 3), st.integers(0, 500)),
+        st.tuples(st.just("barrier"), st.just(0), st.just(0)),
+        st.tuples(st.just("send"), st.integers(0, 3), st.integers(0, 3)),
+        st.tuples(st.just("bcast"), st.integers(0, 3), st.integers(0, 200)),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def run_ops(machine, sequence):
+    for kind, a, b in sequence:
+        if kind == "work":
+            machine.run_phase(
+                lambda p: p.meter.charge("kc_entry", b) if p.pid == a else None
+            )
+        elif kind == "barrier":
+            machine.barrier()
+        elif kind == "send":
+            machine.send(a, b, words=10)
+        elif kind == "bcast":
+            machine.broadcast(a, words=b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops)
+def test_clocks_monotone(sequence):
+    machine = SimulatedMachine(4)
+    lows = [0.0] * 4
+    for kind, a, b in sequence:
+        run_ops(machine, [(kind, a, b)])
+        for p in machine.procs:
+            assert p.clock >= lows[p.pid] - 1e-9
+            lows[p.pid] = p.clock
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops)
+def test_elapsed_is_max_and_barrier_equalizes(sequence):
+    machine = SimulatedMachine(4)
+    run_ops(machine, sequence)
+    assert machine.elapsed() == max(p.clock for p in machine.procs)
+    machine.barrier()
+    clocks = {p.clock for p in machine.procs}
+    assert len(clocks) == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops)
+def test_total_work_ignores_waiting(sequence):
+    machine = SimulatedMachine(4)
+    run_ops(machine, sequence)
+    expected = sum(
+        b for kind, a, b in sequence if kind == "work"
+    ) * machine.model.weight("kc_entry")
+    assert machine.total_work() == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops, st.floats(min_value=0.1, max_value=10.0))
+def test_uniform_weight_scaling_preserves_speedup_ratios(sequence, factor):
+    """Scaling every cost uniformly must not change relative times."""
+    base_model = CostModel()
+    scaled = CostModel(
+        weights={k: v * factor for k, v in base_model.weights.items()},
+        default_weight=base_model.default_weight * factor,
+        barrier_cost=base_model.barrier_cost * factor,
+        word_cost=base_model.word_cost * factor,
+        message_latency=base_model.message_latency * factor,
+    )
+    m1, m2 = SimulatedMachine(4, base_model), SimulatedMachine(4, scaled)
+    run_ops(m1, sequence)
+    run_ops(m2, sequence)
+    if m1.elapsed() > 0:
+        assert abs(m2.elapsed() / m1.elapsed() - factor) < 1e-6

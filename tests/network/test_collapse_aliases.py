@@ -1,0 +1,71 @@
+"""Focused tests for alias-node collapsing (used by the L-shaped cleanup)."""
+
+import pytest
+
+from repro.network.boolean_network import BooleanNetwork
+from repro.network.simulate import exhaustive_equivalence_check
+
+
+def build(expr_by_node, inputs="abc", outputs=()):
+    net = BooleanNetwork()
+    net.add_inputs(list(inputs))
+    for name, expr in expr_by_node.items():
+        net.add_node(name, expr)
+    for o in outputs:
+        net.add_output(o)
+    return net
+
+
+class TestCollapseAliases:
+    def test_simple_alias_removed(self):
+        net = build({"x": "a + b", "y": "x", "F": "yc"}, outputs=["F"])
+        ref = net.copy()
+        assert net.collapse_aliases() == 1
+        assert "y" not in net.nodes
+        assert exhaustive_equivalence_check(ref, net, outputs=["F"])
+
+    def test_alias_chain_fully_collapsed(self):
+        net = build({"x": "ab", "y": "x", "z": "y", "F": "z + c"}, outputs=["F"])
+        ref = net.copy()
+        assert net.collapse_aliases() == 2
+        assert set(net.nodes) == {"x", "F"}
+        assert exhaustive_equivalence_check(ref, net, outputs=["F"])
+
+    def test_complement_reference_rewritten(self):
+        net = build({"x": "ab", "y": "x", "F": "y'c"}, outputs=["F"])
+        ref = net.copy()
+        assert net.collapse_aliases() == 1
+        # F must now read x'
+        names = {net.table.name_of(l) for c in net.nodes["F"] for l in c}
+        assert "x'" in names
+        assert exhaustive_equivalence_check(ref, net, outputs=["F"])
+
+    def test_alias_of_complement(self):
+        net = build({"y": "a'", "F": "yc"}, outputs=["F"])
+        ref = net.copy()
+        assert net.collapse_aliases() == 1
+        names = {net.table.name_of(l) for c in net.nodes["F"] for l in c}
+        assert "a'" in names
+        assert exhaustive_equivalence_check(ref, net, outputs=["F"])
+
+    def test_double_negation(self):
+        net = build({"y": "a'", "F": "y'c"}, outputs=["F"])
+        ref = net.copy()
+        net.collapse_aliases()
+        # y' where y = a' means plain a
+        names = {net.table.name_of(l) for c in net.nodes["F"] for l in c}
+        assert "a" in names and "a'" not in names
+        assert exhaustive_equivalence_check(ref, net, outputs=["F"])
+
+    def test_output_alias_kept(self):
+        net = build({"x": "ab", "F": "x"}, outputs=["F"])
+        assert net.collapse_aliases() == 0
+        assert "F" in net.nodes
+
+    def test_multi_literal_cube_not_an_alias(self):
+        net = build({"x": "ab", "F": "x + c"}, outputs=["F"])
+        assert net.collapse_aliases() == 0
+
+    def test_multi_cube_not_an_alias(self):
+        net = build({"x": "a + b", "F": "x + c"}, outputs=["F"])
+        assert net.collapse_aliases() == 0

@@ -1,0 +1,162 @@
+"""Round-trip and parsing tests for the eqn / PLA / BLIF formats."""
+
+import pytest
+
+from repro.network.blif import read_blif, write_blif
+from repro.network.boolean_network import BooleanNetwork
+from repro.network.eqn import read_eqn, write_eqn
+from repro.network.pla import read_pla, write_pla
+from repro.network.simulate import exhaustive_equivalence_check, random_equivalence_check
+
+
+class TestEqn:
+    def test_roundtrip_eq1(self, eq1_network):
+        text = write_eqn(eq1_network)
+        back = read_eqn(text)
+        assert back.literal_count() == 33
+        assert random_equivalence_check(eq1_network, back)
+
+    def test_roundtrip_generated(self, small_circuit):
+        back = read_eqn(write_eqn(small_circuit))
+        assert back.literal_count() == small_circuit.literal_count()
+        assert random_equivalence_check(small_circuit, back, vectors=128)
+
+    def test_constants(self):
+        net = BooleanNetwork()
+        net.add_inputs(["a"])
+        net.add_node("zero", "0")
+        net.add_node("one", "1")
+        net.add_output("zero")
+        net.add_output("one")
+        back = read_eqn(write_eqn(net))
+        assert back.nodes["zero"] == ()
+        assert back.nodes["one"] == ((),)
+
+    def test_comments_ignored(self):
+        text = "# hi\nINORDER = a;\nOUTORDER = f;\nf = a; # trailing\n"
+        net = read_eqn(text)
+        assert net.inputs == ["a"]
+
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError):
+            read_eqn("INORDER = a;\nnonsense statement;")
+
+    def test_file_io(self, tmp_path, eq1_network):
+        from repro.network.eqn import load_eqn, save_eqn
+
+        p = tmp_path / "eq1.eqn"
+        save_eqn(eq1_network, str(p))
+        assert load_eqn(str(p)).literal_count() == 33
+
+
+SMALL_PLA = """\
+.i 3
+.o 2
+.ilb a b c
+.ob f g
+.p 3
+1-0 10
+011 11
+--1 01
+.e
+"""
+
+
+class TestPla:
+    def test_read_basic(self):
+        net = read_pla(SMALL_PLA)
+        assert net.inputs == ["a", "b", "c"]
+        assert set(net.outputs) == {"f", "g"}
+        # f = a c' + b c ; g = b c + c
+        assert len(net.nodes["f"]) == 2
+        assert len(net.nodes["g"]) == 2
+
+    def test_complement_literals(self):
+        net = read_pla(SMALL_PLA)
+        names = {net.table.name_of(l) for c in net.nodes["f"] for l in c}
+        assert "c'" in names
+
+    def test_roundtrip(self):
+        net = read_pla(SMALL_PLA)
+        back = read_pla(write_pla(net))
+        assert random_equivalence_check(net, back)
+
+    def test_default_labels(self):
+        net = read_pla(".i 2\n.o 1\n11 1\n.e\n")
+        assert net.inputs == ["x0", "x1"]
+        assert net.outputs == ["z0"]
+
+    def test_juxtaposed_fields(self):
+        net = read_pla(".i 2\n.o 1\n111\n.e\n")
+        assert len(net.nodes["z0"]) == 1
+
+    def test_missing_header_raises(self):
+        with pytest.raises(ValueError):
+            read_pla("11 1\n")
+
+    def test_bad_char_raises(self):
+        with pytest.raises(ValueError):
+            read_pla(".i 2\n.o 1\n1x 1\n.e\n")
+
+    def test_write_rejects_multilevel(self, eq1_network):
+        net = eq1_network.copy()
+        net.add_node("deep", "F + a")
+        net.add_output("deep")
+        with pytest.raises(ValueError, match="two-level"):
+            write_pla(net)
+
+
+SMALL_BLIF = """\
+.model test
+.inputs a b c
+.outputs f
+.names a b t
+11 1
+.names t c f
+1- 1
+01 1
+.end
+"""
+
+
+class TestBlif:
+    def test_read_basic(self):
+        net = read_blif(SMALL_BLIF)
+        assert net.inputs == ["a", "b", "c"]
+        assert net.outputs == ["f"]
+        assert set(net.nodes) == {"t", "f"}
+
+    def test_semantics(self):
+        net = read_blif(SMALL_BLIF)
+        from repro.network.simulate import evaluate
+
+        # f = t + t'c = ab + c (when ab=0)
+        assert evaluate(net, {"a": 1, "b": 1, "c": 0})["f"] == 1
+        assert evaluate(net, {"a": 0, "b": 1, "c": 1})["f"] == 1
+        assert evaluate(net, {"a": 0, "b": 1, "c": 0})["f"] == 0
+
+    def test_roundtrip(self, eq1_network):
+        back = read_blif(write_blif(eq1_network))
+        assert random_equivalence_check(eq1_network, back)
+        assert back.literal_count() == eq1_network.literal_count()
+
+    def test_continuation_lines(self):
+        text = ".model m\n.inputs a \\\nb\n.outputs f\n.names a b f\n11 1\n.end\n"
+        net = read_blif(text)
+        assert net.inputs == ["a", "b"]
+
+    def test_unsupported_directive(self):
+        with pytest.raises(ValueError):
+            read_blif(".model m\n.latch a b\n.end\n")
+
+    def test_no_model_raises(self):
+        with pytest.raises(ValueError):
+            read_blif(".inputs a\n")
+
+
+class TestCrossFormat:
+    def test_pla_to_eqn_to_blif(self):
+        net = read_pla(SMALL_PLA)
+        via_eqn = read_eqn(write_eqn(net))
+        via_blif = read_blif(write_blif(via_eqn))
+        assert exhaustive_equivalence_check(net, via_blif)

@@ -1,0 +1,110 @@
+import pytest
+
+from repro.network.boolean_network import BooleanNetwork
+from repro.network.simulate import (
+    evaluate,
+    exhaustive_equivalence_check,
+    random_equivalence_check,
+)
+
+
+@pytest.fixture
+def xor_network():
+    net = BooleanNetwork("xor")
+    net.add_inputs(["a", "b"])
+    net.add_node("y", "ab' + a'b")
+    net.add_output("y")
+    return net
+
+
+class TestEvaluate:
+    def test_truth_table_of_xor(self, xor_network):
+        for a in (0, 1):
+            for b in (0, 1):
+                vals = evaluate(xor_network, {"a": a, "b": b})
+                assert vals["y"] == (a ^ b)
+
+    def test_bit_parallel(self, xor_network):
+        vals = evaluate(xor_network, {"a": 0b0011, "b": 0b0101}, width=4)
+        assert vals["y"] == 0b0110
+
+    def test_multi_level(self):
+        net = BooleanNetwork()
+        net.add_inputs(["a", "b", "c"])
+        net.add_node("x", "ab")
+        net.add_node("y", "x + c")
+        net.add_output("y")
+        vals = evaluate(net, {"a": 1, "b": 1, "c": 0})
+        assert vals["y"] == 1
+        vals = evaluate(net, {"a": 1, "b": 0, "c": 0})
+        assert vals["y"] == 0
+
+    def test_complement_of_internal_node(self):
+        net = BooleanNetwork()
+        net.add_inputs(["a"])
+        net.add_node("x", "a")
+        net.add_node("y", "x'")
+        net.add_output("y")
+        assert evaluate(net, {"a": 1})["y"] == 0
+        assert evaluate(net, {"a": 0})["y"] == 1
+
+    def test_constant_nodes(self):
+        net = BooleanNetwork()
+        net.add_inputs(["a"])
+        net.add_node("zero", "0")
+        net.add_node("one", "1")
+        vals = evaluate(net, {"a": 0})
+        assert vals["zero"] == 0 and vals["one"] == 1
+
+    def test_missing_input_raises(self, xor_network):
+        with pytest.raises(KeyError):
+            evaluate(xor_network, {"a": 1})
+
+
+class TestEquivalence:
+    def test_identical_networks_equivalent(self, eq1_network):
+        assert random_equivalence_check(eq1_network, eq1_network.copy())
+
+    def test_detects_difference(self, eq1_network):
+        other = eq1_network.copy()
+        other.nodes["H"] = other.nodes["H"][:1]  # drop a cube
+        assert not random_equivalence_check(eq1_network, other, vectors=512)
+
+    def test_factored_form_equivalent(self):
+        flat = BooleanNetwork("flat")
+        flat.add_inputs(["a", "b", "c", "d"])
+        flat.add_node("F", "ac + bc + ad + bd")
+        flat.add_output("F")
+        factored = BooleanNetwork("factored")
+        factored.add_inputs(["a", "b", "c", "d"])
+        factored.add_node("x", "a + b")
+        factored.add_node("F", "xc + xd")
+        factored.add_output("F")
+        assert random_equivalence_check(flat, factored)
+        assert exhaustive_equivalence_check(flat, factored)
+
+    def test_exhaustive_detects_difference(self):
+        n1 = BooleanNetwork()
+        n1.add_inputs(["a", "b"])
+        n1.add_node("F", "ab")
+        n1.add_output("F")
+        n2 = BooleanNetwork()
+        n2.add_inputs(["a", "b"])
+        n2.add_node("F", "a + b")
+        n2.add_output("F")
+        assert not exhaustive_equivalence_check(n1, n2)
+
+    def test_mismatched_inputs_rejected(self, eq1_network):
+        other = BooleanNetwork()
+        other.add_inputs(["zz"])
+        other.add_node("F", "zz")
+        with pytest.raises(ValueError):
+            random_equivalence_check(eq1_network, other)
+
+    def test_explicit_outputs(self, eq1_network):
+        other = eq1_network.copy()
+        other.nodes["H"] = other.nodes["H"][:1]
+        # comparing only F and G still passes
+        assert random_equivalence_check(
+            eq1_network, other, outputs=["F", "G"], vectors=128
+        )

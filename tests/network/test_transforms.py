@@ -1,0 +1,134 @@
+import pytest
+
+from repro.network.boolean_network import BooleanNetwork
+from repro.network.simulate import exhaustive_equivalence_check, random_equivalence_check
+from repro.network.transforms import eliminate, node_value, substitute_node_into
+
+
+@pytest.fixture
+def layered():
+    net = BooleanNetwork("layered")
+    net.add_inputs(list("abcd"))
+    net.add_node("x", "a + b")       # small node, 2 fanouts
+    net.add_node("F", "xc")
+    net.add_node("G", "xd")
+    net.add_output("F")
+    net.add_output("G")
+    return net
+
+
+class TestNodeValue:
+    def test_value_formula(self, layered):
+        # x: L=2 literals, 2 references -> value = 2*2 - (2+2) = 0
+        assert node_value(layered, "x") == 0
+
+    def test_high_value_for_shared_big_node(self):
+        net = BooleanNetwork()
+        net.add_inputs(list("abcde"))
+        net.add_node("k", "a + b + c")
+        for i, out in enumerate(["F", "G", "H"]):
+            net.add_node(out, f"k{'de'[i % 2]}")
+            net.add_output(out)
+        # L=3, refs=3 -> 9 - 6 = 3
+        assert node_value(net, "k") == 3
+
+    def test_unreferenced_node_negative(self, layered):
+        net = layered
+        net.add_node("dead", "a + b + c")
+        assert node_value(net, "dead") < 0
+
+
+class TestSubstitute:
+    def test_expands_product(self, layered):
+        ref = layered.copy()
+        assert substitute_node_into(layered, "F", "x")
+        # F = (a+b)c = ac + bc
+        assert layered.literal_count("F") == 4
+        assert exhaustive_equivalence_check(ref, layered, outputs=["F"])
+
+    def test_no_reference_returns_false(self, layered):
+        layered.add_node("Z", "cd")
+        assert not substitute_node_into(layered, "Z", "x")
+
+    def test_complement_reference_refused(self):
+        net = BooleanNetwork()
+        net.add_inputs(list("ab"))
+        net.add_node("x", "a + b")
+        net.add_node("F", "x'a")
+        net.add_output("F")
+        assert not substitute_node_into(net, "F", "x")
+
+
+class TestEliminate:
+    def test_collapses_zero_value_node(self, layered):
+        ref = layered.copy()
+        removed = eliminate(layered, threshold=1)
+        assert removed == 1
+        assert "x" not in layered.nodes
+        assert exhaustive_equivalence_check(ref, layered, outputs=["F", "G"])
+
+    def test_keeps_valuable_nodes(self, layered):
+        removed = eliminate(layered, threshold=0)
+        # value(x) == 0, not < 0 -> kept
+        assert removed == 0
+        assert "x" in layered.nodes
+
+    def test_protect_list(self, layered):
+        removed = eliminate(layered, threshold=10, protect={"x"})
+        assert removed == 0
+
+    def test_outputs_never_collapsed(self, layered):
+        eliminate(layered, threshold=1000)
+        assert "F" in layered.nodes and "G" in layered.nodes
+
+    def test_cascading_collapse(self):
+        net = BooleanNetwork()
+        net.add_inputs(list("ab"))
+        net.add_node("x", "ab")
+        net.add_node("y", "x")
+        net.add_node("F", "y")
+        net.add_output("F")
+        ref = net.copy()
+        removed = eliminate(net, threshold=1)
+        assert removed == 2
+        assert set(net.nodes) == {"F"}
+        assert exhaustive_equivalence_check(ref, net, outputs=["F"])
+
+    def test_complement_reader_keeps_node(self):
+        net = BooleanNetwork()
+        net.add_inputs(list("abc"))
+        net.add_node("x", "ab")
+        net.add_node("F", "xc")
+        net.add_node("G", "x'c")
+        net.add_output("F")
+        net.add_output("G")
+        eliminate(net, threshold=1000)
+        assert "x" in net.nodes  # complement reference is inviolable
+        # but F may have been expanded; function must hold either way
+        ref = BooleanNetwork()
+        ref.add_inputs(list("abc"))
+        ref.add_node("x", "ab")
+        ref.add_node("F", "xc")
+        ref.add_node("G", "x'c")
+        ref.add_output("F")
+        ref.add_output("G")
+        assert exhaustive_equivalence_check(ref, net, outputs=["F", "G"])
+
+    def test_preserves_function_on_generated(self, small_circuit):
+        net = small_circuit.copy()
+        eliminate(net, threshold=2)
+        assert random_equivalence_check(
+            small_circuit, net, vectors=128, outputs=small_circuit.outputs
+        )
+
+    def test_eliminate_then_extract_roundtrip(self, small_circuit):
+        """The synthesis-script pattern: extract, eliminate, re-extract."""
+        from repro.rectangles.cover import kernel_extract
+
+        net = small_circuit.copy()
+        kernel_extract(net)
+        eliminate(net, threshold=1)
+        kernel_extract(net)
+        assert random_equivalence_check(
+            small_circuit, net, vectors=128, outputs=small_circuit.outputs
+        )

@@ -1,0 +1,72 @@
+import pytest
+
+from repro.machine.costmodel import CostModel
+from repro.parallel.common import (
+    ParallelRunResult,
+    partition_network_nodes,
+    sequential_baseline,
+)
+
+
+class TestSequentialBaseline:
+    def test_does_not_mutate_input(self, eq1_network):
+        before = dict(eq1_network.nodes)
+        sequential_baseline(eq1_network)
+        assert eq1_network.nodes == before
+
+    def test_reports_time_and_result(self, eq1_network):
+        base = sequential_baseline(eq1_network)
+        assert base.time > 0
+        assert base.result.final_lc <= 22
+        assert base.network.literal_count() == base.result.final_lc
+
+    def test_custom_model_scales_time(self, eq1_network):
+        slow = CostModel(weights={"kernel_cube_visit": 100.0})
+        fast = CostModel(weights={"kernel_cube_visit": 1.0})
+        t_slow = sequential_baseline(eq1_network, model=slow).time
+        t_fast = sequential_baseline(eq1_network, model=fast).time
+        assert t_slow > t_fast
+
+    def test_max_seeds_affects_work(self, small_circuit):
+        full = sequential_baseline(small_circuit, max_seeds=None)
+        capped = sequential_baseline(small_circuit, max_seeds=4)
+        assert capped.meter.counts.get("pingpong_round", 0) <= full.meter.counts.get(
+            "pingpong_round", 1
+        )
+
+
+class TestPartitionNetworkNodes:
+    def test_blocks_cover_all_nodes(self, small_circuit):
+        blocks = partition_network_nodes(small_circuit, 3)
+        flat = [n for b in blocks for n in b]
+        assert sorted(flat) == sorted(small_circuit.nodes)
+
+    def test_blocks_disjoint(self, small_circuit):
+        blocks = partition_network_nodes(small_circuit, 3)
+        seen = set()
+        for b in blocks:
+            assert not (seen & set(b))
+            seen |= set(b)
+
+    def test_random_partitioner(self, small_circuit):
+        blocks = partition_network_nodes(small_circuit, 2, partitioner="random")
+        assert sum(len(b) for b in blocks) == len(small_circuit.nodes)
+
+    def test_unknown_partitioner(self, small_circuit):
+        with pytest.raises(ValueError):
+            partition_network_nodes(small_circuit, 2, partitioner="ouija")
+
+
+class TestResultRecord:
+    def test_to_dict_roundtrips_json(self, eq1_network):
+        import json
+
+        from repro.parallel.independent import independent_kernel_extract
+
+        r = independent_kernel_extract(eq1_network, 2)
+        r.sequential_time = 123.0
+        blob = json.dumps(r.to_dict())
+        back = json.loads(blob)
+        assert back["algorithm"] == "independent"
+        assert back["final_lc"] == r.final_lc
+        assert back["speedup"] == pytest.approx(r.speedup)

@@ -1,0 +1,54 @@
+import pytest
+
+from repro.network.simulate import random_equivalence_check
+from repro.parallel.extensions import independent_cube_extract, parallel_factor_script
+
+
+class TestIndependentCubeExtract:
+    def test_preserves_function(self, small_pla_circuit):
+        r = independent_cube_extract(small_pla_circuit, 3)
+        assert random_equivalence_check(
+            small_pla_circuit, r.network, vectors=128,
+            outputs=small_pla_circuit.outputs,
+        )
+
+    def test_reduces_or_keeps_lc(self, small_pla_circuit):
+        r = independent_cube_extract(small_pla_circuit, 2)
+        assert r.final_lc <= r.initial_lc
+
+    def test_original_untouched(self, small_pla_circuit):
+        before = small_pla_circuit.literal_count()
+        independent_cube_extract(small_pla_circuit, 2)
+        assert small_pla_circuit.literal_count() == before
+
+    def test_deterministic(self, small_pla_circuit):
+        a = independent_cube_extract(small_pla_circuit, 3)
+        b = independent_cube_extract(small_pla_circuit, 3)
+        assert (a.final_lc, a.parallel_time) == (b.final_lc, b.parallel_time)
+
+    def test_algorithm_tag(self, small_pla_circuit):
+        r = independent_cube_extract(small_pla_circuit, 2)
+        assert r.algorithm == "independent-cubes"
+
+
+class TestParallelFactorScript:
+    def test_preserves_function(self, small_circuit):
+        r = parallel_factor_script(small_circuit, 3)
+        assert random_equivalence_check(
+            small_circuit, r.network, vectors=128, outputs=small_circuit.outputs
+        )
+
+    def test_beats_cube_only(self, small_circuit):
+        """gkx+gcx finds at least what gcx alone finds."""
+        cubes_only = independent_cube_extract(small_circuit, 2)
+        script = parallel_factor_script(small_circuit, 2)
+        assert script.final_lc <= cubes_only.final_lc
+
+    def test_rounds_make_progress(self, small_circuit):
+        one = parallel_factor_script(small_circuit, 2, rounds=1)
+        two = parallel_factor_script(small_circuit, 2, rounds=2)
+        assert two.final_lc <= one.final_lc
+
+    def test_extraction_counter(self, small_circuit):
+        r = parallel_factor_script(small_circuit, 2)
+        assert r.extractions > 0

@@ -1,0 +1,102 @@
+"""Cross-module integration: every algorithm, every circuit style,
+function preservation and the paper's quality ordering."""
+
+import pytest
+
+from repro.circuits.generators import GeneratorSpec, generate_circuit
+from repro.network.simulate import random_equivalence_check
+from repro.parallel.common import sequential_baseline
+from repro.parallel.independent import independent_kernel_extract
+from repro.parallel.lshaped import lshaped_kernel_extract
+from repro.parallel.replicated import replicated_kernel_extract
+
+
+@pytest.fixture(scope="module")
+def medium_circuit():
+    """~800 literals, multi-level: big enough for real matrix structure."""
+    spec = GeneratorSpec(
+        name="t-med", seed=23, n_inputs=20, target_lc=800, two_level=False,
+        pool_size=10,
+    )
+    return generate_circuit(spec)
+
+
+@pytest.fixture(scope="module")
+def medium_pla():
+    spec = GeneratorSpec(
+        name="t-medpla", seed=29, n_inputs=12, target_lc=800, two_level=True,
+        pool_size=10,
+    )
+    return generate_circuit(spec)
+
+
+ALGORITHMS = [
+    ("replicated", lambda net, p: replicated_kernel_extract(net, p)),
+    ("independent", lambda net, p: independent_kernel_extract(net, p)),
+    ("lshaped", lambda net, p: lshaped_kernel_extract(net, p)),
+]
+
+
+class TestFunctionPreservation:
+    @pytest.mark.parametrize("name,runner", ALGORITHMS)
+    @pytest.mark.parametrize("procs", [2, 5])
+    def test_multilevel(self, medium_circuit, name, runner, procs):
+        r = runner(medium_circuit, procs)
+        assert random_equivalence_check(
+            medium_circuit, r.network, vectors=128, outputs=medium_circuit.outputs
+        ), f"{name}@{procs}"
+
+    @pytest.mark.parametrize("name,runner", ALGORITHMS)
+    def test_two_level(self, medium_pla, name, runner):
+        r = runner(medium_pla, 3)
+        assert random_equivalence_check(
+            medium_pla, r.network, vectors=128, outputs=medium_pla.outputs
+        ), name
+
+
+class TestQualityOrdering:
+    """Paper's comparison: sequential ≤ L-shaped < independent in LC;
+    independent > L-shaped > replicated in speedup."""
+
+    def test_lc_ordering(self, medium_circuit):
+        base = sequential_baseline(medium_circuit)
+        for p in (2, 4, 6):
+            lsh = lshaped_kernel_extract(medium_circuit, p).final_lc
+            ind = independent_kernel_extract(medium_circuit, p).final_lc
+            assert base.result.final_lc <= lsh * 1.02
+            assert lsh <= ind * 1.02, f"p={p}"
+
+    def test_all_reduce_lc(self, medium_circuit):
+        for name, runner in ALGORITHMS:
+            r = runner(medium_circuit, 4)
+            assert r.final_lc < r.initial_lc, name
+
+    def test_speedup_ordering_at_6(self, medium_circuit):
+        base = sequential_baseline(medium_circuit)
+        ind = independent_kernel_extract(medium_circuit, 6)
+        lsh = lshaped_kernel_extract(medium_circuit, 6)
+        s_ind = base.time / ind.parallel_time
+        s_lsh = base.time / lsh.parallel_time
+        assert s_ind > 1.0
+        assert s_lsh > 1.0
+
+    def test_independent_quality_degrades_monotonically_ish(self, medium_circuit):
+        lc2 = independent_kernel_extract(medium_circuit, 2).final_lc
+        lc8 = independent_kernel_extract(medium_circuit, 8).final_lc
+        assert lc8 >= lc2 * 0.98
+
+
+class TestResultRecord:
+    def test_fields(self, medium_circuit):
+        r = lshaped_kernel_extract(medium_circuit, 2)
+        assert r.algorithm == "lshaped"
+        assert r.nprocs == 2
+        assert r.initial_lc == medium_circuit.literal_count()
+        assert r.parallel_time > 0
+        assert 0 < r.quality_ratio <= 1
+        assert r.extractions > 0
+
+    def test_speedup_property(self, medium_circuit):
+        r = independent_kernel_extract(medium_circuit, 2)
+        r.sequential_time = 2 * r.parallel_time
+        assert r.speedup == pytest.approx(2.0)

@@ -1,0 +1,151 @@
+import pytest
+
+from repro.machine.simulator import SimulatedMachine
+from repro.network.simulate import random_equivalence_check
+from repro.parallel.common import sequential_baseline
+from repro.parallel.independent import independent_kernel_extract
+from repro.parallel.lshaped import (
+    build_lshaped_matrices,
+    lshaped_kernel_extract,
+    lshaped_quality_single_processor,
+)
+
+
+class TestLShapeSetup:
+    def test_matrices_cover_all_rows(self, small_circuit):
+        from repro.parallel.common import partition_network_nodes
+
+        blocks = partition_network_nodes(small_circuit, 3)
+        machine = SimulatedMachine(3)
+        setup = build_lshaped_matrices(machine, small_circuit, blocks, {})
+        own_rows = sum(
+            1
+            for p, m in enumerate(setup.matrices)
+            for r, info in m.rows.items()
+            if info.node in set(blocks[p])
+        )
+        total_rows = len(
+            {r for m in setup.matrices for r in m.rows}
+        )
+        assert own_rows <= total_rows
+
+    def test_ownership_is_a_partition(self, small_circuit):
+        from repro.parallel.common import partition_network_nodes
+
+        blocks = partition_network_nodes(small_circuit, 3)
+        machine = SimulatedMachine(3)
+        setup = build_lshaped_matrices(machine, small_circuit, blocks, {})
+        all_cubes = [
+            setup.matrices[p].cols[c]
+            for p in range(3)
+            for c in setup.owned_cols[p]
+            if c in setup.matrices[p].cols
+        ]
+        assert len(all_cubes) == len(set(all_cubes))
+
+    def test_alpha_gamma_measured(self, small_circuit):
+        from repro.parallel.common import partition_network_nodes
+
+        blocks = partition_network_nodes(small_circuit, 2)
+        machine = SimulatedMachine(2)
+        setup = build_lshaped_matrices(machine, small_circuit, blocks, {})
+        assert 0 < setup.alpha < 1
+        assert 0 < setup.gamma < 1
+
+    def test_exchange_messages_sent(self, small_circuit):
+        from repro.parallel.common import partition_network_nodes
+
+        blocks = partition_network_nodes(small_circuit, 2)
+        machine = SimulatedMachine(2)
+        build_lshaped_matrices(machine, small_circuit, blocks, {})
+        names = [ph.name for ph in machine.phases]
+        assert "Bij" in names or "cube-gather" in names
+
+
+class TestLShapedAlgorithm:
+    def test_function_preserved(self, small_circuit, small_pla_circuit):
+        for net in (small_circuit, small_pla_circuit):
+            for p in (2, 4):
+                r = lshaped_kernel_extract(net, p)
+                assert random_equivalence_check(
+                    net, r.network, vectors=128, outputs=net.outputs
+                ), f"broken at p={p}"
+
+    def test_quality_beats_independent(self, small_circuit):
+        """The paper's central claim: the L-shape recovers the quality the
+        independent algorithm loses, at every processor count."""
+        for p in (2, 4, 6):
+            li = lshaped_kernel_extract(small_circuit, p).final_lc
+            ind = independent_kernel_extract(small_circuit, p).final_lc
+            assert li <= ind + 0.01 * ind, f"p={p}: lshaped {li} vs indep {ind}"
+
+    def test_quality_near_sequential(self, small_circuit):
+        base = sequential_baseline(small_circuit)
+        for p in (2, 6):
+            r = lshaped_kernel_extract(small_circuit, p)
+            assert r.final_lc <= 1.06 * base.result.final_lc
+
+    def test_speedup_positive(self, small_circuit):
+        base = sequential_baseline(small_circuit)
+        r = lshaped_kernel_extract(small_circuit, 4)
+        assert base.time / r.parallel_time > 1.0
+
+    def test_no_dead_extraction_nodes(self, small_circuit):
+        r = lshaped_kernel_extract(small_circuit, 3)
+        fanout = r.network.fanout_map()
+        for n in r.network.nodes:
+            if n.startswith("[L"):
+                assert fanout[n], f"dead extraction node {n}"
+
+    def test_deterministic(self, small_circuit):
+        a = lshaped_kernel_extract(small_circuit, 3)
+        b = lshaped_kernel_extract(small_circuit, 3)
+        assert (a.final_lc, a.parallel_time) == (b.final_lc, b.parallel_time)
+
+    def test_single_processor_degenerate(self, small_circuit):
+        base = sequential_baseline(small_circuit)
+        r = lshaped_kernel_extract(small_circuit, 1)
+        assert r.final_lc <= 1.05 * base.result.final_lc
+
+    def test_details_alpha_gamma(self, small_circuit):
+        r = lshaped_kernel_extract(small_circuit, 2)
+        assert r.details["alpha"] > 0
+        assert r.details["gamma"] > 0
+
+    def test_more_procs_than_nodes(self, eq1_network):
+        r = lshaped_kernel_extract(eq1_network, 6)
+        assert r.final_lc <= r.initial_lc
+        assert random_equivalence_check(
+            eq1_network, r.network, outputs=["F", "G", "H"]
+        )
+
+
+class TestAblations:
+    def test_vertical_leg_improves_quality(self, small_circuit):
+        """Without the leg the algorithm degenerates toward the
+        independent one (deduplicated columns only)."""
+        with_leg = lshaped_kernel_extract(small_circuit, 4).final_lc
+        without = lshaped_kernel_extract(
+            small_circuit, 4, disable_vertical_leg=True
+        ).final_lc
+        assert with_leg <= without
+
+    def test_recheck_never_hurts(self, small_circuit):
+        good = lshaped_kernel_extract(small_circuit, 4).final_lc
+        bad = lshaped_kernel_extract(small_circuit, 4, disable_recheck=True).final_lc
+        assert good <= bad + 0.02 * bad
+
+    def test_ablations_preserve_function(self, small_circuit):
+        for kwargs in (
+            {"disable_vertical_leg": True},
+            {"disable_recheck": True},
+        ):
+            r = lshaped_kernel_extract(small_circuit, 3, **kwargs)
+            assert random_equivalence_check(
+                small_circuit, r.network, vectors=128, outputs=small_circuit.outputs
+            ), kwargs
+
+
+def test_quality_single_processor_helper(small_circuit):
+    lc = lshaped_quality_single_processor(small_circuit, 4)
+    assert lc == lshaped_kernel_extract(small_circuit, 4).final_lc

@@ -1,0 +1,72 @@
+"""Property tests across the parallel algorithms: any circuit, any
+processor count — correctness and the paper's qualitative orderings."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.generators import GeneratorSpec, generate_circuit
+from repro.network.simulate import random_equivalence_check
+from repro.parallel.common import sequential_baseline
+from repro.parallel.independent import independent_kernel_extract
+from repro.parallel.lshaped import lshaped_kernel_extract
+
+
+def tiny(seed: int, two_level: bool):
+    return generate_circuit(
+        GeneratorSpec(
+            name=f"pp{seed}",
+            seed=seed,
+            n_inputs=8,
+            target_lc=120,
+            two_level=two_level,
+            pool_size=4,
+            products_per_node=(1, 3),
+        )
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 3000),
+    nprocs=st.integers(1, 5),
+    two_level=st.booleans(),
+)
+def test_independent_always_correct(seed, nprocs, two_level):
+    net = tiny(seed, two_level)
+    r = independent_kernel_extract(net, nprocs)
+    assert r.final_lc <= r.initial_lc
+    assert random_equivalence_check(net, r.network, vectors=64, outputs=net.outputs)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 3000),
+    nprocs=st.integers(1, 5),
+    two_level=st.booleans(),
+)
+def test_lshaped_always_correct(seed, nprocs, two_level):
+    net = tiny(seed, two_level)
+    r = lshaped_kernel_extract(net, nprocs)
+    assert r.final_lc <= r.initial_lc
+    assert random_equivalence_check(net, r.network, vectors=64, outputs=net.outputs)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 3000))
+def test_lshaped_not_worse_than_independent(seed):
+    """The paper's headline quality ordering, across random circuits."""
+    net = tiny(seed, False)
+    lsh = lshaped_kernel_extract(net, 3).final_lc
+    ind = independent_kernel_extract(net, 3).final_lc
+    # tiny circuits are noisy; allow a small tolerance on the ordering
+    assert lsh <= ind + max(2, int(0.03 * ind))
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 3000))
+def test_parallel_never_beats_nothing(seed):
+    """Parallel runs can't 'invent' savings past what exists: final LC
+    stays within the sequential result ± a small factor on both sides."""
+    net = tiny(seed, False)
+    base = sequential_baseline(net)
+    r = lshaped_kernel_extract(net, 2)
+    assert r.final_lc >= int(0.8 * base.result.final_lc)

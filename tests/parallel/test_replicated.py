@@ -1,0 +1,61 @@
+import pytest
+
+from repro.network.simulate import random_equivalence_check
+from repro.parallel.replicated import replicated_kernel_extract
+from repro.rectangles.search import BudgetExceeded
+
+
+class TestReplicated:
+    def test_quality_matches_single_proc(self, small_circuit):
+        """Replication keeps the global picture: LC independent of p."""
+        r1 = replicated_kernel_extract(small_circuit, 1)
+        results = {p: replicated_kernel_extract(small_circuit, p) for p in (2, 4)}
+        for p, r in results.items():
+            assert abs(r.final_lc - r1.final_lc) <= 0.01 * r1.final_lc
+
+    def test_function_preserved(self, small_circuit):
+        r = replicated_kernel_extract(small_circuit, 3)
+        assert random_equivalence_check(
+            small_circuit, r.network, vectors=128, outputs=small_circuit.outputs
+        )
+
+    def test_original_untouched(self, small_circuit):
+        before = small_circuit.literal_count()
+        replicated_kernel_extract(small_circuit, 2)
+        assert small_circuit.literal_count() == before
+
+    def test_speedup_poor_but_positive(self, small_circuit):
+        """The paper's signature: sub-linear speedup from per-step syncs."""
+        r1 = replicated_kernel_extract(small_circuit, 1)
+        r6 = replicated_kernel_extract(small_circuit, 6)
+        speedup = r1.parallel_time / r6.parallel_time
+        assert speedup < 6  # far from linear
+
+    def test_time_grows_with_barriers(self, eq1_network):
+        r1 = replicated_kernel_extract(eq1_network, 1)
+        r4 = replicated_kernel_extract(eq1_network, 4)
+        # tiny circuit: parallelism can't pay for the barriers
+        assert r4.parallel_time >= r1.parallel_time * 0.5
+
+    def test_budget_exceeded_raises(self, small_circuit):
+        with pytest.raises(BudgetExceeded):
+            replicated_kernel_extract(small_circuit, 2, search_budget=5)
+
+    def test_no_budget_means_unbounded(self, eq1_network):
+        r = replicated_kernel_extract(eq1_network, 2, search_budget=None)
+        assert r.final_lc <= 22
+
+    def test_extraction_count_reported(self, small_circuit):
+        r = replicated_kernel_extract(small_circuit, 2)
+        assert r.extractions > 0
+        assert r.details["budget_used"] > 0
+
+    def test_max_iterations(self, small_circuit):
+        r = replicated_kernel_extract(small_circuit, 2, max_iterations=1)
+        assert r.extractions <= 1
+
+    def test_deterministic(self, small_circuit):
+        a = replicated_kernel_extract(small_circuit, 3)
+        b = replicated_kernel_extract(small_circuit, 3)
+        assert a.final_lc == b.final_lc
+        assert a.parallel_time == b.parallel_time

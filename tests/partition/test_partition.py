@@ -1,0 +1,156 @@
+import networkx as nx
+import pytest
+
+from repro.machine.costmodel import CostMeter
+from repro.partition.fm import fm_bipartition
+from repro.partition.graphs import block_nodes, block_weights, circuit_graph, cut_size
+from repro.partition.multiway import multiway_partition, random_partition
+
+
+@pytest.fixture
+def two_cluster_graph():
+    """Two dense 5-cliques joined by one light edge — obvious min cut."""
+    g = nx.Graph()
+    for base in ("a", "b"):
+        members = [f"{base}{i}" for i in range(5)]
+        for v in members:
+            g.add_node(v, weight=1)
+        for i in range(5):
+            for j in range(i + 1, 5):
+                g.add_edge(members[i], members[j], weight=3)
+    g.add_edge("a0", "b0", weight=1)
+    return g
+
+
+class TestCircuitGraph:
+    def test_vertices_are_internal_nodes(self, eq1_network):
+        g = circuit_graph(eq1_network)
+        assert set(g.nodes) == {"F", "G", "H"}
+
+    def test_edges_from_fanin(self):
+        from repro.network.boolean_network import BooleanNetwork
+
+        net = BooleanNetwork()
+        net.add_inputs(["a"])
+        net.add_node("x", "a")
+        net.add_node("y", "x + a")
+        g = circuit_graph(net)
+        assert g.has_edge("x", "y")
+
+    def test_edge_weight_counts_references(self):
+        from repro.network.boolean_network import BooleanNetwork
+
+        net = BooleanNetwork()
+        net.add_inputs(["a", "b"])
+        net.add_node("x", "a + b")
+        net.add_node("y", "xa + xb + x'")
+        g = circuit_graph(net)
+        assert g["x"]["y"]["weight"] >= 2
+
+    def test_vertex_weight_is_lc(self, eq1_network):
+        g = circuit_graph(eq1_network)
+        assert g.nodes["F"]["weight"] == eq1_network.literal_count("F")
+
+    def test_no_pi_vertices(self, eq1_network):
+        g = circuit_graph(eq1_network)
+        assert "a" not in g.nodes
+
+
+class TestCutSize:
+    def test_zero_when_together(self, two_cluster_graph):
+        assignment = {v: 0 for v in two_cluster_graph.nodes}
+        assert cut_size(two_cluster_graph, assignment) == 0
+
+    def test_counts_weights(self, two_cluster_graph):
+        assignment = {
+            v: (0 if v.startswith("a") else 1) for v in two_cluster_graph.nodes
+        }
+        assert cut_size(two_cluster_graph, assignment) == 1
+
+
+class TestFM:
+    def test_finds_natural_cut(self, two_cluster_graph):
+        side = fm_bipartition(two_cluster_graph, seed=1)
+        assert cut_size(two_cluster_graph, side) == 1
+
+    def test_balanced(self, two_cluster_graph):
+        side = fm_bipartition(two_cluster_graph, seed=1)
+        w = block_weights(two_cluster_graph, side, 2)
+        assert min(w) >= 3
+
+    def test_deterministic(self, two_cluster_graph):
+        assert fm_bipartition(two_cluster_graph, seed=5) == fm_bipartition(
+            two_cluster_graph, seed=5
+        )
+
+    def test_empty_graph(self):
+        assert fm_bipartition(nx.Graph()) == {}
+
+    def test_initial_assignment_respected(self, two_cluster_graph):
+        initial = {
+            v: (0 if v.startswith("a") else 1) for v in two_cluster_graph.nodes
+        }
+        side = fm_bipartition(two_cluster_graph, initial=initial)
+        assert cut_size(two_cluster_graph, side) <= 1
+
+    def test_target_fraction(self, two_cluster_graph):
+        side = fm_bipartition(two_cluster_graph, target_fraction=0.3, seed=2)
+        w = block_weights(two_cluster_graph, side, 2)
+        assert w[0] <= w[1]
+
+    def test_meter_charged(self, two_cluster_graph):
+        meter = CostMeter()
+        fm_bipartition(two_cluster_graph, meter=meter)
+        assert meter.counts["partition_pass"] >= 1
+
+
+class TestMultiway:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 6])
+    def test_covers_all_vertices(self, two_cluster_graph, n):
+        assignment = multiway_partition(two_cluster_graph, n)
+        assert set(assignment) == set(two_cluster_graph.nodes)
+        assert set(assignment.values()) <= set(range(n))
+
+    def test_all_blocks_nonempty(self, two_cluster_graph):
+        for n in (2, 3, 5):
+            assignment = multiway_partition(two_cluster_graph, n)
+            blocks = block_nodes(assignment, n)
+            assert all(blocks), f"empty block for n={n}"
+
+    def test_two_way_matches_fm_quality(self, two_cluster_graph):
+        assignment = multiway_partition(two_cluster_graph, 2)
+        assert cut_size(two_cluster_graph, assignment) == 1
+
+    def test_deterministic(self, two_cluster_graph):
+        a = multiway_partition(two_cluster_graph, 3, seed=9)
+        b = multiway_partition(two_cluster_graph, 3, seed=9)
+        assert a == b
+
+    def test_beats_random_on_clustered(self, two_cluster_graph):
+        mc = multiway_partition(two_cluster_graph, 2, seed=0)
+        rnd = random_partition(two_cluster_graph, 2, seed=0)
+        assert cut_size(two_cluster_graph, mc) <= cut_size(two_cluster_graph, rnd)
+
+    def test_invalid_nblocks(self, two_cluster_graph):
+        with pytest.raises(ValueError):
+            multiway_partition(two_cluster_graph, 0)
+
+    def test_on_circuit(self, small_circuit):
+        g = circuit_graph(small_circuit)
+        for n in (2, 4):
+            assignment = multiway_partition(g, n)
+            blocks = block_nodes(assignment, n)
+            assert sum(len(b) for b in blocks) == len(g.nodes)
+            assert all(blocks)
+
+
+class TestRandomPartition:
+    def test_balanced_weights(self, two_cluster_graph):
+        assignment = random_partition(two_cluster_graph, 2, seed=3)
+        w = block_weights(two_cluster_graph, assignment, 2)
+        assert abs(w[0] - w[1]) <= 2
+
+    def test_deterministic(self, two_cluster_graph):
+        assert random_partition(two_cluster_graph, 3, seed=1) == random_partition(
+            two_cluster_graph, 3, seed=1
+        )

@@ -1,0 +1,117 @@
+import pytest
+
+from repro.machine.costmodel import CostMeter
+from repro.network.boolean_network import BooleanNetwork
+from repro.network.simulate import exhaustive_equivalence_check, random_equivalence_check
+from repro.rectangles.cubeextract import (
+    CommonCube,
+    apply_common_cube,
+    best_common_cube,
+    cube_extract,
+)
+
+
+@pytest.fixture
+def abc_network():
+    """ab appears in four cubes across two nodes — clear common cube."""
+    net = BooleanNetwork("cc")
+    net.add_inputs(list("abcdef"))
+    net.add_node("P", "abc + abd + e")
+    net.add_node("Q", "abe + abf")
+    net.add_output("P")
+    net.add_output("Q")
+    return net
+
+
+class TestBestCommonCube:
+    def test_finds_ab(self, abc_network):
+        best = best_common_cube(abc_network)
+        assert best is not None
+        t = abc_network.table
+        assert best.cube == tuple(sorted((t.get("a"), t.get("b"))))
+        assert len(best.rows) == 4
+
+    def test_gain_formula(self, abc_network):
+        best = best_common_cube(abc_network)
+        # |R|(|C|-1) - |C| = 4*1 - 2 = 2
+        assert best.gain == 2
+
+    def test_none_when_nothing_shared(self):
+        net = BooleanNetwork()
+        net.add_inputs(list("abcd"))
+        net.add_node("f", "ab + cd")
+        assert best_common_cube(net) is None
+
+    def test_none_on_single_literal_cubes(self):
+        net = BooleanNetwork()
+        net.add_inputs(list("ab"))
+        net.add_node("f", "a + b")
+        assert best_common_cube(net) is None
+
+    def test_restricted_nodes(self, abc_network):
+        best = best_common_cube(abc_network, nodes=["Q"])
+        assert best is None or all(n == "Q" for n, _ in best.rows)
+
+    def test_deterministic(self, abc_network):
+        assert best_common_cube(abc_network) == best_common_cube(abc_network)
+
+
+class TestApply:
+    def test_rewrites_cubes(self, abc_network):
+        ref = abc_network.copy()
+        best = best_common_cube(abc_network)
+        name = apply_common_cube(abc_network, best)
+        assert name in abc_network.nodes
+        before = ref.literal_count()
+        assert before - abc_network.literal_count() == best.gain
+        assert exhaustive_equivalence_check(ref, abc_network, outputs=["P", "Q"])
+
+    def test_new_node_is_the_cube(self, abc_network):
+        best = best_common_cube(abc_network)
+        name = apply_common_cube(abc_network, best)
+        assert abc_network.nodes[name] == (best.cube,)
+
+
+class TestCubeExtractLoop:
+    def test_converges_and_preserves_function(self, small_circuit):
+        net = small_circuit.copy()
+        res = cube_extract(net)
+        assert res.final_lc <= res.initial_lc
+        assert random_equivalence_check(
+            small_circuit, net, vectors=128, outputs=small_circuit.outputs
+        )
+
+    def test_idempotent(self, abc_network):
+        cube_extract(abc_network)
+        res2 = cube_extract(abc_network)
+        assert res2.iterations == 0
+
+    def test_max_iterations(self, small_circuit):
+        net = small_circuit.copy()
+        res = cube_extract(net, max_iterations=1)
+        assert res.iterations <= 1
+
+    def test_meter_charged(self, abc_network):
+        meter = CostMeter()
+        cube_extract(abc_network, meter=meter)
+        assert meter.counts.get("pingpong_round", 0) > 0
+
+    def test_extracted_cube_reusable_downstream(self, abc_network):
+        res = cube_extract(abc_network)
+        assert res.extracted
+        x = res.extracted[0]
+        fanout = abc_network.fanout_map()
+        assert fanout[x]
+
+    def test_combined_with_kernel_extract(self, small_circuit):
+        """gkx then gcx (the Table 1 script order) stays correct."""
+        from repro.rectangles.cover import kernel_extract
+
+        net = small_circuit.copy()
+        kernel_extract(net)
+        lc_mid = net.literal_count()
+        cube_extract(net)
+        assert net.literal_count() <= lc_mid
+        assert random_equivalence_check(
+            small_circuit, net, vectors=128, outputs=small_circuit.outputs
+        )

@@ -1,0 +1,72 @@
+from repro.machine.costmodel import CostMeter
+from repro.rectangles.kcmatrix import build_kc_matrix
+from repro.rectangles.pingpong import best_rectangle_pingpong
+from repro.rectangles.rectangle import rectangle_gain
+from repro.rectangles.search import best_rectangle_exhaustive
+
+
+class TestPingPong:
+    def test_finds_the_eq1_best(self, eq1_network):
+        mat = build_kc_matrix(eq1_network)
+        got = best_rectangle_pingpong(mat)
+        assert got is not None
+        rect, gain = got
+        assert gain == 8  # same as exhaustive on this matrix
+
+    def test_result_is_valid_and_gain_consistent(self, small_circuit):
+        mat = build_kc_matrix(small_circuit)
+        got = best_rectangle_pingpong(mat)
+        assert got is not None
+        rect, gain = got
+        assert rect.is_valid(mat)
+        assert gain == rectangle_gain(mat, rect)
+        assert len(rect.cols) >= 2
+
+    def test_never_beats_exhaustive(self, eq1_network, small_circuit, small_pla_circuit):
+        for net in (eq1_network, small_circuit, small_pla_circuit):
+            mat = build_kc_matrix(net)
+            heur = best_rectangle_pingpong(mat)
+            exact = best_rectangle_exhaustive(mat)
+            if exact is None:
+                assert heur is None
+            else:
+                assert heur is not None
+                assert heur[1] <= exact[1]
+
+    def test_reasonable_quality_vs_exhaustive(self, small_circuit):
+        mat = build_kc_matrix(small_circuit)
+        heur = best_rectangle_pingpong(mat)
+        exact = best_rectangle_exhaustive(mat)
+        assert heur[1] >= 0.5 * exact[1]
+
+    def test_deterministic(self, small_circuit):
+        mat = build_kc_matrix(small_circuit)
+        assert best_rectangle_pingpong(mat) == best_rectangle_pingpong(mat)
+
+    def test_max_seeds_limits_work(self, small_circuit):
+        mat = build_kc_matrix(small_circuit)
+        m_all, m_one = CostMeter(), CostMeter()
+        best_rectangle_pingpong(mat, meter=m_all)
+        best_rectangle_pingpong(mat, max_seeds=1, meter=m_one)
+        assert m_one.counts.get("pingpong_round", 0) <= m_all.counts.get(
+            "pingpong_round", 1
+        )
+
+    def test_none_on_empty_matrix(self):
+        from repro.rectangles.kcmatrix import KCMatrix
+
+        assert best_rectangle_pingpong(KCMatrix()) is None
+
+    def test_none_when_no_profit(self):
+        from repro.network.boolean_network import BooleanNetwork
+
+        net = BooleanNetwork()
+        net.add_inputs(["a", "b"])
+        net.add_node("f", "a + b")
+        mat = build_kc_matrix(net)
+        assert best_rectangle_pingpong(mat) is None
+
+    def test_zero_values_suppress(self, eq1_network):
+        mat = build_kc_matrix(eq1_network)
+        got = best_rectangle_pingpong(mat, value_fn=lambda n, c: 0)
+        assert got is None

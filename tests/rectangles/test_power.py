@@ -1,0 +1,85 @@
+import pytest
+
+from repro.network.boolean_network import BooleanNetwork
+from repro.network.simulate import random_equivalence_check
+from repro.rectangles.power import (
+    make_activity_value_fn,
+    network_switched_capacitance,
+    power_kernel_extract,
+    signal_probabilities,
+    switching_activity,
+)
+
+
+class TestActivityModel:
+    def test_uniform_inputs_half(self, eq1_network):
+        probs = signal_probabilities(eq1_network, vectors=4096)
+        for pi in eq1_network.inputs:
+            assert abs(probs[pi] - 0.5) < 0.05
+
+    def test_and_gate_probability(self):
+        net = BooleanNetwork()
+        net.add_inputs(["a", "b"])
+        net.add_node("f", "ab")
+        net.add_output("f")
+        probs = signal_probabilities(net, vectors=8192)
+        assert abs(probs["f"] - 0.25) < 0.05
+
+    def test_activity_peaks_at_half(self):
+        assert switching_activity(0.5) == pytest.approx(0.5)
+        assert switching_activity(0.0) == 0.0
+        assert switching_activity(1.0) == 0.0
+        assert switching_activity(0.25) < switching_activity(0.5)
+
+    def test_value_fn_weights_by_activity(self):
+        net = BooleanNetwork()
+        net.add_inputs(["a", "b"])
+        net.add_node("rare", "ab")       # p = 0.25, lower activity
+        net.add_node("f", "a + b")
+        net.add_output("f")
+        net.add_output("rare")
+        probs = {"a": 0.5, "b": 0.5, "rare": 0.05, "f": 0.75}
+        vf = make_activity_value_fn(net, probs)
+        a_id = net.table.get("a")
+        b_id = net.table.get("b")
+        rare_id = net.table.id_of("rare")
+        assert vf("x", (a_id, b_id)) == 2       # two full-activity literals
+        assert vf("x", (a_id, rare_id)) < 2     # rare literal worth less
+
+    def test_capacitance_metric_positive(self, eq1_network):
+        assert network_switched_capacitance(eq1_network) > 0
+
+
+class TestPowerExtraction:
+    def test_function_preserved(self, small_circuit):
+        net = small_circuit.copy()
+        power_kernel_extract(net, vectors=512)
+        assert random_equivalence_check(
+            small_circuit, net, vectors=128, outputs=small_circuit.outputs
+        )
+
+    def test_reduces_switched_capacitance(self, small_circuit):
+        net = small_circuit.copy()
+        probs = signal_probabilities(net, vectors=1024)
+        before = network_switched_capacitance(net, probs)
+        power_kernel_extract(net, vectors=512)
+        probs_after = signal_probabilities(net, vectors=1024)
+        after = network_switched_capacitance(net, probs_after)
+        assert after < before
+
+    def test_reduces_literals_too(self, small_circuit):
+        net = small_circuit.copy()
+        res = power_kernel_extract(net, vectors=512)
+        assert res.final_lc < res.initial_lc
+
+    def test_deterministic(self, small_circuit):
+        a, b = small_circuit.copy(), small_circuit.copy()
+        ra = power_kernel_extract(a, vectors=512)
+        rb = power_kernel_extract(b, vectors=512)
+        assert ra.final_lc == rb.final_lc
+        assert a.nodes == b.nodes
+
+    def test_max_iterations(self, small_circuit):
+        net = small_circuit.copy()
+        res = power_kernel_extract(net, vectors=256, max_iterations=2)
+        assert res.iterations <= 2

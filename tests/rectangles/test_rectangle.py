@@ -1,0 +1,106 @@
+import pytest
+
+from repro.rectangles.kcmatrix import build_kc_matrix
+from repro.rectangles.rectangle import (
+    Rectangle,
+    covered_cube_refs,
+    default_value,
+    rectangle_gain,
+    rectangle_kernel,
+)
+
+
+def find_row(mat, node, cokernel_names, table):
+    ck = tuple(sorted(table.get(n) for n in cokernel_names))
+    for r, info in mat.rows.items():
+        if info.node == node and info.cokernel == ck:
+            return r
+    raise AssertionError(f"no row ({node}, {cokernel_names})")
+
+
+def find_col(mat, cube_names, table):
+    cube = tuple(sorted(table.get(n) for n in cube_names))
+    return mat.col_of_cube[cube]
+
+
+@pytest.fixture
+def eq1_matrix(eq1_network):
+    return build_kc_matrix(eq1_network), eq1_network.table
+
+
+class TestRectangle:
+    def test_canonical_sorted(self):
+        r = Rectangle(rows=(3, 1), cols=(9, 2))
+        assert r.rows == (1, 3)
+        assert r.cols == (2, 9)
+
+    def test_shape(self):
+        assert Rectangle(rows=(1, 2), cols=(3,)).shape == (2, 1)
+
+    def test_is_valid(self, eq1_matrix):
+        mat, t = eq1_matrix
+        rf = find_row(mat, "F", ["f"], t)
+        rg = find_row(mat, "G", ["f"], t)
+        ca = find_col(mat, ["a"], t)
+        cb = find_col(mat, ["b"], t)
+        assert Rectangle(rows=(rf, rg), cols=(ca, cb)).is_valid(mat)
+
+    def test_is_invalid_for_missing_entry(self, eq1_matrix):
+        mat, t = eq1_matrix
+        rh = find_row(mat, "H", ["d", "e"], t)  # H/de kernel = a + c
+        cb = find_col(mat, ["b"], t)
+        assert not Rectangle(rows=(rh,), cols=(cb,)).is_valid(mat)
+
+
+class TestGain:
+    def test_example11_gain_is_8(self, eq1_matrix):
+        """Extracting X = a + b from F and G saves 8 literals (33 → 25)."""
+        mat, t = eq1_matrix
+        rows = (
+            find_row(mat, "F", ["f"], t),
+            find_row(mat, "F", ["d", "e"], t),
+            find_row(mat, "G", ["f"], t),
+            find_row(mat, "G", ["c", "e"], t),
+        )
+        cols = (find_col(mat, ["a"], t), find_col(mat, ["b"], t))
+        rect = Rectangle(rows=rows, cols=cols)
+        assert rect.is_valid(mat)
+        assert rectangle_gain(mat, rect) == 8
+
+    def test_gain_against_lc_delta(self, eq1_network):
+        """Gain must equal the literal-count drop when applied."""
+        from repro.rectangles.cover import apply_rectangle
+        from repro.rectangles.search import best_rectangle_exhaustive
+
+        net = eq1_network.copy()
+        mat = build_kc_matrix(net)
+        rect, gain = best_rectangle_exhaustive(mat)
+        before = net.literal_count()
+        apply_rectangle(net, mat, rect, gain=gain)
+        assert before - net.literal_count() == gain
+
+    def test_zero_value_fn_kills_gain(self, eq1_matrix):
+        mat, t = eq1_matrix
+        rows = (find_row(mat, "F", ["f"], t), find_row(mat, "G", ["f"], t))
+        cols = (find_col(mat, ["a"], t), find_col(mat, ["b"], t))
+        rect = Rectangle(rows=rows, cols=cols)
+        assert rectangle_gain(mat, rect, value_fn=lambda n, c: 0) < 0
+
+    def test_covered_refs_distinct(self, eq1_matrix):
+        mat, t = eq1_matrix
+        rows = (find_row(mat, "F", ["f"], t), find_row(mat, "G", ["f"], t))
+        cols = (find_col(mat, ["a"], t), find_col(mat, ["b"], t))
+        refs = covered_cube_refs(mat, Rectangle(rows=rows, cols=cols))
+        assert len(refs) == 4
+        assert all(node in ("F", "G") for node, _ in refs)
+
+    def test_rectangle_kernel(self, eq1_matrix):
+        mat, t = eq1_matrix
+        cols = (find_col(mat, ["a"], t), find_col(mat, ["b"], t))
+        kern = rectangle_kernel(mat, Rectangle(rows=(), cols=cols))
+        assert kern == tuple(sorted([(t.get("a"),), (t.get("b"),)]))
+
+
+def test_default_value_is_literal_count():
+    assert default_value("n", (1, 2, 3)) == 3
+    assert default_value("n", ()) == 0

@@ -1,0 +1,102 @@
+import pytest
+
+from repro.network.simulate import random_equivalence_check
+from repro.rectangles.cover import kernel_extract
+from repro.rectangles.timing import (
+    critical_depth,
+    node_levels,
+    predicted_depth_after,
+    timing_kernel_extract,
+)
+
+
+class TestLevels:
+    def test_two_level_network(self, eq1_network):
+        levels = node_levels(eq1_network)
+        assert levels["a"] == 0
+        assert levels["F"] == 1
+        assert critical_depth(eq1_network) == 1
+
+    def test_extraction_adds_levels(self, eq1_network):
+        net = eq1_network.copy()
+        kernel_extract(net)
+        assert critical_depth(net) > 1
+
+    def test_chain(self):
+        from repro.circuits.examples import chain_network
+
+        assert critical_depth(chain_network(4)) == 4
+
+
+class TestPrediction:
+    def test_prediction_matches_reality(self, eq1_network):
+        from repro.rectangles.cover import apply_rectangle
+        from repro.rectangles.kcmatrix import build_kc_matrix
+        from repro.rectangles.search import best_rectangle_exhaustive
+
+        net = eq1_network.copy()
+        mat = build_kc_matrix(net)
+        rect, _ = best_rectangle_exhaustive(mat)
+        predicted = predicted_depth_after(net, mat, rect, node_levels(net))
+        apply_rectangle(net, mat, rect)
+        assert critical_depth(net) == predicted
+
+    def test_prediction_is_conservative_downstream(self, small_circuit):
+        from repro.rectangles.cover import apply_rectangle
+        from repro.rectangles.kcmatrix import build_kc_matrix
+        from repro.rectangles.pingpong import best_rectangle_pingpong
+
+        net = small_circuit.copy()
+        mat = build_kc_matrix(net)
+        got = best_rectangle_pingpong(mat)
+        assert got is not None
+        predicted = predicted_depth_after(net, mat, got[0], node_levels(net))
+        apply_rectangle(net, mat, got[0])
+        assert critical_depth(net) <= predicted
+
+
+class TestTimingExtraction:
+    def test_unbounded_equals_area_driven_quality(self, eq1_network):
+        a = eq1_network.copy()
+        b = eq1_network.copy()
+        kernel_extract(a)
+        res = timing_kernel_extract(b, max_depth=None)
+        assert abs(res.final_lc - a.literal_count()) <= 2
+
+    def test_budget_respected(self, small_circuit):
+        base = critical_depth(small_circuit)
+        for budget in (base, base + 1, base + 2):
+            net = small_circuit.copy()
+            timing_kernel_extract(net, max_depth=budget)
+            assert critical_depth(net) <= budget
+
+    def test_depth_area_tradeoff(self, small_circuit):
+        """Tighter depth budgets can only cost literals, never save them."""
+        base = critical_depth(small_circuit)
+        lcs = []
+        for budget in (base, base + 2, None):
+            net = small_circuit.copy()
+            res = timing_kernel_extract(net, max_depth=budget)
+            lcs.append(res.final_lc)
+        assert lcs[0] >= lcs[2]
+
+    def test_function_preserved(self, small_circuit):
+        net = small_circuit.copy()
+        timing_kernel_extract(net, max_depth=critical_depth(net) + 1)
+        assert random_equivalence_check(
+            small_circuit, net, vectors=128, outputs=small_circuit.outputs
+        )
+
+    def test_infeasible_budget_rejected(self, small_circuit):
+        from repro.rectangles.timing import critical_depth as depth
+
+        too_small = depth(small_circuit) - 1
+        if too_small >= 1:
+            with pytest.raises(ValueError):
+                timing_kernel_extract(small_circuit.copy(), max_depth=too_small)
+
+    def test_depth_one_budget_blocks_everything(self, eq1_network):
+        net = eq1_network.copy()
+        res = timing_kernel_extract(net, max_depth=1)
+        assert res.iterations == 0
+        assert net.literal_count() == 33

@@ -1,0 +1,35 @@
+"""Public-API surface tests: the README quickstart must keep working."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_readme_quickstart():
+    net = repro.BooleanNetwork("demo")
+    net.add_inputs(list("abcdefg"))
+    net.add_node("F", "af + bf + ag + cg + ade + bde + cde")
+    net.add_output("F")
+    result = repro.kernel_extract(net)
+    assert result.initial_lc == 17
+    assert result.final_lc < result.initial_lc
+
+
+def test_parallel_quickstart():
+    net = repro.paper_example_network()
+    result = repro.lshaped_kernel_extract(net, nprocs=2)
+    base = repro.sequential_baseline(net)
+    assert result.final_lc <= 23
+    assert base.time > 0
+
+
+def test_make_circuit_exported():
+    net = repro.make_circuit("misex3", scale=0.1)
+    assert net.literal_count() > 100

@@ -1,0 +1,94 @@
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_factor_defaults(self):
+        args = build_parser().parse_args(["factor", "example"])
+        assert args.algorithm == "sequential"
+        assert args.procs == 4
+
+
+class TestFactorCommand:
+    def test_sequential_on_example(self, capsys):
+        assert main(["factor", "example"]) == 0
+        out = capsys.readouterr().out
+        assert "33 ->" in out
+
+    @pytest.mark.parametrize("alg", ["replicated", "independent", "lshaped"])
+    def test_parallel_algorithms(self, alg, capsys):
+        assert main(["factor", "example", "--algorithm", alg, "--procs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_writes_eqn(self, tmp_path, capsys):
+        out_path = tmp_path / "out.eqn"
+        assert main(["factor", "example", "--output", str(out_path)]) == 0
+        from repro.network.eqn import load_eqn
+
+        net = load_eqn(str(out_path))
+        assert net.literal_count() <= 22
+
+    def test_reads_eqn_file(self, tmp_path, eq1_network, capsys):
+        from repro.network.eqn import save_eqn
+
+        p = tmp_path / "in.eqn"
+        save_eqn(eq1_network, str(p))
+        assert main(["factor", str(p)]) == 0
+
+    def test_reads_pla_file(self, tmp_path, capsys):
+        p = tmp_path / "in.pla"
+        p.write_text(".i 3\n.o 1\n.p 2\n110 1\n011 1\n.e\n")
+        assert main(["factor", str(p)]) == 0
+
+    def test_unknown_circuit(self):
+        with pytest.raises(SystemExit):
+            main(["factor", "not-a-circuit"])
+
+
+class TestInfoCommand:
+    def test_info_example(self, capsys):
+        assert main(["info", "example"]) == 0
+        out = capsys.readouterr().out
+        assert "literals: 33" in out
+        assert "KC matrix" in out
+
+    def test_info_suite_scaled(self, capsys):
+        assert main(["info", "dalu", "--scale", "0.05"]) == 0
+        assert "nodes" in capsys.readouterr().out
+
+
+class TestCompareCommand:
+    def test_compare_runs(self, capsys, tmp_path):
+        out_json = tmp_path / "cmp.json"
+        assert main([
+            "compare", "dalu", "--scale", "0.05", "--procs", "2",
+            "--json", str(out_json),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "lshaped" in out
+        import json
+
+        records = json.loads(out_json.read_text())
+        assert any(r["algorithm"] == "independent" for r in records)
+        for r in records:
+            assert r["final_lc"] <= r["initial_lc"]
+
+
+class TestStatsCommand:
+    def test_stats(self, capsys):
+        assert main(["stats", "example"]) == 0
+        assert "depth=1" in capsys.readouterr().out
+
+
+class TestRunTableCommand:
+    def test_table4_tiny(self, capsys):
+        # miniature scale keeps CI fast; full scale lives in benchmarks/
+        assert main(["run-table", "eq3", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Eq. 3" in out

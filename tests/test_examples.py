@@ -1,0 +1,50 @@
+"""Every example script must run clean (smoke tests, miniature inputs)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "initial literal count: 33" in out
+    assert "functionally equivalent to the original: True" in out
+
+
+def test_paper_walkthrough():
+    out = run_example("paper_walkthrough.py")
+    assert "Equation 1" in out
+    assert "saving 8" in out or "re-check" in out
+    assert "26 literals" in out
+
+
+def test_compare_parallel_strategies():
+    out = run_example("compare_parallel_strategies.py", "dalu", "0.1")
+    assert "lshaped" in out
+    assert "independent" in out
+
+
+def test_custom_circuit_flow(tmp_path):
+    out = run_example("custom_circuit_flow.py")
+    assert "equivalent to original: True" in out
+
+
+def test_objective_driven():
+    out = run_example("objective_driven_extraction.py", "dalu", "0.1")
+    assert "three objectives" in out
+    assert "equivalent to input: True" in out
