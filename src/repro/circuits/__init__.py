@@ -22,6 +22,46 @@ from repro.circuits.examples import paper_example_network
 from repro.circuits.generators import GeneratorSpec, generate_circuit
 from repro.circuits.mcnc import MCNC_SUITE, make_circuit, circuit_names
 
+
+class UnknownCircuitError(ValueError):
+    """A circuit spec that names neither a suite entry nor a netlist file."""
+
+
+def available_circuits() -> list:
+    """Every loadable named circuit: the MCNC stand-ins plus ``example``."""
+    return sorted(MCNC_SUITE) + ["example"]
+
+
+def load_circuit(spec: str, scale: float = 1.0):
+    """Resolve a circuit spec to a network.
+
+    *spec* is a suite name (``dalu``, ``seq``, …), ``example`` for the
+    paper's Equation 1 network, or a path to an ``.eqn``/``.pla``/``.blif``
+    file.  Raises :class:`UnknownCircuitError` otherwise — callers decide
+    whether that is a CLI exit or a failed batch job.
+    """
+    if spec == "example":
+        return paper_example_network()
+    if spec in MCNC_SUITE:
+        return make_circuit(spec, scale=scale)
+    if spec.endswith(".eqn"):
+        from repro.network.eqn import load_eqn
+
+        return load_eqn(spec)
+    if spec.endswith(".pla"):
+        from repro.network.pla import load_pla
+
+        return load_pla(spec)
+    if spec.endswith(".blif"):
+        from repro.network.blif import load_blif
+
+        return load_blif(spec)
+    raise UnknownCircuitError(
+        f"unknown circuit {spec!r}: expected one of "
+        f"{', '.join(available_circuits())}, or a .eqn/.pla/.blif path"
+    )
+
+
 __all__ = [
     "paper_example_network",
     "GeneratorSpec",
@@ -29,4 +69,7 @@ __all__ = [
     "MCNC_SUITE",
     "make_circuit",
     "circuit_names",
+    "UnknownCircuitError",
+    "available_circuits",
+    "load_circuit",
 ]

@@ -1,53 +1,68 @@
 """Command-line interface.
 
-    python -m repro factor CIRCUIT [--algorithm ALG] [--procs N] [--scale S]
+    python -m repro factor CIRCUIT [--algorithm ALG] [--procs N] [--cache]
+    python -m repro batch MANIFEST [--workers N] [--repeat K] [--json OUT]
     python -m repro run-table {table1,table2,table3,table4,table6,eq3} [--scale S]
     python -m repro info CIRCUIT [--scale S]
+    python -m repro --list
 
 ``CIRCUIT`` is a named stand-in (``dalu``, ``seq``, …), a path to an
 ``.eqn``/``.pla``/``.blif`` file, or ``example`` for the paper's Equation 1
-network.
+network.  ``MANIFEST`` is a JSON or line-oriented list of factorization
+jobs run through the batch engine (:mod:`repro.service`).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional
+from typing import List, Optional
 
-from repro.circuits import make_circuit, paper_example_network
-from repro.circuits.mcnc import MCNC_SUITE
 from repro.network.boolean_network import BooleanNetwork
 
 
 def _load_circuit(spec: str, scale: float) -> BooleanNetwork:
-    if spec == "example":
-        return paper_example_network()
-    if spec in MCNC_SUITE:
-        return make_circuit(spec, scale=scale)
-    if spec.endswith(".eqn"):
-        from repro.network.eqn import load_eqn
+    from repro.circuits import UnknownCircuitError, load_circuit
 
-        return load_eqn(spec)
-    if spec.endswith(".pla"):
-        from repro.network.pla import load_pla
-
-        return load_pla(spec)
-    if spec.endswith(".blif"):
-        from repro.network.blif import load_blif
-
-        return load_blif(spec)
-    raise SystemExit(
-        f"unknown circuit {spec!r}: expected a suite name "
-        f"({', '.join(sorted(MCNC_SUITE))}), 'example', or a "
-        f".eqn/.pla/.blif path"
-    )
+    try:
+        return load_circuit(spec, scale=scale)
+    except UnknownCircuitError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
 
 
 def _cmd_factor(args: argparse.Namespace) -> int:
     net = _load_circuit(args.circuit, args.scale)
     initial = net.literal_count()
-    if args.algorithm == "sequential":
+    cache_note: Optional[str] = None
+    if args.cache:
+        from repro.service import FactorizationJob, get_default_engine
+
+        engine = get_default_engine()
+        job = FactorizationJob(
+            circuit=args.circuit, network=net, algorithm=args.algorithm,
+            procs=args.procs, searcher=args.searcher, scale=args.scale,
+        )
+        res = engine.execute(job)
+        if not res.ok:
+            if res.exception is not None:
+                raise res.exception
+            raise SystemExit(f"job failed: {res.error}")
+        cache_note = "hit" if res.cache_hit else "miss"
+        final = res.final_lc
+        if args.algorithm == "sequential":
+            work, speed = res.payload.network, None
+        else:
+            base = engine.execute(FactorizationJob(
+                circuit=args.circuit, network=net, algorithm="baseline",
+                scale=args.scale,
+            ))
+            work = res.payload.network
+            speed = (
+                base.payload.time / res.payload.parallel_time
+                if res.payload.parallel_time else None
+            )
+    elif args.algorithm == "sequential":
         from repro.rectangles import kernel_extract
 
         work = net.copy()
@@ -79,6 +94,8 @@ def _cmd_factor(args: argparse.Namespace) -> int:
           f"(ratio {final / initial:.3f})")
     if speed is not None:
         print(f"speedup      : {speed:.2f}x over the sequential baseline")
+    if cache_note is not None:
+        print(f"cache        : {cache_note}")
     if args.output:
         from repro.network.eqn import save_eqn
 
@@ -121,13 +138,126 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_manifest_entries(text: str) -> List[dict]:
+    """Parse a batch manifest: JSON (list or {"jobs": [...]}) or lines.
+
+    The line format is ``CIRCUIT ALGORITHM [key=value ...]`` with ``#``
+    comments; values are coerced to int/float where they parse as such.
+    """
+    import json
+
+    try:
+        data = json.loads(text)
+    except ValueError:
+        data = None
+    if data is not None:
+        entries = data.get("jobs", []) if isinstance(data, dict) else data
+        if not isinstance(entries, list):
+            raise SystemExit("manifest JSON must be a list or {'jobs': [...]}")
+        return [dict(e) for e in entries]
+    entries = []
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        if len(tokens) < 2:
+            raise SystemExit(
+                f"manifest line {lineno}: expected 'CIRCUIT ALGORITHM "
+                f"[key=value ...]', got {raw!r}"
+            )
+        entry: dict = {"circuit": tokens[0], "algorithm": tokens[1]}
+        for token in tokens[2:]:
+            if "=" not in token:
+                raise SystemExit(
+                    f"manifest line {lineno}: expected key=value, got {token!r}"
+                )
+            key, value = token.split("=", 1)
+            for conv in (int, float):
+                try:
+                    value = conv(value)
+                    break
+                except ValueError:
+                    continue
+            entry[key] = value
+        entries.append(entry)
+    return entries
+
+
+def _manifest_jobs(entries: List[dict], default_scale: float) -> List:
+    """Fresh job objects from manifest entries (jobs are single-use)."""
+    from repro.service import FactorizationJob
+
+    jobs = []
+    known = {
+        "circuit", "algorithm", "procs", "searcher", "scale", "priority",
+        "deadline", "node_budget", "max_retries", "allow_degrade",
+    }
+    for entry in entries:
+        kwargs = {k: v for k, v in entry.items() if k in known}
+        kwargs.setdefault("scale", default_scale)
+        params = {k: v for k, v in entry.items() if k not in known}
+        try:
+            jobs.append(FactorizationJob(params=params, **kwargs))
+        except (TypeError, ValueError) as exc:
+            raise SystemExit(f"bad manifest entry {entry!r}: {exc}") from None
+    return jobs
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from repro.service import FactorizationEngine
+
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.repeat < 1:
+        print("error: --repeat must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        text = pathlib.Path(args.manifest).read_text()
+    except OSError as exc:
+        print(f"error: cannot read manifest: {exc}", file=sys.stderr)
+        return 2
+    entries = _parse_manifest_entries(text)
+    if not entries:
+        print("error: manifest contains no jobs", file=sys.stderr)
+        return 2
+    engine = FactorizationEngine(workers=args.workers, use_cache=args.cache)
+    reports = []
+    for n in range(args.repeat):
+        report = engine.run_batch(_manifest_jobs(entries, args.scale))
+        reports.append(report)
+        if args.repeat > 1:
+            print(f"--- pass {n + 1}/{args.repeat} ---")
+        print(report.render())
+        print()
+    if args.repeat > 1:
+        times = ", ".join(f"{r.wall_time:.3f}s" for r in reports)
+        print(f"pass wall times: {times}")
+    print("metrics:")
+    print(engine.metrics.render())
+    if args.json:
+        payload = {"passes": [r.to_dict() for r in reports]}
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0 if all(r.ok for r in reports[-1].results) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
-    """Construct the argparse CLI (factor / run-table / info / stats / compare)."""
+    """Construct the argparse CLI (factor / batch / run-table / info / …)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Parallel algebraic factorization (Roy & Banerjee, IPPS 1997)",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list the named circuits (MCNC stand-ins + 'example') and exit",
+    )
+    sub = parser.add_subparsers(dest="command")
 
     p_factor = sub.add_parser("factor", help="factor one circuit")
     p_factor.add_argument("circuit")
@@ -141,7 +271,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_factor.add_argument("--procs", type=int, default=4)
     p_factor.add_argument("--scale", type=float, default=1.0)
     p_factor.add_argument("--output", help="write result as .eqn")
+    p_factor.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=False,
+        help="route through the shared result cache (repro.service)",
+    )
     p_factor.set_defaults(fn=_cmd_factor)
+
+    p_batch = sub.add_parser(
+        "batch", help="run a manifest of jobs through the batch engine"
+    )
+    p_batch.add_argument("manifest", help="JSON or line-format job manifest")
+    p_batch.add_argument("--workers", type=int, default=4)
+    p_batch.add_argument("--repeat", type=int, default=1,
+                         help="run the manifest K times (cache warm-up demo)")
+    p_batch.add_argument("--scale", type=float, default=1.0,
+                         help="default scale for entries that omit one")
+    p_batch.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=True,
+        help="enable/disable the content-addressed result cache",
+    )
+    p_batch.add_argument("--json", help="dump results + metrics as JSON")
+    p_batch.set_defaults(fn=_cmd_batch)
 
     p_table = sub.add_parser("run-table", help="regenerate a paper table")
     p_table.add_argument(
@@ -237,7 +387,16 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[list] = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list:
+        from repro.circuits import available_circuits
+
+        for name in available_circuits():
+            print(name)
+        return 0
+    if args.command is None:
+        parser.error("a command is required (or --list)")
     return args.fn(args)
 
 

@@ -1,0 +1,55 @@
+"""Batch factorization serving layer.
+
+The paper measures factorization as ~61% of synthesis runtime (Table 1)
+and its three parallel algorithms trade quality for speed differently
+per circuit — which makes a serving layer that schedules many circuits,
+reuses repeated work, and degrades gracefully the natural next tier
+above the algorithm substrate.  This package provides it:
+
+- :mod:`~repro.service.jobs` — job/result models, the
+  PENDING/RUNNING/DONE/FAILED/RETRYING lifecycle, a priority queue;
+- :mod:`~repro.service.engine` — :class:`FactorizationEngine`: bounded
+  worker pool, per-job deadlines and node budgets, retry with backoff,
+  exhaustive→ping-pong degradation (the paper's DNF rows, served);
+- :mod:`~repro.service.cache` — content-addressed LRU result cache;
+- :mod:`~repro.service.metrics` — counters/timers/histograms with one
+  snapshot export.
+
+Entry points: ``python -m repro batch MANIFEST`` runs a manifest through
+the engine; ``python -m repro factor --cache`` routes one-shot calls
+through the shared default engine; :mod:`repro.harness.experiments`
+routes table runs through it so repeated circuit×algorithm cells are
+computed once.
+"""
+
+from repro.service.cache import ResultCache, canonical_job_key, canonical_network_text
+from repro.service.engine import (
+    BatchReport,
+    FactorizationEngine,
+    JobTimeout,
+    SequentialRun,
+    get_default_engine,
+    reset_default_engine,
+)
+from repro.service.jobs import FactorizationJob, JobQueue, JobResult, JobStatus
+from repro.service.metrics import Counter, Histogram, MetricsRegistry, Timer
+
+__all__ = [
+    "BatchReport",
+    "Counter",
+    "FactorizationEngine",
+    "FactorizationJob",
+    "Histogram",
+    "JobQueue",
+    "JobResult",
+    "JobStatus",
+    "JobTimeout",
+    "MetricsRegistry",
+    "ResultCache",
+    "SequentialRun",
+    "Timer",
+    "canonical_job_key",
+    "canonical_network_text",
+    "get_default_engine",
+    "reset_default_engine",
+]

@@ -1,0 +1,450 @@
+"""The batch factorization engine: workers, retries, degradation, cache.
+
+:class:`FactorizationEngine` is the serving layer on top of the
+algorithm substrate (:mod:`repro.rectangles`, :mod:`repro.parallel`).
+It accepts :class:`~repro.service.jobs.FactorizationJob`\\ s, runs them on
+a bounded thread pool in priority order, enforces per-attempt wall-clock
+deadlines and rectangle-search node budgets, retries failures with
+exponential backoff, and — mirroring the paper's DNF rows — *degrades*
+instead of dying: a job whose exhaustive rectangle search blows its
+budget or deadline is retried with the ping-pong heuristic, trading
+quality for an answer.
+
+Results are memoized in a content-addressed LRU cache
+(:mod:`repro.service.cache`) keyed by the canonical network text and the
+computation parameters, so repeated circuit × algorithm cells — common
+across the paper's tables and across batch manifests — are computed
+once.  A degradation memo remembers which requested configurations had
+to fall back, so re-submissions skip straight to the fallback instead of
+re-paying the timeout.  All activity feeds one
+:class:`~repro.service.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.network.boolean_network import BooleanNetwork
+from repro.rectangles.cover import KernelExtractionResult, kernel_extract
+from repro.rectangles.search import BudgetExceeded, SearchBudget
+from repro.service.cache import ResultCache, canonical_job_key
+from repro.service.jobs import FactorizationJob, JobQueue, JobResult, JobStatus
+from repro.service.metrics import MetricsRegistry
+
+__all__ = [
+    "JobTimeout",
+    "SequentialRun",
+    "BatchReport",
+    "FactorizationEngine",
+    "get_default_engine",
+    "reset_default_engine",
+]
+
+
+class JobTimeout(Exception):
+    """An attempt exceeded its wall-clock deadline."""
+
+
+@dataclass
+class SequentialRun:
+    """Payload of a sequential job: the run record plus the network."""
+
+    result: KernelExtractionResult
+    network: BooleanNetwork
+
+    @property
+    def initial_lc(self) -> int:
+        return self.result.initial_lc
+
+    @property
+    def final_lc(self) -> int:
+        return self.result.final_lc
+
+
+@dataclass
+class BatchReport:
+    """Everything one batch run produced, renderable for the CLI."""
+
+    results: List[JobResult]
+    wall_time: float
+    metrics: Dict[str, Dict] = field(default_factory=dict)
+    cache_stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def done(self) -> int:
+        return sum(1 for r in self.results if r.ok)
+
+    @property
+    def failed(self) -> int:
+        return len(self.results) - self.done
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.results if r.cache_hit)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "results": [r.to_dict() for r in self.results],
+            "wall_time": self.wall_time,
+            "metrics": self.metrics,
+            "cache": self.cache_stats,
+        }
+
+    def render(self) -> str:
+        header = (
+            f"{'job':<10} {'circuit':<12} {'algorithm':<12} {'procs':>5} "
+            f"{'status':<8} {'attempts':>8} {'cache':<5} {'lits':<14} {'time':>8}"
+        )
+        lines = [header, "-" * len(header)]
+        for r in self.results:
+            lits = (
+                f"{r.initial_lc} -> {r.final_lc}"
+                if r.initial_lc is not None and r.final_lc is not None
+                else "—"
+            )
+            status = str(r.status) + ("*" if r.degraded else "")
+            lines.append(
+                f"{r.job_id:<10} {r.circuit:<12} {r.algorithm:<12} {r.procs:>5} "
+                f"{status:<8} {r.attempts:>8} {'hit' if r.cache_hit else 'miss':<5} "
+                f"{lits:<14} {r.elapsed:>7.3f}s"
+            )
+        lines.append(
+            f"{self.done}/{len(self.results)} done ({self.failed} failed, "
+            f"{self.cache_hits} cache hits) in {self.wall_time:.3f}s"
+        )
+        if any(r.degraded for r in self.results):
+            lines.append("* = degraded to the ping-pong heuristic (budget/deadline)")
+        return "\n".join(lines)
+
+
+class FactorizationEngine:
+    """Bounded-concurrency batch runner with caching and degradation.
+
+    Parameters
+    ----------
+    workers:
+        Thread-pool size.  Defaults to 4 — enough to overlap jobs while
+        the GIL serializes the pure-Python inner loops.
+    cache:
+        A :class:`ResultCache`, or None to create one wired to this
+        engine's metrics.  Pass ``use_cache=False`` to disable lookups
+        entirely (results are still computed, never reused).
+    max_retries:
+        Extra attempts after the first failure (total attempts =
+        ``max_retries + 1``); per-job override via ``job.max_retries``.
+    backoff / backoff_factor:
+        Sleep ``backoff * backoff_factor**(attempt-1)`` seconds between
+        attempts.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        cache: Optional[ResultCache] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        use_cache: bool = True,
+        max_retries: int = 2,
+        backoff: float = 0.05,
+        backoff_factor: float = 2.0,
+        default_deadline: Optional[float] = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.cache = cache if cache is not None else ResultCache(metrics=self.metrics)
+        self.use_cache = use_cache
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.backoff_factor = backoff_factor
+        self.default_deadline = default_deadline
+        self.queue = JobQueue()
+        self._id_lock = threading.Lock()
+        self._next_id = 0
+        #: requested-key -> degraded job fields, so re-submissions of a
+        #: configuration that already proved infeasible skip the timeout.
+        self._degrade_memo: Dict[str, Dict[str, Any]] = {}
+
+    # ------------------------------------------------------------------
+    # submission API
+    # ------------------------------------------------------------------
+
+    def submit(self, job: FactorizationJob) -> str:
+        """Queue a job; returns its assigned id."""
+        self._assign_id(job)
+        self.metrics.inc("jobs_submitted")
+        self.queue.put(job)
+        return job.job_id
+
+    def run_pending(self) -> List[JobResult]:
+        """Drain the queue on the worker pool; results in dispatch order."""
+        jobs = self.queue.drain()
+        if not jobs:
+            return []
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            futures = [pool.submit(self._run_job, job) for job in jobs]
+            return [f.result() for f in futures]
+
+    def run_batch(self, jobs: List[FactorizationJob]) -> BatchReport:
+        """Submit *jobs*, run them all, and assemble a report."""
+        with self.metrics.timer("batch") as timer:
+            for job in jobs:
+                self.submit(job)
+            results = self.run_pending()
+        return BatchReport(
+            results=results,
+            wall_time=timer.elapsed or 0.0,
+            metrics=self.metrics.snapshot(),
+            cache_stats=self.cache.stats(),
+        )
+
+    def execute(self, job: FactorizationJob) -> JobResult:
+        """Run one job synchronously on the calling thread."""
+        self._assign_id(job)
+        self.metrics.inc("jobs_submitted")
+        return self._run_job(job)
+
+    # ------------------------------------------------------------------
+    # the job lifecycle
+    # ------------------------------------------------------------------
+
+    def _assign_id(self, job: FactorizationJob) -> None:
+        if not job.job_id:
+            with self._id_lock:
+                job.job_id = f"job-{self._next_id:04d}"
+                self._next_id += 1
+
+    def _retry_budget(self, job: FactorizationJob) -> int:
+        return self.max_retries if job.max_retries is None else job.max_retries
+
+    def _result_for(self, job: FactorizationJob, **kw) -> JobResult:
+        return JobResult(
+            job_id=job.job_id,
+            circuit=job.circuit or (job.network.name if job.network else "?"),
+            algorithm=job.algorithm,
+            procs=job.procs,
+            status=job.status,
+            attempts=job.attempts,
+            degraded=job.degraded,
+            history=list(job.history),
+            error=job.error,
+            **kw,
+        )
+
+    def _run_job(self, job: FactorizationJob) -> JobResult:
+        start = time.perf_counter()
+        if job.allow_degrade:
+            try:
+                memo = self._degrade_memo.get(self._job_key(job))
+            except Exception:  # unresolvable circuit: let the attempt fail it
+                memo = None
+            if memo is not None:
+                for k, v in memo.items():
+                    setattr(job, k, v)
+                job.degraded = True
+                self.metrics.inc("degrade_memo_hits")
+        retries = self._retry_budget(job)
+        while True:
+            job.attempts += 1
+            self.metrics.inc("jobs_attempts")
+            job.transition(JobStatus.RUNNING)
+            try:
+                payload, cache_hit = self._attempt(job)
+            except Exception as exc:  # noqa: BLE001 - lifecycle boundary
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.transition(JobStatus.FAILED)
+                self.metrics.inc("jobs_failed_attempts")
+                if isinstance(exc, JobTimeout):
+                    self.metrics.inc("jobs_timeouts")
+                if isinstance(exc, BudgetExceeded):
+                    self.metrics.inc("jobs_budget_exceeded")
+                if job.attempts > retries:
+                    self.metrics.inc("jobs_failed")
+                    return self._result_for(
+                        job,
+                        elapsed=time.perf_counter() - start,
+                        exception=exc,
+                    )
+                job.transition(JobStatus.RETRYING)
+                self.metrics.inc("jobs_retries")
+                self._maybe_degrade(job, exc)
+                delay = self.backoff * self.backoff_factor ** (job.attempts - 1)
+                if delay > 0:
+                    time.sleep(delay)
+                continue
+            job.error = None
+            job.transition(JobStatus.DONE)
+            self.metrics.inc("jobs_completed")
+            if job.degraded:
+                self.metrics.inc("jobs_degraded")
+            elapsed = time.perf_counter() - start
+            self.metrics.histogram("job_seconds").observe(elapsed)
+            return self._result_for(
+                job,
+                cache_hit=cache_hit,
+                elapsed=elapsed,
+                initial_lc=getattr(payload, "initial_lc", None),
+                final_lc=getattr(payload, "final_lc", None),
+                payload=payload,
+            )
+
+    def _maybe_degrade(self, job: FactorizationJob, exc: Exception) -> None:
+        """Swap in the cheap fallback after a budget/deadline failure.
+
+        The fallback drops the deadline and node budget: graceful
+        degradation promises *an* answer, and the ping-pong heuristic
+        terminates on every circuit the suite contains.
+        """
+        if not job.allow_degrade or job.degraded:
+            return
+        if not isinstance(exc, (JobTimeout, BudgetExceeded)):
+            return
+        requested_key = self._job_key(job)
+        fallback: Dict[str, Any] = {"deadline": None, "node_budget": None}
+        if job.algorithm == "replicated":
+            # The replicated algorithm *is* the exhaustive search; its
+            # fallback is the sequential SIS loop (paper: the DNF rows).
+            fallback.update(algorithm="sequential", searcher="pingpong", procs=1)
+        elif job.searcher == "exhaustive":
+            fallback.update(searcher="pingpong")
+        else:
+            return
+        for k, v in fallback.items():
+            setattr(job, k, v)
+        job.degraded = True
+        self._degrade_memo[requested_key] = fallback
+
+    # ------------------------------------------------------------------
+    # one attempt
+    # ------------------------------------------------------------------
+
+    def _job_key(self, job: FactorizationJob) -> str:
+        return canonical_job_key(
+            job.resolve_network(),
+            job.algorithm,
+            job.procs,
+            params=job.params,
+            searcher=job.searcher,
+            node_budget=job.node_budget,
+        )
+
+    def _attempt(self, job: FactorizationJob):
+        """Run one attempt; returns (payload, cache_hit)."""
+        network = job.resolve_network()
+        key = self._job_key(job) if self.use_cache else None
+        if key is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                # Shallow copy: callers may annotate the payload (e.g.
+                # set sequential_time) without touching the cached one.
+                return copy.copy(cached), True
+        deadline = job.deadline if job.deadline is not None else self.default_deadline
+
+        def compute():
+            return self._dispatch(job, network)
+
+        payload = (
+            _call_with_deadline(compute, deadline)
+            if deadline is not None
+            else compute()
+        )
+        if key is not None:
+            self.cache.put(key, payload)
+        return payload, False
+
+    def _dispatch(self, job: FactorizationJob, network: BooleanNetwork):
+        params = dict(job.params)
+        if job.algorithm == "sequential":
+            work = network.copy()
+            budget = (
+                SearchBudget(job.node_budget)
+                if job.node_budget is not None and job.searcher == "exhaustive"
+                else None
+            )
+            result = kernel_extract(
+                work, searcher=job.searcher, budget=budget,
+                max_seeds=params.pop("max_seeds", 64), **params,
+            )
+            return SequentialRun(result=result, network=work)
+        if job.algorithm == "baseline":
+            from repro.parallel.common import sequential_baseline
+
+            return sequential_baseline(
+                network, searcher=job.searcher,
+                max_seeds=params.pop("max_seeds", 64),
+            )
+        if job.algorithm == "replicated":
+            from repro.parallel.replicated import replicated_kernel_extract
+
+            if job.node_budget is not None:
+                params.setdefault("search_budget", job.node_budget)
+            return replicated_kernel_extract(network, job.procs, **params)
+        if job.algorithm == "independent":
+            from repro.parallel.independent import independent_kernel_extract
+
+            return independent_kernel_extract(network, job.procs, **params)
+        if job.algorithm == "lshaped":
+            from repro.parallel.lshaped import lshaped_kernel_extract
+
+            return lshaped_kernel_extract(network, job.procs, **params)
+        raise ValueError(f"unknown algorithm {job.algorithm!r}")
+
+
+def _call_with_deadline(fn: Callable[[], Any], deadline: float) -> Any:
+    """Run *fn* in a helper thread; :class:`JobTimeout` past *deadline*.
+
+    Python threads cannot be force-killed, so a timed-out computation is
+    abandoned (daemon thread) and its eventual result discarded — the
+    bounded pool stays responsive and the retry proceeds immediately.
+    """
+    box: Dict[str, Any] = {}
+    done = threading.Event()
+
+    def target() -> None:
+        try:
+            box["value"] = fn()
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            box["error"] = exc
+        finally:
+            done.set()
+
+    thread = threading.Thread(target=target, daemon=True, name="job-attempt")
+    thread.start()
+    if not done.wait(deadline):
+        raise JobTimeout(f"attempt exceeded deadline of {deadline}s")
+    if "error" in box:
+        raise box["error"]
+    return box["value"]
+
+
+# ----------------------------------------------------------------------
+# process-wide default engine (CLI --cache, harness table runs)
+# ----------------------------------------------------------------------
+
+_DEFAULT_ENGINE: Optional[FactorizationEngine] = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def get_default_engine(create: bool = True) -> Optional[FactorizationEngine]:
+    """The shared process-wide engine (CLI and harness use one cache).
+
+    With ``create=False`` returns None when no engine exists yet — used
+    by reporting hooks that must not fabricate empty metrics.
+    """
+    global _DEFAULT_ENGINE
+    with _DEFAULT_LOCK:
+        if _DEFAULT_ENGINE is None and create:
+            _DEFAULT_ENGINE = FactorizationEngine()
+        return _DEFAULT_ENGINE
+
+
+def reset_default_engine() -> None:
+    """Drop the shared engine (tests; also frees its cache)."""
+    global _DEFAULT_ENGINE
+    with _DEFAULT_LOCK:
+        _DEFAULT_ENGINE = None

@@ -1,0 +1,55 @@
+"""Table runs route through the shared engine and reuse cached cells."""
+
+import pytest
+
+from repro.harness import experiments
+from repro.service import JobStatus, reset_default_engine
+
+
+@pytest.fixture(autouse=True)
+def fresh_engine():
+    reset_default_engine()
+    yield
+    reset_default_engine()
+
+
+class TestTableRouting:
+    def test_tables_share_cached_cells(self):
+        experiments.run_table6(scale=0.03, circuits=["dalu"], procs=(2,))
+        engine = experiments.table_engine()
+        assert engine.cache.hits == 0
+        # Table 4 re-runs the same baseline and the same lshaped@2 cell.
+        experiments.run_table4(scale=0.03, circuits=["dalu"], ways=(2,))
+        assert engine.cache.hits >= 2
+
+    def test_engine_run_reraises_budget_exceeded(self):
+        from repro.rectangles.search import BudgetExceeded
+
+        net = experiments.get_circuit("dalu", 0.03)
+        with pytest.raises(BudgetExceeded):
+            experiments._engine_run("replicated", net, 2, search_budget=5)
+        # table jobs never degrade: the failure is terminal on attempt 1
+        counters = experiments.table_engine().metrics.snapshot()["counters"]
+        assert counters["jobs_failed"] == 1
+        assert counters.get("jobs_retries", 0) == 0
+
+    def test_table2_budget_exceeded_renders_dnf(self):
+        table = experiments.run_table2(
+            scale=0.03, circuits=["dalu"], procs=(2,), search_budget=5,
+        )
+        assert "budget exceeded" in table.render()
+
+    def test_engine_baseline_matches_direct_call(self):
+        from repro.parallel.common import sequential_baseline
+
+        net = experiments.get_circuit("dalu", 0.03)
+        via_engine = experiments._engine_baseline(net)
+        direct = sequential_baseline(net)
+        assert via_engine.result.final_lc == direct.result.final_lc
+        assert via_engine.time == direct.time
+
+    def test_table_jobs_complete_cleanly(self):
+        experiments.run_table3(scale=0.03, circuits=["dalu"], procs=(2,))
+        counters = experiments.table_engine().metrics.snapshot()["counters"]
+        assert counters["jobs_completed"] == counters["jobs_submitted"]
+        assert counters.get("jobs_degraded", 0) == 0
