@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Time the legacy vs bitmask rectangle-search cores; write BENCH_rectsearch.json.
+
+Usage:
+
+    PYTHONPATH=src python scripts/perf_check.py            # full suite
+    PYTHONPATH=src python scripts/perf_check.py --quick    # CI smoke suite
+    PYTHONPATH=src python scripts/perf_check.py --check    # non-zero exit on regression
+
+``--check`` fails (exit 1) when the bitmask core is slower than the
+legacy core in geomean, or when any workload's two cores disagree on
+the search result — the CI perf-smoke gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.harness.perfcheck import render_report, run_perf_check, write_report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="run the miniature CI smoke suite instead of the full one",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 if the bit core is slower than legacy or results diverge",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=1.0,
+        help="geomean speedup the --check gate requires (default 1.0)",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path,
+        default=REPO_ROOT / "benchmarks" / "results" / "BENCH_rectsearch.json",
+        help="output JSON path (default benchmarks/results/BENCH_rectsearch.json)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_perf_check(quick=args.quick)
+    print(render_report(report))
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    write_report(report, args.out)
+    print(f"wrote {args.out}")
+
+    if args.check:
+        if not report["all_results_match"]:
+            print("FAIL: search cores disagree on at least one workload",
+                  file=sys.stderr)
+            return 1
+        if report["geomean_speedup"] < args.min_speedup:
+            print(
+                f"FAIL: geomean speedup {report['geomean_speedup']:.2f}x "
+                f"< required {args.min_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

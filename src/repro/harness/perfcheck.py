@@ -1,0 +1,222 @@
+"""Old-vs-new rectangle-search timing: the repo's perf trajectory.
+
+This module is the shared engine behind ``scripts/perf_check.py`` (the
+CLI / CI perf-smoke runner) and ``benchmarks/bench_bitview_search.py``
+(the pytest-benchmark wrapper).  It times the legacy sparse-set search
+core against the dense bitmask core (:mod:`repro.rectangles.bitview`)
+on a fixed workload suite — the MCNC stand-in circuits plus the paper's
+worked examples — and reports per-workload wall time, search nodes/sec
+and speedup, plus the suite geomean, as the JSON written to
+``benchmarks/results/BENCH_rectsearch.json``.
+
+Every timed pair is also cross-checked: a workload whose two cores
+disagree on the result is reported as a failure, so the perf harness
+doubles as an end-to-end differential test on real matrices.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.circuits.examples import paper_example_network
+from repro.circuits.mcnc import make_circuit
+from repro.machine.costmodel import CostMeter
+from repro.network.boolean_network import BooleanNetwork
+from repro.rectangles.kcmatrix import KCMatrix, build_kc_matrix
+from repro.rectangles.pingpong import best_rectangle_pingpong, pingpong_candidates
+from repro.rectangles.search import (
+    BudgetExceeded,
+    SearchBudget,
+    best_rectangle_exhaustive,
+)
+
+#: JSON schema version for BENCH_rectsearch.json.
+SCHEMA = "rectsearch/1"
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One timed search task: a circuit's KC matrix under one searcher."""
+
+    name: str
+    circuit: str
+    scale: float
+    searcher: str  # "exhaustive" | "pingpong" | "pingpong-all"
+    budget: Optional[int] = None  # exhaustive node cap (None = unbounded)
+    max_seeds: Optional[int] = 64
+    repeats: int = 3
+
+
+#: The full suite: exhaustive search on the matrices the replicated
+#: algorithm can finish, budget-truncated exhaustive search on the
+#: matrices it cannot (the paper's DNF regime: spla/ex1010), the seeded
+#: ping-pong heuristic the sequential baseline runs, and all-seeds
+#: ping-pong as used by the timing-driven extraction loop.  Workload
+#: sizes are chosen so each timing is a few to a few hundred
+#: milliseconds — large enough that best-of-repeats wall time measures
+#: the search, not timer noise (the sub-millisecond paper example eq1
+#: is timed in the quick suite and cross-checked for equivalence
+#: everywhere).
+FULL_SUITE: List[Workload] = [
+    Workload("misex3@1/exhaustive", "misex3", 1.0, "exhaustive",
+             budget=1_000_000, repeats=5),
+    Workload("dalu@0.4/exhaustive", "dalu", 0.4, "exhaustive",
+             budget=500_000, repeats=5),
+    Workload("seq@0.2/exhaustive", "seq", 0.2, "exhaustive",
+             budget=500_000, repeats=5),
+    Workload("spla@0.2/exhaustive-dnf", "spla", 0.2, "exhaustive",
+             budget=100_000, repeats=3),
+    Workload("ex1010@0.2/exhaustive-dnf", "ex1010", 0.2, "exhaustive",
+             budget=100_000, repeats=3),
+    Workload("misex3@1/pingpong", "misex3", 1.0, "pingpong",
+             max_seeds=256, repeats=5),
+    Workload("des@0.5/pingpong", "des", 0.5, "pingpong",
+             max_seeds=256, repeats=5),
+    Workload("dalu@0.5/pingpong-all", "dalu", 0.5, "pingpong-all",
+             max_seeds=None, repeats=5),
+    Workload("des@1/pingpong-all", "des", 1.0, "pingpong-all",
+             max_seeds=None, repeats=3),
+    Workload("seq@0.5/pingpong-all", "seq", 0.5, "pingpong-all",
+             max_seeds=None, repeats=3),
+    Workload("spla@0.5/pingpong-all", "spla", 0.5, "pingpong-all",
+             max_seeds=None, repeats=3),
+    Workload("ex1010@0.4/pingpong-all", "ex1010", 0.4, "pingpong-all",
+             max_seeds=None, repeats=3),
+]
+
+#: The CI smoke suite: same shape, miniature sizes, single repeat.
+QUICK_SUITE: List[Workload] = [
+    Workload("eq1/exhaustive", "eq1", 1.0, "exhaustive", repeats=2),
+    Workload("misex3@0.1/exhaustive", "misex3", 0.1, "exhaustive",
+             budget=100_000, repeats=2),
+    Workload("dalu@0.1/exhaustive-dnf", "dalu", 0.1, "exhaustive",
+             budget=20_000, repeats=2),
+    Workload("dalu@0.2/pingpong", "dalu", 0.2, "pingpong", repeats=2),
+    Workload("des@0.2/pingpong", "des", 0.2, "pingpong", repeats=2),
+]
+
+
+def _build_network(wl: Workload) -> BooleanNetwork:
+    if wl.circuit == "eq1":
+        return paper_example_network()
+    return make_circuit(wl.circuit, scale=wl.scale)
+
+
+def _run_searcher(
+    wl: Workload, matrix: KCMatrix, core: str, meter: Optional[CostMeter] = None
+):
+    """One full search under *core*; returns a comparable result object."""
+    if wl.searcher == "exhaustive":
+        budget = SearchBudget(wl.budget) if wl.budget is not None else None
+        try:
+            return ("done", best_rectangle_exhaustive(
+                matrix, budget=budget, meter=meter, core=core
+            ))
+        except BudgetExceeded:
+            return ("dnf", budget.used)
+    if wl.searcher == "pingpong":
+        return ("done", best_rectangle_pingpong(
+            matrix, max_seeds=wl.max_seeds, meter=meter, core=core
+        ))
+    if wl.searcher == "pingpong-all":
+        return ("done", pingpong_candidates(
+            matrix, max_seeds=wl.max_seeds, meter=meter, core=core
+        ))
+    raise ValueError(f"unknown searcher {wl.searcher!r}")
+
+
+def _time_core(wl: Workload, matrix: KCMatrix, core: str) -> Tuple[float, object, float]:
+    """Best-of-repeats wall time; returns (seconds, result, search_nodes).
+
+    The bitset view is dropped before every repeat so each timing pays
+    the full compile-plus-search cost — the comparison stays honest for
+    single-shot callers like the greedy extraction loop, which rebuilds
+    the matrix (and hence the view) every iteration.
+    """
+    meter = CostMeter()
+    result = _run_searcher(wl, matrix, core, meter=meter)
+    nodes = meter.counts.get("search_node", 0.0) or meter.counts.get(
+        "pingpong_round", 0.0
+    )
+    best = math.inf
+    for _ in range(wl.repeats):
+        matrix._touch()  # drop any cached view: time compile + search
+        t0 = time.perf_counter()
+        _run_searcher(wl, matrix, core)
+        best = min(best, time.perf_counter() - t0)
+    return best, result, nodes
+
+
+def run_workload(wl: Workload) -> Dict:
+    """Time both cores on one workload; cross-check their results."""
+    net = _build_network(wl)
+    matrix = build_kc_matrix(net)
+    t_set, res_set, nodes = _time_core(wl, matrix, "set")
+    t_bit, res_bit, _ = _time_core(wl, matrix, "bit")
+    return {
+        "name": wl.name,
+        "circuit": wl.circuit,
+        "scale": wl.scale,
+        "searcher": wl.searcher,
+        "rows": matrix.num_rows,
+        "cols": matrix.num_cols,
+        "entries": matrix.num_entries,
+        "search_nodes": nodes,
+        "t_set_s": t_set,
+        "t_bit_s": t_bit,
+        "nodes_per_sec_set": nodes / t_set if t_set else None,
+        "nodes_per_sec_bit": nodes / t_bit if t_bit else None,
+        "speedup": t_set / t_bit if t_bit else None,
+        "results_match": res_set == res_bit,
+    }
+
+
+def geomean(values: List[float]) -> float:
+    vals = [v for v in values if v and v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def run_perf_check(quick: bool = False) -> Dict:
+    """Run the suite; return the BENCH_rectsearch.json payload."""
+    suite = QUICK_SUITE if quick else FULL_SUITE
+    rows = [run_workload(wl) for wl in suite]
+    report = {
+        "schema": SCHEMA,
+        "suite": "quick" if quick else "full",
+        "python": platform.python_version(),
+        "workloads": rows,
+        "geomean_speedup": geomean([r["speedup"] for r in rows]),
+        "all_results_match": all(r["results_match"] for r in rows),
+    }
+    return report
+
+
+def render_report(report: Dict) -> str:
+    """Human-readable table of a perf-check report."""
+    lines = [
+        "rectangle-search perf check "
+        f"({report['suite']} suite, python {report['python']})",
+        f"{'workload':<28} {'RxC':>11} {'entries':>8} "
+        f"{'t_set':>9} {'t_bit':>9} {'speedup':>8} {'match':>6}",
+    ]
+    for r in report["workloads"]:
+        lines.append(
+            f"{r['name']:<28} {r['rows']:>5}x{r['cols']:<5} {r['entries']:>8} "
+            f"{r['t_set_s']:>8.4f}s {r['t_bit_s']:>8.4f}s "
+            f"{r['speedup']:>7.2f}x {str(r['results_match']):>6}"
+        )
+    lines.append(f"geomean speedup: {report['geomean_speedup']:.2f}x")
+    return "\n".join(lines)
+
+
+def write_report(report: Dict, path) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")

@@ -16,6 +16,8 @@ Sub-modules:
 
 - :mod:`~repro.rectangles.kcmatrix` — the sparse matrix with the global
   offset labeling used by the parallel algorithms,
+- :mod:`~repro.rectangles.bitview` — the dense bitset compilation of the
+  matrix that the default ("bit") search core runs on,
 - :mod:`~repro.rectangles.rectangle` — rectangles and the literal-savings
   gain model,
 - :mod:`~repro.rectangles.search` — exhaustive column-anchored
@@ -26,6 +28,7 @@ Sub-modules:
   sequential kernel-extraction baseline) and network rewriting.
 """
 
+from repro.rectangles.bitview import BitKCView, default_core, resolve_core
 from repro.rectangles.kcmatrix import KCMatrix, build_kc_matrix
 from repro.rectangles.rectangle import Rectangle, rectangle_gain
 from repro.rectangles.search import (
@@ -42,6 +45,9 @@ from repro.rectangles.cover import (
 )
 
 __all__ = [
+    "BitKCView",
+    "default_core",
+    "resolve_core",
     "KCMatrix",
     "build_kc_matrix",
     "Rectangle",

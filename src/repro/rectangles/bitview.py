@@ -1,0 +1,324 @@
+"""Dense bitset view of a :class:`~repro.rectangles.kcmatrix.KCMatrix`.
+
+The rectangle searches spend nearly all of their time intersecting row
+sets, scanning candidate columns and re-valuing (row, col) cells.  The
+sparse matrix keys all of that by *global offset labels* (processor 2's
+first kernel is row 200001), so the sets are sparse ``Set[int]`` objects
+and every cell value is a fresh ``value_fn`` call.
+
+:class:`BitKCView` compiles the matrix once into a dense form:
+
+- row/column labels are remapped to dense positions ``0..R-1`` /
+  ``0..C-1`` in sorted-label order, so position order *is* label order
+  and every tie-break of the set-based searchers is preserved;
+- each column's row set and each row's column set become Python int
+  bitmasks — a row-set intersection is one big-int ``&``, a dominance
+  test one equality, a cardinality one popcount;
+- every occupied cell carries a dense *entry id* into a per-search value
+  table, and per-row ``len(cokernel) + 1`` / per-column
+  ``len(kernel_cube)`` cost tables turn row marginals and rectangle
+  gains into table lookups instead of ``value_fn`` calls;
+- rows carry dense node ids, so the distinct-cube gain correction (two
+  cells of one node naming the same original cube count once) only ever
+  hashes cubes for nodes that actually contribute several rows to a
+  rectangle — the common all-distinct case is pure table arithmetic.
+
+The view is *structural*: it never mutates the matrix and is invalidated
+by any matrix mutation (``KCMatrix`` drops its cached view on every
+``add_row``/``add_entry``/``remove_row``/``remove_col``/``merge``).  The
+value table for the pure :func:`~repro.rectangles.rectangle.default_value`
+is cached with the structure; any other ``value_fn`` (e.g. the L-shaped
+speculative cube-state values, which change between search rounds) is
+evaluated freshly per search — still once per cell instead of once per
+(row, col, visit).
+
+The labels stay the external interface: every rectangle leaving a
+bit-core search carries the original offset labels, so the parallel
+algorithms' exchange/splice protocol is untouched.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.algebra.cube import Cube
+from repro.rectangles.rectangle import ValueFn, default_value
+
+CubeRef = Tuple[str, Cube]
+
+#: The two rectangle-search cores. "bit" is the default; "set" is the
+#: legacy sparse-set implementation kept for differential testing.
+CORES = ("bit", "set")
+
+ENV_VAR = "REPRO_RECT_CORE"
+
+
+def default_core() -> str:
+    """The process-wide default core (``REPRO_RECT_CORE``, default bit)."""
+    got = os.environ.get(ENV_VAR, "bit")
+    if got not in CORES:
+        raise ValueError(f"{ENV_VAR}={got!r}: expected one of {CORES}")
+    return got
+
+
+def resolve_core(core: Optional[str]) -> str:
+    """Resolve an explicit ``core=`` argument (``None`` → the default)."""
+    if core is None:
+        return default_core()
+    if core not in CORES:
+        raise ValueError(f"unknown rectangle core {core!r}; expected one of {CORES}")
+    return core
+
+
+if hasattr(int, "bit_count"):  # Python ≥ 3.10
+    popcount = int.bit_count
+else:  # pragma: no cover - exercised on 3.9 CI only
+    def popcount(mask: int) -> int:
+        return bin(mask).count("1")
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield set-bit positions of *mask* in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class BitKCView:
+    """Dense-position bitmask compilation of one KCMatrix snapshot.
+
+    Build with :meth:`KCMatrix.bitview` (cached) rather than directly;
+    the cache guarantees at most one compilation per matrix version.
+    """
+
+    __slots__ = (
+        "row_labels",
+        "col_labels",
+        "row_pos",
+        "col_pos",
+        "row_cols",
+        "col_rows",
+        "cells",
+        "entry_cubes",
+        "row_node",
+        "node_names",
+        "row_cost",
+        "col_cost",
+        "_default_values",
+        "_neg_above",
+        "_dup_rows",
+    )
+
+    def __init__(self, matrix) -> None:
+        row_labels = sorted(matrix.rows)
+        col_labels = sorted(matrix.cols)
+        self.row_labels: List[int] = row_labels
+        self.col_labels: List[int] = col_labels
+        row_pos = {lab: i for i, lab in enumerate(row_labels)}
+        col_pos = {lab: i for i, lab in enumerate(col_labels)}
+        self.row_pos: Dict[int, int] = row_pos
+        self.col_pos: Dict[int, int] = col_pos
+        self.col_cost: List[int] = [len(matrix.cols[lab]) for lab in col_labels]
+
+        # Dense node ids: the gain correction only compares cells within
+        # one node, so rows carry an int id instead of the node name.
+        node_ids: Dict[str, int] = {}
+        row_node: List[int] = []
+        node_names: List[str] = []
+        row_cost: List[int] = []
+        rows_map = matrix.rows
+        for lab in row_labels:
+            info = rows_map[lab]
+            row_cost.append(len(info.cokernel) + 1)
+            name = info.node
+            nid = node_ids.get(name)
+            if nid is None:
+                nid = len(node_names)
+                node_ids[name] = nid
+                node_names.append(name)
+            row_node.append(nid)
+        self.row_cost: List[int] = row_cost
+        self.row_node: List[int] = row_node
+        self.node_names: List[str] = node_names
+
+        col_rows = [0] * len(col_labels)
+        row_cols = [0] * len(row_labels)
+        cells: List[Dict[int, int]] = [dict() for _ in row_labels]
+        entry_cubes: List[Cube] = []
+        eid = 0
+        for (rlab, clab), cube in matrix.entries.items():
+            rpos = row_pos[rlab]
+            cpos = col_pos[clab]
+            row_cols[rpos] |= 1 << cpos
+            col_rows[cpos] |= 1 << rpos
+            cells[rpos][cpos] = eid
+            entry_cubes.append(cube)
+            eid += 1
+        self.row_cols: List[int] = row_cols
+        self.col_rows: List[int] = col_rows
+        self.cells: List[Dict[int, int]] = cells
+        self.entry_cubes: List[Cube] = entry_cubes
+        self._default_values: Optional[List[int]] = None
+        self._neg_above: Optional[List[int]] = None
+        self._dup_rows: Optional[Set[int]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return len(self.row_labels)
+
+    @property
+    def num_cols(self) -> int:
+        return len(self.col_labels)
+
+    @property
+    def num_entries(self) -> int:
+        return len(self.entry_cubes)
+
+    def dup_rows(self) -> Set[int]:
+        """Row positions whose cells repeat an original cube.
+
+        KC matrices built from kernels never have these: a row's cubes
+        are ``cokernel ∪ kc_j`` with the kernel cubes disjoint from the
+        co-kernel, so distinct columns give distinct cubes.  Hand-built
+        matrices can violate that (a column cube may overlap the
+        co-kernel), and the distinct-cube gain correction must then also
+        dedupe within single rows.  Detection is cheap: a row is clean
+        whenever every cell's cube length equals |cokernel| + |kc| (the
+        disjoint case); only rows with an overlapping cell pay for cube
+        hashing.
+        """
+        got = self._dup_rows
+        if got is None:
+            got = set()
+            cubes = self.entry_cubes
+            col_cost = self.col_cost
+            row_cost = self.row_cost
+            for rpos, rcells in enumerate(self.cells):
+                if len(rcells) < 2:
+                    continue
+                base = row_cost[rpos] - 1
+                disjoint = True
+                for cpos, eid in rcells.items():
+                    if len(cubes[eid]) != base + col_cost[cpos]:
+                        disjoint = False
+                        break
+                if disjoint:
+                    continue
+                if len({cubes[eid] for eid in rcells.values()}) < len(rcells):
+                    got.add(rpos)
+            self._dup_rows = got
+        return got
+
+    def neg_above(self) -> List[int]:
+        """``neg_above[p] == -(1 << (p + 1))``: mask of columns above *p*.
+
+        ANDing with ``neg_above[p]`` keeps exactly the bits strictly
+        greater than ``p`` — the ordered-tree "only extend rightwards"
+        filter.  Cached so the per-node mask is a table load instead of a
+        fresh big-int shift at every search-tree node.
+        """
+        table = self._neg_above
+        if table is None:
+            table = [-(1 << (p + 1)) for p in range(len(self.col_labels))]
+            self._neg_above = table
+        return table
+
+    def value_table(self, value_fn: ValueFn = default_value) -> List[int]:
+        """Per-entry-id values under *value_fn*.
+
+        The table for the pure default value function is computed once
+        and cached with the view; any other function is evaluated per
+        call because its answers may legitimately change between calls
+        (the L-shaped cube-state protocol does exactly that).  Cells of
+        one node naming the same original cube always receive equal
+        values, so marginal sums and gains match the sparse core's
+        ``value_fn``-per-ref arithmetic exactly.
+        """
+        if value_fn is default_value:
+            vals = self._default_values
+            if vals is None:
+                vals = [len(cube) for cube in self.entry_cubes]
+                self._default_values = vals
+            return vals
+        cubes = self.entry_cubes
+        names = self.node_names
+        out: List[int] = [0] * len(cubes)
+        for rpos, rcells in enumerate(self.cells):
+            name = names[self.row_node[rpos]]
+            for eid in rcells.values():
+                out[eid] = value_fn(name, cubes[eid])
+        return out
+
+    # ------------------------------------------------------------------
+    def rect_gain(
+        self,
+        row_positions: Sequence[int],
+        col_positions: Sequence[int],
+        values: List[int],
+    ) -> int:
+        """Exact distinct-cube-counted gain of a position rectangle."""
+        cells = self.cells
+        row_node = self.row_node
+        gain = 0
+        for cpos in col_positions:
+            gain -= self.col_cost[cpos]
+        counts: Dict[int, int] = {}
+        for rpos in row_positions:
+            gain -= self.row_cost[rpos]
+            nid = row_node[rpos]
+            counts[nid] = counts.get(nid, 0) + 1
+        dup = self.dup_rows()
+        need: Set[int] = {nid for nid, k in counts.items() if k > 1}
+        if dup:
+            for rpos in row_positions:
+                if rpos in dup:
+                    need.add(row_node[rpos])
+        if not need:
+            # Every cell is a distinct (node, cube) ref: no correction.
+            for rpos in row_positions:
+                rcells = cells[rpos]
+                for cpos in col_positions:
+                    gain += values[rcells[cpos]]
+            return gain
+        cubes = self.entry_cubes
+        seen: Dict[int, Set[Cube]] = {nid: set() for nid in need}
+        for rpos in row_positions:
+            rcells = cells[rpos]
+            node_seen = seen.get(row_node[rpos])
+            if node_seen is None:
+                for cpos in col_positions:
+                    gain += values[rcells[cpos]]
+            else:
+                for cpos in col_positions:
+                    eid = rcells[cpos]
+                    cube = cubes[eid]
+                    if cube not in node_seen:
+                        node_seen.add(cube)
+                        gain += values[eid]
+        return gain
+
+    def covered_cubes_by_node(self, rect) -> Dict[str, Set[Cube]]:
+        """Distinct original cubes a (label) rectangle covers, per node."""
+        out: Dict[str, Set[Cube]] = {}
+        cells = self.cells
+        cubes = self.entry_cubes
+        names = self.node_names
+        row_pos = self.row_pos
+        col_positions = [self.col_pos[c] for c in rect.cols]
+        for rlab in rect.rows:
+            rpos = row_pos[rlab]
+            rcells = cells[rpos]
+            node = names[self.row_node[rpos]]
+            per_node = out.setdefault(node, set())
+            for cpos in col_positions:
+                per_node.add(cubes[rcells[cpos]])
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BitKCView({self.num_rows}×{self.num_cols}, "
+            f"{self.num_entries} entries)"
+        )

@@ -88,13 +88,25 @@ def apply_rectangle(
     for r in rect.rows:
         rows_by_node.setdefault(matrix.rows[r].node, []).append(r)
 
-    for node, rows in sorted(rows_by_node.items()):
-        covered: Set[Cube] = set()
-        replacements: List[Cube] = []
-        for r in rows:
+    # Overlap bookkeeping: the distinct original cubes each node loses.
+    # A search has usually just compiled the matrix's bitset view, whose
+    # dense cell ids dedupe overlapping cells without re-hashing cube
+    # tuples; fall back to the sparse entry map when no view is live.
+    view = matrix._bitview
+    if view is not None:
+        covered_by_node: Dict[str, Set[Cube]] = view.covered_cubes_by_node(rect)
+    else:
+        covered_by_node = {}
+        for r in rect.rows:
+            per_node = covered_by_node.setdefault(matrix.rows[r].node, set())
             for c in rect.cols:
-                covered.add(matrix.entries[(r, c)])
-            replacements.append(cube_union(matrix.rows[r].cokernel, (x_lit,)))
+                per_node.add(matrix.entries[(r, c)])
+
+    for node, rows in sorted(rows_by_node.items()):
+        covered = covered_by_node[node]
+        replacements: List[Cube] = [
+            cube_union(matrix.rows[r].cokernel, (x_lit,)) for r in rows
+        ]
         new_cubes = [cu for cu in network.nodes[node] if cu not in covered]
         new_cubes.extend(replacements)
         network.set_expression(node, new_cubes)
@@ -116,15 +128,20 @@ def make_searcher(
     budget: Optional[SearchBudget] = None,
     meter=None,
     max_seeds: Optional[int] = None,
+    core: Optional[str] = None,
 ) -> Searcher:
-    """Build a searcher callable from a name ("pingpong"/"exhaustive")."""
+    """Build a searcher callable from a name ("pingpong"/"exhaustive").
+
+    *core* selects the rectangle-search core ("bit"/"set"; ``None`` →
+    the ``REPRO_RECT_CORE`` default) — see :mod:`repro.rectangles.bitview`.
+    """
     if kind == "pingpong":
         return lambda m: best_rectangle_pingpong(
-            m, value_fn=value_fn, meter=meter, max_seeds=max_seeds
+            m, value_fn=value_fn, meter=meter, max_seeds=max_seeds, core=core
         )
     if kind == "exhaustive":
         return lambda m: best_rectangle_exhaustive(
-            m, value_fn=value_fn, budget=budget, meter=meter
+            m, value_fn=value_fn, budget=budget, meter=meter, core=core
         )
     raise ValueError(f"unknown searcher {kind!r}")
 
@@ -139,6 +156,7 @@ def kernel_extract(
     meter=None,
     name_prefix: str = "[k",
     max_seeds: Optional[int] = 64,
+    core: Optional[str] = None,
 ) -> KernelExtractionResult:
     """Run greedy kernel extraction in place; return the run record.
 
@@ -151,7 +169,7 @@ def kernel_extract(
     """
     if isinstance(searcher, str):
         searcher = make_searcher(
-            searcher, budget=budget, meter=meter, max_seeds=max_seeds
+            searcher, budget=budget, meter=meter, max_seeds=max_seeds, core=core
         )
     active: Set[str] = set(nodes) if nodes is not None else set(network.nodes)
     for n in active:

@@ -47,15 +47,25 @@ class KCMatrix:
     entries: Dict[Tuple[int, int], Cube] = field(default_factory=dict)
     by_row: Dict[int, Set[int]] = field(default_factory=dict)
     by_col: Dict[int, Set[int]] = field(default_factory=dict)
+    node_rows: Dict[str, Set[int]] = field(default_factory=dict)
+    _version: int = field(default=0, repr=False, compare=False)
+    _bitview: Optional[object] = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
+    def _touch(self) -> None:
+        """Record a structural mutation; drops the cached bitset view."""
+        self._version += 1
+        self._bitview = None
+
     def add_row(self, label: int, node: str, cokernel: Cube) -> None:
         if label in self.rows:
             raise ValueError(f"duplicate row label {label}")
         self.rows[label] = RowInfo(node, cokernel)
         self.by_row[label] = set()
+        self.node_rows.setdefault(node, set()).add(label)
+        self._touch()
 
     def ensure_col(self, cube: Cube, label_factory: Callable[[], int]) -> int:
         """Return the column label for *cube*, creating it if new."""
@@ -68,6 +78,7 @@ class KCMatrix:
         self.cols[label] = cube
         self.col_of_cube[cube] = label
         self.by_col[label] = set()
+        self._touch()
         return label
 
     def add_entry(self, row: int, col: int) -> None:
@@ -75,12 +86,20 @@ class KCMatrix:
         self.entries[(row, col)] = cube_union(info.cokernel, self.cols[col])
         self.by_row[row].add(col)
         self.by_col[col].add(row)
+        self._touch()
 
     def remove_row(self, label: int) -> None:
         for col in self.by_row.pop(label, set()):
             self.by_col[col].discard(label)
             self.entries.pop((label, col), None)
-        self.rows.pop(label, None)
+        info = self.rows.pop(label, None)
+        if info is not None:
+            node_set = self.node_rows.get(info.node)
+            if node_set is not None:
+                node_set.discard(label)
+                if not node_set:
+                    del self.node_rows[info.node]
+        self._touch()
 
     def remove_col(self, label: int) -> None:
         cube = self.cols.get(label)
@@ -90,6 +109,7 @@ class KCMatrix:
         if cube is not None:
             self.col_of_cube.pop(cube, None)
         self.cols.pop(label, None)
+        self._touch()
 
     # ------------------------------------------------------------------
     # Queries
@@ -118,27 +138,48 @@ class KCMatrix:
         return (self.rows[row].node, self.entries[(row, col)])
 
     def rows_of_node(self, node: str) -> List[int]:
-        return [r for r, info in self.rows.items() if info.node == node]
+        """Row labels of *node*, via the maintained ``node_rows`` index."""
+        return sorted(self.node_rows.get(node, ()))
+
+    def bitview(self):
+        """The cached dense bitset view (see :mod:`repro.rectangles.bitview`).
+
+        Compiled lazily and dropped by every structural mutation, so the
+        greedy extraction loops rebuild it exactly once per matrix
+        version no matter how many searches share the matrix.
+        """
+        view = self._bitview
+        if view is None:
+            from repro.rectangles.bitview import BitKCView
+
+            view = BitKCView(self)
+            self._bitview = view
+        return view
 
     def submatrix_columns(self, col_labels: Iterable[int]) -> "KCMatrix":
-        """Restriction to a set of columns (all rows with entries kept)."""
-        keep = set(col_labels)
+        """Restriction to a set of columns (all rows with entries kept).
+
+        Walks the ``by_col`` adjacency of the kept columns only, so the
+        cost is proportional to the entries *kept*, not the total entry
+        count — this sits inside the L-shaped B_ij exchange, which calls
+        it once per processor pair.
+        """
         out = KCMatrix()
-        for c in keep:
-            if c not in self.cols:
+        for c in sorted(set(col_labels)):
+            cube = self.cols.get(c)
+            if cube is None:
                 continue
-            out.cols[c] = self.cols[c]
-            out.col_of_cube[self.cols[c]] = c
+            out.cols[c] = cube
+            out.col_of_cube[cube] = c
             out.by_col[c] = set()
-        for (r, c), cube in self.entries.items():
-            if c not in keep:
-                continue
-            if r not in out.rows:
-                out.rows[r] = self.rows[r]
-                out.by_row[r] = set()
-            out.entries[(r, c)] = cube
-            out.by_row[r].add(c)
-            out.by_col[c].add(r)
+            for r in sorted(self.by_col[c]):
+                if r not in out.rows:
+                    info = self.rows[r]
+                    out.add_row(r, info.node, info.cokernel)
+                out.entries[(r, c)] = self.entries[(r, c)]
+                out.by_row[r].add(c)
+                out.by_col[c].add(r)
+        out._touch()
         return out
 
     def merge(self, other: "KCMatrix") -> None:
@@ -164,6 +205,7 @@ class KCMatrix:
                 self.cols[label] = cube
                 self.col_of_cube[cube] = label
                 self.by_col[label] = set()
+                self._touch()
             elif mine != cube:
                 raise ValueError(f"column label clash at {label}")
         for (r, c) in other.entries.keys():

@@ -12,12 +12,21 @@ The sequential baseline of this reproduction ("SIS") uses this searcher;
 it is fast enough for the largest circuits, unlike the exhaustive search
 of :mod:`repro.rectangles.search` which the replicated parallel algorithm
 uses (and which DNFs on them, as in the paper).
+
+Like the exhaustive search, the heuristic runs on either core
+(``core=`` / ``REPRO_RECT_CORE``): the default ``"bit"`` core drives the
+ascents over the dense bitmask view — candidate sets are single ``&``
+operations and cell values are table lookups — while ``"set"`` is the
+legacy sparse implementation.  Both produce identical local optima,
+identical rankings and the identical best rectangle.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+from operator import itemgetter, mul
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
+from repro.rectangles.bitview import popcount, resolve_core
 from repro.rectangles.kcmatrix import KCMatrix
 from repro.rectangles.rectangle import (
     Rectangle,
@@ -84,30 +93,8 @@ def _rows_for_cols(
     return tuple(chosen)
 
 
-def pingpong_candidates(
-    matrix: KCMatrix,
-    value_fn: ValueFn = default_value,
-    min_cols: int = 2,
-    max_seeds: Optional[int] = None,
-    max_rounds: int = 8,
-    meter=None,
-) -> List[Tuple[Rectangle, int]]:
-    """All distinct positive-gain local optima, best first.
-
-    Used by consumers that need alternatives beyond the single best —
-    e.g. the timing-driven extraction loop, which skips rectangles whose
-    new node would violate the depth budget.
-    """
-    found: dict = {}
-    for rect, gain in _ascents(matrix, value_fn, min_cols, max_seeds, max_rounds, meter):
-        key = (rect.rows, rect.cols)
-        if key not in found or found[key][1] < gain:
-            found[key] = (rect, gain)
-    return sorted(found.values(), key=lambda rg: (-rg[1], rg[0].cols, rg[0].rows))
-
-
-def _ascents(matrix, value_fn, min_cols, max_seeds, max_rounds, meter):
-    """Yield the (rectangle, gain) each seed's coordinate ascent reaches."""
+def _ascents_set(matrix, value_fn, min_cols, max_seeds, max_rounds, meter):
+    """Legacy sparse-set ascents (kept behind ``core="set"``)."""
     # Seed ranking: a row is promising when its columns are shared by
     # other rows (that sharing is what a rectangle monetizes), weighted
     # by the value sitting in those shared columns.  Raw row weight is a
@@ -149,6 +136,196 @@ def _ascents(matrix, value_fn, min_cols, max_seeds, max_rounds, meter):
             yield rect, gain
 
 
+def _ascents_bit(matrix, value_fn, min_cols, max_seeds, max_rounds, meter):
+    """Bitmask ascents: same seeds, same fixpoints, same stream."""
+    view = matrix.bitview()
+    values = view.value_table(value_fn)
+    row_cols = view.row_cols
+    col_rows = view.col_rows
+    cells = view.cells
+    row_cost = view.row_cost
+    col_cost = view.col_cost
+    row_labels = view.row_labels
+    col_labels = view.col_labels
+
+    getval = values.__getitem__
+
+    def cols_for_rows(rows: Tuple[int, ...]) -> Tuple[int, ...]:
+        # When enough columns contribute positively the result is just
+        # their sorted positions — the (contrib, -cpos) ranking only
+        # matters for the keep-top-min_cols fallback, so the scored list
+        # and its sort are skipped on the fast path.
+        if len(rows) == 1:
+            # A seed's first half-step: its candidate columns are exactly
+            # its own cells, no intersection needed.
+            rcells = cells[rows[0]]
+            pos = [
+                cpos
+                for cpos, eid in rcells.items()
+                if values[eid] > col_cost[cpos]
+            ]
+            if len(pos) >= min_cols:
+                return tuple(sorted(pos))
+            scored = [
+                (values[eid] - col_cost[cpos], -cpos)
+                for cpos, eid in rcells.items()
+            ]
+        else:
+            cand = row_cols[rows[0]]
+            for r in rows[1:]:
+                cand &= row_cols[r]
+                if not cand:
+                    return ()
+            rdicts = [cells[r] for r in rows]
+            scored = []
+            m = cand
+            while m:
+                low = m & -m
+                cpos = low.bit_length() - 1
+                m ^= low
+                contrib = -col_cost[cpos]
+                for rc in rdicts:
+                    contrib += values[rc[cpos]]
+                scored.append((contrib, -cpos))
+            pos = [(-negc) for contrib, negc in scored if contrib > 0]
+            if len(pos) >= min_cols:
+                return tuple(sorted(pos))
+        scored.sort(reverse=True)
+        chosen = [(-negc) for contrib, negc in scored if contrib > 0]
+        if len(chosen) < min_cols:
+            chosen = [(-negc) for _, negc in scored[:min_cols]]
+            if len(chosen) < min_cols:
+                return ()
+        return tuple(sorted(chosen))
+
+    def rows_for_cols(cols: Tuple[int, ...]) -> Tuple[int, ...]:
+        cand = col_rows[cols[0]]
+        for c in cols[1:]:
+            cand &= col_rows[c]
+            if not cand:
+                return ()
+        chosen: List[int] = []
+        m = cand
+        if len(cols) > 1:
+            # Every candidate row has a cell in every chosen column (cand
+            # is the intersection), so itemgetter/map run the whole
+            # marginal sum in C.
+            getcols = itemgetter(*cols)
+            while m:
+                low = m & -m
+                rpos = low.bit_length() - 1
+                m ^= low
+                if sum(map(getval, getcols(cells[rpos]))) > row_cost[rpos]:
+                    chosen.append(rpos)
+        else:
+            c0 = cols[0]
+            while m:
+                low = m & -m
+                rpos = low.bit_length() - 1
+                m ^= low
+                if values[cells[rpos][c0]] > row_cost[rpos]:
+                    chosen.append(rpos)
+        return tuple(chosen)
+
+    shar1 = [popcount(mask) - 1 for mask in col_rows]
+    getshar = shar1.__getitem__
+    potential: List[int] = [
+        sum(map(mul, map(getshar, rcells.keys()), map(getval, rcells.values())))
+        for rcells in cells
+    ]
+    order = sorted(zip([-p for p in potential], range(len(row_labels))))
+    seeds = [r for _, r in order]
+    if max_seeds is not None:
+        seeds = seeds[:max_seeds]
+
+    # Different seeds funnel into the same ascent states (that is why
+    # the candidate list dedupes at the end), and both half-steps and
+    # the gain are pure functions of the state for the duration of one
+    # search — so memoize them per state tuple.  The round loop itself
+    # still runs per seed, keeping the meter's pingpong_round charges
+    # identical to the legacy core's.
+    memo_cfr: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
+    memo_rfc: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
+    # Fixpoint state → the finished (Rectangle, gain), or () when the
+    # gain is not positive.  Rectangles are immutable, so ascents that
+    # converge to the same state can share one object.
+    memo_out: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], tuple] = {}
+
+    for seed in seeds:
+        rows: Tuple[int, ...] = (seed,)
+        cols: Tuple[int, ...] = ()
+        for _ in range(max_rounds):
+            if meter is not None:
+                meter.charge("pingpong_round", 1)
+            new_cols = memo_cfr.get(rows)
+            if new_cols is None:
+                new_cols = cols_for_rows(rows)
+                memo_cfr[rows] = new_cols
+            if not new_cols:
+                break
+            new_rows = memo_rfc.get(new_cols)
+            if new_rows is None:
+                new_rows = rows_for_cols(new_cols)
+                memo_rfc[new_cols] = new_rows
+            if not new_rows:
+                break
+            if new_cols == cols and new_rows == rows:
+                break
+            cols, rows = new_cols, new_rows
+        if len(cols) < min_cols or not rows:
+            continue
+        state = (rows, cols)
+        out = memo_out.get(state)
+        if out is None:
+            gain = view.rect_gain(rows, cols, values)
+            if gain > 0:
+                out = (
+                    Rectangle(
+                        rows=tuple([row_labels[r] for r in rows]),
+                        cols=tuple([col_labels[c] for c in cols]),
+                    ),
+                    gain,
+                )
+            else:
+                out = ()
+            memo_out[state] = out
+        if out:
+            yield out
+
+
+def _ascents(
+    matrix, value_fn, min_cols, max_seeds, max_rounds, meter, core=None
+) -> Iterator[Tuple[Rectangle, int]]:
+    """Yield the (rectangle, gain) each seed's coordinate ascent reaches."""
+    impl = _ascents_bit if resolve_core(core) == "bit" else _ascents_set
+    return impl(matrix, value_fn, min_cols, max_seeds, max_rounds, meter)
+
+
+def pingpong_candidates(
+    matrix: KCMatrix,
+    value_fn: ValueFn = default_value,
+    min_cols: int = 2,
+    max_seeds: Optional[int] = None,
+    max_rounds: int = 8,
+    meter=None,
+    core: Optional[str] = None,
+) -> List[Tuple[Rectangle, int]]:
+    """All distinct positive-gain local optima, best first.
+
+    Used by consumers that need alternatives beyond the single best —
+    e.g. the timing-driven extraction loop, which skips rectangles whose
+    new node would violate the depth budget.
+    """
+    found: dict = {}
+    for rect, gain in _ascents(
+        matrix, value_fn, min_cols, max_seeds, max_rounds, meter, core
+    ):
+        key = (rect.rows, rect.cols)
+        if key not in found or found[key][1] < gain:
+            found[key] = (rect, gain)
+    return sorted(found.values(), key=lambda rg: (-rg[1], rg[0].cols, rg[0].rows))
+
+
 def best_rectangle_pingpong(
     matrix: KCMatrix,
     value_fn: ValueFn = default_value,
@@ -156,6 +333,7 @@ def best_rectangle_pingpong(
     max_seeds: Optional[int] = None,
     max_rounds: int = 8,
     meter=None,
+    core: Optional[str] = None,
 ) -> Optional[Tuple[Rectangle, int]]:
     """Best rectangle found by seeded coordinate ascent.
 
@@ -164,7 +342,9 @@ def best_rectangle_pingpong(
     lexicographically smaller (cols, rows).
     """
     best: Optional[Tuple[Rectangle, int]] = None
-    for rect, gain in _ascents(matrix, value_fn, min_cols, max_seeds, max_rounds, meter):
+    for rect, gain in _ascents(
+        matrix, value_fn, min_cols, max_seeds, max_rounds, meter, core
+    ):
         if (
             best is None
             or gain > best[1]

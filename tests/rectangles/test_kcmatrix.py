@@ -117,6 +117,35 @@ class TestMutation:
             mat.add_row(1, "m", ())
 
 
+class TestNodeRowsIndex:
+    def test_index_matches_row_infos(self, eq1_network):
+        mat = build_kc_matrix(eq1_network)
+        for node, labels in mat.node_rows.items():
+            assert labels == {
+                r for r, info in mat.rows.items() if info.node == node
+            }
+
+    def test_rows_of_node_sorted(self, eq1_network):
+        mat = build_kc_matrix(eq1_network)
+        for node in mat.node_rows:
+            got = mat.rows_of_node(node)
+            assert got == sorted(got)
+            assert set(got) == mat.node_rows[node]
+
+    def test_rows_of_node_unknown_is_empty(self, eq1_network):
+        mat = build_kc_matrix(eq1_network)
+        assert mat.rows_of_node("no-such-node") == []
+
+    def test_remove_row_maintains_index(self, eq1_network):
+        mat = build_kc_matrix(eq1_network)
+        node = next(iter(mat.node_rows))
+        for r in list(mat.rows_of_node(node)):
+            mat.remove_row(r)
+        # Last row removed drops the node key entirely.
+        assert node not in mat.node_rows
+        assert mat.rows_of_node(node) == []
+
+
 class TestSubmatrixAndMerge:
     def test_submatrix_columns(self, eq1_network):
         mat = build_kc_matrix(eq1_network)
