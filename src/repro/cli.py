@@ -4,6 +4,7 @@
     python -m repro batch MANIFEST [--workers N] [--repeat K] [--json OUT]
     python -m repro run-table {table1,table2,table3,table4,table6,eq3} [--scale S]
     python -m repro info CIRCUIT [--scale S]
+    python -m repro fuzz [--runs N] [--seed S] [--shrink] [--check]
     python -m repro --list
 
 ``CIRCUIT`` is a named stand-in (``dalu``, ``seq``, …), a path to an
@@ -326,6 +327,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated processor counts")
     p_cmp.add_argument("--json", help="also dump results as JSON to this path")
     p_cmp.set_defaults(fn=_cmd_compare)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzz of every factorization path x rectangle core",
+    )
+    p_fuzz.add_argument("--runs", type=int, default=25,
+                        help="number of random networks to generate")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="base seed (run i uses seed+i)")
+    p_fuzz.add_argument("--paths",
+                        help="comma-separated path names (default: all)")
+    p_fuzz.add_argument("--cores",
+                        help="comma-separated rectangle cores (default: bit,set)")
+    p_fuzz.add_argument("--family",
+                        help="pin one generator family (default: rotate all)")
+    p_fuzz.add_argument("--shrink", action="store_true",
+                        help="minimize each failing network before reporting")
+    p_fuzz.add_argument("--repro-dir",
+                        help="write shrunk repros here as .eqn/.json pairs "
+                             "(implies --shrink)")
+    p_fuzz.add_argument("--check", action="store_true",
+                        help="run with REPRO_CHECK-style invariant audits on")
+    p_fuzz.add_argument("--vectors", type=int, default=256,
+                        help="Monte-Carlo vectors when >8 primary inputs")
+    p_fuzz.add_argument("--quiet", action="store_true",
+                        help="suppress per-run progress lines")
+    p_fuzz.set_defaults(fn=_cmd_fuzz)
     return parser
 
 
@@ -383,6 +411,33 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     net = _load_circuit(args.circuit, args.scale)
     print(collect_stats(net, with_factored=not args.no_factored).render())
     return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.verify import FuzzConfig, run_fuzz
+
+    def split(opt: Optional[str]) -> Optional[List[str]]:
+        return [t.strip() for t in opt.split(",") if t.strip()] if opt else None
+
+    config = FuzzConfig(
+        runs=args.runs,
+        seed=args.seed,
+        paths=split(args.paths),
+        cores=split(args.cores),
+        family=args.family,
+        shrink=args.shrink or bool(args.repro_dir),
+        repro_dir=args.repro_dir,
+        audits=args.check,
+        vectors=args.vectors,
+        progress=None if args.quiet else print,
+    )
+    try:
+        report = run_fuzz(config)
+    except ValueError as exc:  # unknown path/core/family name
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def main(argv: Optional[list] = None) -> int:

@@ -15,6 +15,8 @@ speedups come from :mod:`repro.machine.simulator`.
 from __future__ import annotations
 
 import concurrent.futures
+import pickle
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, List, Sequence, TypeVar
 
 T = TypeVar("T")
@@ -53,9 +55,12 @@ def _call_pickled(payload):
 class ProcessBackend:
     """Run tasks on worker processes (true parallelism where cores exist).
 
-    *fn* and each item must be picklable (module-level functions and
-    plain data).  Falls back to serial execution when the pool cannot be
-    created (restricted environments).
+    *fn* and each item should be picklable (module-level functions and
+    plain data).  Falls back to serial execution whenever the pool cannot
+    be created *or used*: restricted environments (``OSError``/
+    ``PermissionError``), unpicklable payloads (``pickle.PicklingError``)
+    and workers dying mid-flight (``BrokenProcessPool``) all degrade to
+    the in-process path instead of killing the run.
     """
 
     name = "process"
@@ -69,5 +74,5 @@ class ProcessBackend:
         try:
             with concurrent.futures.ProcessPoolExecutor(self.max_workers) as pool:
                 return list(pool.map(_call_pickled, [(fn, x) for x in items]))
-        except (OSError, PermissionError):
+        except (OSError, PermissionError, pickle.PicklingError, BrokenProcessPool):
             return [fn(x) for x in items]

@@ -99,7 +99,7 @@ def random_equivalence_check(
     """
     rng = random.Random(seed)
     ins = list(a.inputs)
-    if set(ins) - set(b.inputs):
+    if set(ins) != set(b.inputs):
         raise ValueError("networks have different primary inputs")
     outs = list(outputs) if outputs is not None else sorted(
         (set(a.outputs) | set(b.outputs))
@@ -126,6 +126,8 @@ def exhaustive_equivalence_check(
 ) -> bool:
     """Exact equivalence by full truth-table sweep (≤ 16 inputs)."""
     ins = list(a.inputs)
+    if set(ins) != set(b.inputs):
+        raise ValueError("networks have different primary inputs")
     n = len(ins)
     if n > 16:
         raise ValueError("exhaustive check limited to 16 inputs")

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.algebra.cube import Cube
+from repro.verify import audit as _audit
 
 CubeRef = Tuple[str, Cube]  # (node name, original cube)
 
@@ -86,18 +87,23 @@ class CubeStateStore:
 
     def cover(self, refs: Iterable[CubeRef], pid: int, meter=None) -> None:
         """Speculatively claim *refs* for processor *pid*'s best rectangle."""
+        auditing = _audit.enabled()
         for ref in refs:
             if meter is not None:
                 meter.charge("cube_state_op", 1)
             rec = self.record(ref)
+            before = (rec.status, rec.owner)
             if rec.status is CubeStatus.DIVIDED:
-                continue
-            if rec.status is CubeStatus.COVERED and rec.owner != pid:
+                pass
+            elif rec.status is CubeStatus.COVERED and rec.owner != pid:
                 # Another processor speculated first; it keeps the claim.
-                continue
-            rec.status = CubeStatus.COVERED
-            rec.trueval = len(ref[1])
-            rec.owner = pid
+                pass
+            else:
+                rec.status = CubeStatus.COVERED
+                rec.trueval = len(ref[1])
+                rec.owner = pid
+            if auditing:
+                _audit.audit_cover_transition(ref, before, rec, pid)
 
     def uncover(self, refs: Iterable[CubeRef], pid: int, meter=None) -> None:
         """Release claims when the owner found a better rectangle."""
@@ -110,6 +116,8 @@ class CubeStateStore:
             if rec.status is CubeStatus.COVERED and rec.owner == pid:
                 rec.status = CubeStatus.FREE
                 rec.owner = -1
+            if _audit.enabled():
+                _audit.audit_cube_record(ref, rec)
 
     def divide(self, refs: Iterable[CubeRef], meter=None) -> None:
         """Mark *refs* permanently consumed by an applied extraction."""
@@ -119,6 +127,8 @@ class CubeStateStore:
             rec = self.record(ref)
             rec.status = CubeStatus.DIVIDED
             rec.trueval = 0
+            if _audit.enabled():
+                _audit.audit_cube_record(ref, rec)
 
     def __len__(self) -> int:
         return len(self._recs)

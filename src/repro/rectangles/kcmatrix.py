@@ -16,6 +16,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tupl
 from repro.algebra.cube import Cube, cube_union
 from repro.algebra.kernels import Kernel, kernels
 from repro.algebra.sop import Sop
+from repro.verify import audit as _audit
 
 # The paper labels processor p's first kernel p·100000 + 1.
 LABEL_OFFSET = 100_000
@@ -65,6 +66,8 @@ class KCMatrix:
         self.rows[label] = RowInfo(node, cokernel)
         self.by_row[label] = set()
         self.node_rows.setdefault(node, set()).add(label)
+        if _audit.enabled():
+            _audit.audit_row_added(self, label)
         self._touch()
 
     def ensure_col(self, cube: Cube, label_factory: Callable[[], int]) -> int:
@@ -78,6 +81,8 @@ class KCMatrix:
         self.cols[label] = cube
         self.col_of_cube[cube] = label
         self.by_col[label] = set()
+        if _audit.enabled():
+            _audit.audit_col_added(self, label)
         self._touch()
         return label
 
@@ -86,6 +91,8 @@ class KCMatrix:
         self.entries[(row, col)] = cube_union(info.cokernel, self.cols[col])
         self.by_row[row].add(col)
         self.by_col[col].add(row)
+        if _audit.enabled():
+            _audit.audit_entry_added(self, row, col)
         self._touch()
 
     def remove_row(self, label: int) -> None:
@@ -99,6 +106,8 @@ class KCMatrix:
                 node_set.discard(label)
                 if not node_set:
                     del self.node_rows[info.node]
+        if _audit.enabled():
+            _audit.audit_row_removed(self, label)
         self._touch()
 
     def remove_col(self, label: int) -> None:
@@ -109,6 +118,8 @@ class KCMatrix:
         if cube is not None:
             self.col_of_cube.pop(cube, None)
         self.cols.pop(label, None)
+        if _audit.enabled():
+            _audit.audit_col_removed(self, label)
         self._touch()
 
     # ------------------------------------------------------------------
@@ -153,6 +164,8 @@ class KCMatrix:
             from repro.rectangles.bitview import BitKCView
 
             view = BitKCView(self)
+            if _audit.enabled():
+                _audit.audit_bitview(self, view)
             self._bitview = view
         return view
 
@@ -179,6 +192,8 @@ class KCMatrix:
                 out.entries[(r, c)] = self.entries[(r, c)]
                 out.by_row[r].add(c)
                 out.by_col[c].add(r)
+        if _audit.enabled():
+            _audit.audit_kcmatrix(out)
         out._touch()
         return out
 
@@ -210,6 +225,8 @@ class KCMatrix:
                 raise ValueError(f"column label clash at {label}")
         for (r, c) in other.entries.keys():
             self.add_entry(r, c)
+        if _audit.enabled():
+            _audit.audit_kcmatrix(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,0 +1,123 @@
+"""Persistence and replay of minimal fuzz repros.
+
+Every shrunk failure becomes two files in a corpus directory (the
+repository keeps one under ``tests/fuzz_corpus/``):
+
+- ``<stem>.eqn`` — the minimal network in equation format,
+- ``<stem>.json`` — replay coordinates: family, generator seed, path,
+  core, failure kind, and a human-readable detail string.
+
+The tier-1 suite replays the whole corpus on every run
+(``tests/verify/test_corpus_replay.py``), so a repro added once is a
+permanent regression test: the recorded path × core must pass all fuzz
+oracles on the recorded network forever after the fix.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.network.boolean_network import BooleanNetwork
+from repro.network.eqn import read_eqn
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.verify.fuzz import CheckOutcome, FuzzFailure
+
+
+@dataclass
+class CorpusEntry:
+    """One replayable repro: the network plus its replay coordinates."""
+
+    stem: str
+    network: BooleanNetwork
+    path: str
+    core: Optional[str]
+    family: str = ""
+    seed: int = 0
+    kind: str = ""
+    detail: str = ""
+
+    def describe(self) -> str:
+        core = f"/{self.core}" if self.core else ""
+        return f"{self.stem}: {self.path}{core} ({self.kind or 'regression'})"
+
+
+def _stem_for(failure: "FuzzFailure") -> str:
+    raw = f"{failure.family}_s{failure.seed}_{failure.path}_" \
+          f"{failure.core or 'any'}_{failure.kind}"
+    return re.sub(r"[^A-Za-z0-9_.-]", "-", raw)
+
+
+def save_repro(directory: str, failure: "FuzzFailure") -> str:
+    """Write one failure as a corpus entry; return the ``.eqn`` path."""
+    os.makedirs(directory, exist_ok=True)
+    stem = _stem_for(failure)
+    eqn_path = os.path.join(directory, stem + ".eqn")
+    with open(eqn_path, "w") as fh:
+        fh.write(failure.eqn)
+    meta = {
+        "family": failure.family,
+        "seed": failure.seed,
+        "path": failure.path,
+        "core": failure.core,
+        "kind": failure.kind,
+        "detail": failure.detail,
+        "shrunk": failure.shrunk,
+    }
+    with open(os.path.join(directory, stem + ".json"), "w") as fh:
+        json.dump(meta, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return eqn_path
+
+
+def load_corpus(directory: str) -> List[CorpusEntry]:
+    """Read every ``.eqn``/``.json`` pair under *directory* (sorted)."""
+    entries: List[CorpusEntry] = []
+    if not os.path.isdir(directory):
+        return entries
+    for fname in sorted(os.listdir(directory)):
+        if not fname.endswith(".eqn"):
+            continue
+        stem = fname[:-4]
+        meta_path = os.path.join(directory, stem + ".json")
+        meta = {}
+        if os.path.exists(meta_path):
+            with open(meta_path) as fh:
+                meta = json.load(fh)
+        with open(os.path.join(directory, fname)) as fh:
+            network = read_eqn(fh.read(), name=stem)
+        entries.append(
+            CorpusEntry(
+                stem=stem,
+                network=network,
+                path=meta.get("path", "seq-pingpong"),
+                core=meta.get("core"),
+                family=meta.get("family", ""),
+                seed=int(meta.get("seed", 0)),
+                kind=meta.get("kind", ""),
+                detail=meta.get("detail", ""),
+            )
+        )
+    return entries
+
+
+def replay_entry(entry: CorpusEntry, vectors: int = 256) -> "CheckOutcome":
+    """Re-run the recorded path × core; ``None`` means all oracles pass.
+
+    When the entry records no core (cross-core findings), both cores are
+    replayed and the first failing outcome is returned.
+    """
+    from repro.verify.fuzz import check_path
+    from repro.verify.paths import all_cores, get_path
+
+    path = get_path(entry.path)
+    cores = [entry.core] if entry.core else all_cores()
+    for core in cores:
+        outcome, _ = check_path(entry.network, path, core, vectors=vectors)
+        if outcome is not None:
+            return outcome
+    return None

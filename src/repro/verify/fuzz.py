@@ -1,0 +1,253 @@
+"""The differential fuzz driver.
+
+One fuzz *run* generates a seeded random network and pushes it through
+every registered factorization path × rectangle core, holding each
+result against four oracles:
+
+1. **Structure** — the result network still validates (acyclic, closed
+   signal references) and preserves the interface: same primary inputs,
+   all original primary outputs still defined.
+2. **Function** — exact equivalence by exhaustive truth-table sweep
+   (every generated network stays within the 8-input cap; networks
+   loaded from elsewhere fall back to the Monte-Carlo check).
+3. **Literal-count bounds** — factorization must never *increase* the
+   SOP literal count, and must not erase a non-trivial network.
+4. **Cross-core determinism** — the bit and set rectangle cores promise
+   byte-identical search streams, so a deterministic path must reach the
+   same final literal count under both cores.
+
+Failures are captured as :class:`FuzzFailure` records carrying the
+``.eqn`` text of the offending network and everything needed to replay:
+family, seed, path, core.  With ``shrink=True`` each failure is first
+minimized (:mod:`repro.verify.shrink`) and written as a corpus entry
+(:mod:`repro.verify.corpus`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.network.boolean_network import BooleanNetwork
+from repro.network.eqn import write_eqn
+from repro.network.simulate import (
+    exhaustive_equivalence_check,
+    random_equivalence_check,
+)
+from repro.verify import audit
+from repro.verify.generator import MAX_INPUTS, family_for_run, random_network
+from repro.verify.paths import FactorPath, all_cores, all_paths, get_path
+
+#: (kind, detail) — ``None`` means the check passed.
+CheckOutcome = Optional[Tuple[str, str]]
+
+
+def check_path(
+    network: BooleanNetwork,
+    path: FactorPath,
+    core: Optional[str] = None,
+    vectors: int = 256,
+) -> Tuple[CheckOutcome, Optional[int]]:
+    """Run one path × core over *network* and apply the per-path oracles.
+
+    Returns ``(failure, final_literal_count)``; the count is ``None``
+    when the run itself failed and is used by the caller's cross-core
+    comparison.
+    """
+    initial = network.literal_count()
+    try:
+        result = path.run(network, core)
+        result.validate()
+    except Exception as exc:  # noqa: BLE001 - any escape is a finding
+        return ("exception", f"{type(exc).__name__}: {exc}"), None
+    if list(result.inputs) != list(network.inputs):
+        return ("interface", "primary inputs changed"), None
+    missing = [o for o in network.outputs
+               if o not in result.nodes and not result.is_input(o)]
+    if missing:
+        return ("interface", f"primary outputs lost: {missing}"), None
+    final = result.literal_count()
+    if final > initial:
+        return ("lc-bound", f"literal count grew {initial} -> {final}"), final
+    if initial > 0 and final == 0:
+        return ("lc-bound", f"non-trivial network erased ({initial} -> 0)"), final
+    try:
+        if len(network.inputs) <= MAX_INPUTS:
+            same = exhaustive_equivalence_check(
+                network, result, outputs=network.outputs
+            )
+        else:
+            same = random_equivalence_check(
+                network, result, vectors=vectors, outputs=network.outputs
+            )
+    except Exception as exc:  # noqa: BLE001
+        return ("exception", f"oracle raised {type(exc).__name__}: {exc}"), final
+    if not same:
+        return ("equivalence", f"primary outputs differ (LC {initial} -> {final})"), final
+    return None, final
+
+
+@dataclass
+class FuzzFailure:
+    """One oracle violation, replayable from the recorded coordinates."""
+
+    run: int
+    seed: int
+    family: str
+    path: str
+    core: Optional[str]
+    kind: str
+    detail: str
+    eqn: str
+    shrunk: bool = False
+    repro_file: Optional[str] = None
+
+    def describe(self) -> str:
+        core = f"/{self.core}" if self.core else ""
+        tail = f" [repro: {self.repro_file}]" if self.repro_file else ""
+        return (
+            f"run {self.run} (family={self.family}, seed={self.seed}) "
+            f"{self.path}{core}: {self.kind} — {self.detail}{tail}"
+        )
+
+
+@dataclass
+class FuzzConfig:
+    """Knobs of one fuzz campaign (all deterministic in ``seed``)."""
+
+    runs: int = 25
+    seed: int = 0
+    paths: Optional[Sequence[str]] = None   # None → every registered path
+    cores: Optional[Sequence[str]] = None   # None → ("bit", "set")
+    family: Optional[str] = None            # None → rotate all families
+    shrink: bool = False
+    repro_dir: Optional[str] = None         # where shrunk repros land
+    audits: bool = False                    # REPRO_CHECK-style audits
+    vectors: int = 256
+    progress: Optional[Callable[[str], None]] = None
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of a fuzz campaign."""
+
+    runs: int = 0
+    checks: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+    lc_by_path: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        lines = [
+            f"fuzz: {self.runs} runs, {self.checks} path×core checks, "
+            f"{len(self.failures)} failure(s)"
+        ]
+        for f in self.failures:
+            lines.append("  FAIL " + f.describe())
+        return "\n".join(lines)
+
+
+def _shrink_failure(
+    network: BooleanNetwork,
+    path: FactorPath,
+    core: Optional[str],
+    kind: str,
+    vectors: int,
+) -> BooleanNetwork:
+    from repro.verify.shrink import shrink_network
+
+    def still_fails(candidate: BooleanNetwork) -> bool:
+        outcome, _ = check_path(candidate, path, core, vectors=vectors)
+        return outcome is not None and outcome[0] == kind
+
+    return shrink_network(network, still_fails)
+
+
+def run_fuzz(config: FuzzConfig) -> FuzzReport:
+    """Execute a fuzz campaign; never raises on findings, only reports."""
+    paths = [get_path(n) for n in config.paths] if config.paths else all_paths()
+    cores = list(config.cores) if config.cores else all_cores()
+    report = FuzzReport()
+    say = config.progress or (lambda _msg: None)
+
+    prev_audits = audit._enabled
+    if config.audits:
+        audit.set_audits(True)
+    try:
+        for run in range(config.runs):
+            seed = config.seed + run
+            family = config.family or family_for_run(run)
+            net = random_network(seed, family=family)
+            say(f"run {run}: family={family} seed={seed} "
+                f"({len(net.inputs)} in / {len(net.nodes)} nodes / "
+                f"LC {net.literal_count()})")
+            lc_by_core: Dict[Tuple[str, str], int] = {}
+            for path in paths:
+                for core in cores:
+                    outcome, final = check_path(
+                        net, path, core, vectors=config.vectors
+                    )
+                    report.checks += 1
+                    if final is not None:
+                        lc_by_core[(path.name, core)] = final
+                        report.lc_by_path[path.name] = final
+                    if outcome is None:
+                        continue
+                    kind, detail = outcome
+                    failure = FuzzFailure(
+                        run=run, seed=seed, family=family,
+                        path=path.name, core=core,
+                        kind=kind, detail=detail, eqn=write_eqn(net),
+                    )
+                    _finalize_failure(failure, net, path, core, config)
+                    report.failures.append(failure)
+                    say("  " + failure.describe())
+            # Cross-core determinism: a deterministic path must land on
+            # the same literal count under every core.
+            for path in paths:
+                if not path.deterministic:
+                    continue
+                finals = {
+                    core: lc_by_core[(path.name, core)]
+                    for core in cores
+                    if (path.name, core) in lc_by_core
+                }
+                if len(set(finals.values())) > 1:
+                    failure = FuzzFailure(
+                        run=run, seed=seed, family=family,
+                        path=path.name, core=None,
+                        kind="core-mismatch",
+                        detail=f"final literal counts diverge: {finals}",
+                        eqn=write_eqn(net),
+                    )
+                    report.failures.append(failure)
+                    say("  " + failure.describe())
+            report.runs += 1
+    finally:
+        audit.set_audits(prev_audits)
+    return report
+
+
+def _finalize_failure(
+    failure: FuzzFailure,
+    net: BooleanNetwork,
+    path: FactorPath,
+    core: Optional[str],
+    config: FuzzConfig,
+) -> None:
+    """Optionally shrink the failing network and persist a repro entry."""
+    if not config.shrink:
+        return
+    try:
+        small = _shrink_failure(net, path, core, failure.kind, config.vectors)
+    except Exception:  # noqa: BLE001 - shrinking must never mask the find
+        return
+    failure.eqn = write_eqn(small)
+    failure.shrunk = True
+    if config.repro_dir:
+        from repro.verify.corpus import save_repro
+
+        failure.repro_file = save_repro(config.repro_dir, failure)

@@ -1,0 +1,233 @@
+"""Seeded random-network generation for the differential fuzzer.
+
+Unlike :mod:`repro.circuits.generators` (which plants *recoverable*
+structure so benchmark speedups are meaningful), the fuzz generator aims
+at **shape coverage**: each family stresses a different corner of the
+KC-matrix machinery.  Networks are deliberately small — every one stays
+within the exhaustive-equivalence oracle's input limit, so the fuzzer
+checks exact functional equality, not a Monte-Carlo approximation.
+
+Families
+--------
+
+``dense``
+    Few inputs, fat SOPs: many cubes per node, high cell density in the
+    KC matrix (stresses rectangle enumeration and the bitview masks).
+``sparse``
+    More inputs, skinny SOPs: mostly 1–2-cube nodes, many kernel-free
+    nodes (stresses the empty-matrix and no-gain paths).
+``dupcube``
+    Nodes drawing cubes from a small shared pool, so identical cubes
+    recur within and across nodes and single original cubes are reachable
+    through several (row, column) cells (stresses the distinct-cube gain
+    correction and ``dup_rows``).
+``shared``
+    Products of planted kernels shared across nodes (stresses rectangles
+    spanning nodes — the partition-loss cases of Sections 4/5).
+``degenerate``
+    Single-cube nodes, alias nodes (one single-literal cube), constant-0
+    nodes, duplicated expressions (stresses sweep/collapse edge cases
+    and kernel enumeration on kernel-free functions).
+
+All sampling is driven by one :class:`random.Random` seeded from
+``(family, seed)``; the same pair always yields the same network.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.network.boolean_network import BooleanNetwork
+
+FAMILIES = ("dense", "sparse", "dupcube", "shared", "degenerate")
+
+#: Hard cap that keeps every generated network exhaustively checkable.
+MAX_INPUTS = 8
+
+
+def family_for_run(run_index: int) -> str:
+    """The default family rotation used by ``repro fuzz``."""
+    return FAMILIES[run_index % len(FAMILIES)]
+
+
+def _sample_cube(
+    rng: random.Random,
+    pool: Sequence[str],
+    lo: int,
+    hi: int,
+) -> Tuple[str, ...]:
+    """A cube as a tuple of literal names, never both polarities at once."""
+    k = max(1, min(rng.randint(lo, hi), len(pool)))
+    picked: List[str] = []
+    bases: Set[str] = set()
+    for name in rng.sample(list(pool), len(pool)):
+        base = name.rstrip("'")
+        if base in bases:
+            continue
+        picked.append(name)
+        bases.add(base)
+        if len(picked) == k:
+            break
+    return tuple(sorted(picked))
+
+
+def _literal_pool(
+    inputs: Sequence[str],
+    node_names: Sequence[str],
+    rng: random.Random,
+    complements: bool,
+    node_literals: bool,
+) -> List[str]:
+    pool = list(inputs)
+    if complements:
+        pool += [n + "'" for n in inputs]
+    if node_literals and node_names:
+        take = rng.randint(0, min(3, len(node_names)))
+        for n in rng.sample(list(node_names), take):
+            pool.append(n)
+            if complements and rng.random() < 0.5:
+                pool.append(n + "'")
+    return pool
+
+
+def _add_node(net: BooleanNetwork, name: str, cubes: List[Tuple[str, ...]]) -> None:
+    """Intern name-level cubes against the network's literal table."""
+    ids = [[net.table.id_of(nm) for nm in cube] for cube in cubes]
+    net.add_node(name, ids)
+    net.add_output(name)
+
+
+def random_network(
+    seed: int,
+    family: Optional[str] = None,
+    name: Optional[str] = None,
+) -> BooleanNetwork:
+    """Generate one fuzz network (deterministic in ``(family, seed)``)."""
+    if family is None:
+        family = family_for_run(seed)
+    if family not in FAMILIES:
+        raise ValueError(f"unknown fuzz family {family!r}; expected one of {FAMILIES}")
+    rng = random.Random(f"repro-fuzz:{family}:{seed}")
+    net = BooleanNetwork(name or f"fuzz_{family}_{seed}")
+
+    build = {
+        "dense": _build_dense,
+        "sparse": _build_sparse,
+        "dupcube": _build_dupcube,
+        "shared": _build_shared,
+        "degenerate": _build_degenerate,
+    }[family]
+    build(net, rng)
+    net.validate()
+    assert len(net.inputs) <= MAX_INPUTS
+    return net
+
+
+# ----------------------------------------------------------------------
+# Family builders
+# ----------------------------------------------------------------------
+
+def _build_dense(net: BooleanNetwork, rng: random.Random) -> None:
+    inputs = [f"x{i}" for i in range(rng.randint(3, 5))]
+    net.add_inputs(inputs)
+    nodes: List[str] = []
+    for i in range(rng.randint(3, 5)):
+        pool = _literal_pool(inputs, nodes, rng, complements=True,
+                             node_literals=rng.random() < 0.5)
+        cubes = [
+            _sample_cube(rng, pool, 2, 4)
+            for _ in range(rng.randint(4, 8))
+        ]
+        node = f"d{i}"
+        _add_node(net, node, cubes)
+        nodes.append(node)
+
+
+def _build_sparse(net: BooleanNetwork, rng: random.Random) -> None:
+    inputs = [f"x{i}" for i in range(rng.randint(5, MAX_INPUTS))]
+    net.add_inputs(inputs)
+    nodes: List[str] = []
+    for i in range(rng.randint(4, 8)):
+        pool = _literal_pool(inputs, nodes, rng, complements=rng.random() < 0.7,
+                             node_literals=rng.random() < 0.4)
+        cubes = [
+            _sample_cube(rng, pool, 1, 3)
+            for _ in range(rng.randint(1, 3))
+        ]
+        node = f"s{i}"
+        _add_node(net, node, cubes)
+        nodes.append(node)
+
+
+def _build_dupcube(net: BooleanNetwork, rng: random.Random) -> None:
+    inputs = [f"x{i}" for i in range(rng.randint(3, 6))]
+    net.add_inputs(inputs)
+    pool = _literal_pool(inputs, [], rng, complements=True, node_literals=False)
+    # A small shared cube pool: the same original cube shows up in many
+    # nodes and behind many (cokernel, kernel-cube) splits.
+    shared_cubes = [_sample_cube(rng, pool, 2, 3) for _ in range(rng.randint(3, 5))]
+    for i in range(rng.randint(3, 6)):
+        cubes = []
+        for _ in range(rng.randint(3, 6)):
+            if rng.random() < 0.7:
+                cubes.append(shared_cubes[rng.randrange(len(shared_cubes))])
+            else:
+                cubes.append(_sample_cube(rng, pool, 1, 3))
+        _add_node(net, f"u{i}", cubes)
+
+
+def _build_shared(net: BooleanNetwork, rng: random.Random) -> None:
+    inputs = [f"x{i}" for i in range(rng.randint(4, 6))]
+    net.add_inputs(inputs)
+    pool = _literal_pool(inputs, [], rng, complements=True, node_literals=False)
+    # Planted kernels: small cube-free sums shared by several nodes.
+    kernels = []
+    for _ in range(rng.randint(1, 3)):
+        k = {_sample_cube(rng, pool, 1, 2) for _ in range(rng.randint(2, 3))}
+        kernels.append(sorted(k))
+    for i in range(rng.randint(3, 5)):
+        cubes: List[Tuple[str, ...]] = []
+        for _ in range(rng.randint(1, 3)):
+            kern = kernels[rng.randrange(len(kernels))]
+            support = {nm.rstrip("'") for c in kern for nm in c}
+            co_pool = [nm for nm in pool if nm.rstrip("'") not in support]
+            co = _sample_cube(rng, co_pool, 1, 2) if co_pool else ()
+            for kc in kern:
+                cubes.append(tuple(sorted(set(co) | set(kc))))
+        for _ in range(rng.randint(0, 2)):
+            cubes.append(_sample_cube(rng, pool, 2, 4))
+        _add_node(net, f"h{i}", cubes)
+
+
+def _build_degenerate(net: BooleanNetwork, rng: random.Random) -> None:
+    inputs = [f"x{i}" for i in range(rng.randint(2, 5))]
+    net.add_inputs(inputs)
+    pool = _literal_pool(inputs, [], rng, complements=True, node_literals=False)
+    nodes: List[str] = []
+    exprs: Dict[str, List[Tuple[str, ...]]] = {}
+    for i in range(rng.randint(3, 7)):
+        node = f"g{i}"
+        shape = rng.randrange(6)
+        if shape == 0:          # single cube (kernel-free)
+            cubes = [_sample_cube(rng, pool, 1, 4)]
+        elif shape == 1:        # alias: one single-literal cube
+            target = rng.choice(nodes) if nodes and rng.random() < 0.5 else None
+            cubes = [(target,)] if target else [_sample_cube(rng, pool, 1, 1)]
+        elif shape == 2:        # constant 0
+            cubes = []
+        elif shape == 3 and nodes:  # duplicate an earlier expression
+            cubes = list(exprs[rng.choice(nodes)])
+        elif shape == 4 and nodes:  # read an earlier node, maybe negated
+            prev = rng.choice(nodes)
+            lit = prev + ("'" if rng.random() < 0.5 else "")
+            cubes = [
+                tuple(sorted(set(_sample_cube(rng, pool, 0, 2)) | {lit})),
+                _sample_cube(rng, pool, 1, 2),
+            ]
+        else:                   # ordinary small node
+            cubes = [_sample_cube(rng, pool, 1, 3)
+                     for _ in range(rng.randint(2, 3))]
+        _add_node(net, node, cubes)
+        exprs[node] = cubes
+        nodes.append(node)

@@ -1,0 +1,183 @@
+"""Greedy failure minimization (delta debugging for Boolean networks).
+
+Given a network on which some predicate holds (``still_fails``), the
+shrinker repeatedly tries structure-removing edits and keeps every edit
+that preserves the predicate, coarse to fine:
+
+1. **drop nodes** — a node is removed together with its transitive
+   fanout cone (readers of a deleted signal cannot stay), largest-first;
+2. **drop cubes** — one SOP cube at a time;
+3. **drop literals** — one literal of one cube at a time (cubes are kept
+   non-empty so shrinking never introduces the universal cube);
+4. **drop inputs** — primary inputs no node reads.
+
+Every candidate is rebuilt from scratch against a fresh literal table
+and validated before the predicate sees it, so the shrinker can never
+hand out a structurally broken network.  The loop re-runs the pass
+sequence until a full sweep makes no progress; since every accepted edit
+strictly shrinks the (nodes, cubes, literals, inputs) vector, the result
+is 1-minimal: no single remaining edit of these kinds preserves the
+failure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.network.boolean_network import BooleanNetwork, base_signal
+
+Predicate = Callable[[BooleanNetwork], bool]
+
+#: Name-level image of a network: cubes as tuples of literal names.
+_Nodes = Dict[str, List[Tuple[str, ...]]]
+
+
+def _snapshot(net: BooleanNetwork) -> Tuple[List[str], List[str], _Nodes]:
+    inputs = list(net.inputs)
+    outputs = list(net.outputs)
+    nodes: _Nodes = {}
+    for name in net.topological_order():
+        nodes[name] = [
+            tuple(net.table.name_of(l) for l in cube) for cube in net.nodes[name]
+        ]
+    return inputs, outputs, nodes
+
+
+def _rebuild(
+    inputs: Sequence[str], outputs: Sequence[str], nodes: _Nodes, name: str
+) -> Optional[BooleanNetwork]:
+    """Reassemble a candidate; ``None`` when it is not a valid network."""
+    defined = set(inputs) | set(nodes)
+    keep_outputs = [o for o in outputs if o in defined]
+    if not keep_outputs or not nodes:
+        return None
+    net = BooleanNetwork(name)
+    net.add_inputs(inputs)
+    try:
+        for node, cubes in nodes.items():
+            net.add_node(node, [[net.table.id_of(nm) for nm in c] for c in cubes])
+        for o in keep_outputs:
+            net.add_output(o)
+        net.validate()
+    except (KeyError, ValueError):
+        return None
+    return net
+
+
+def _fanout_cone(nodes: _Nodes, root: str) -> List[str]:
+    """*root* plus every node transitively reading it."""
+    readers: Dict[str, List[str]] = {n: [] for n in nodes}
+    for n, cubes in nodes.items():
+        for cube in cubes:
+            for nm in cube:
+                base = base_signal(nm)
+                if base in readers and base != n:
+                    readers[base].append(n)
+    cone = set()
+    stack = [root]
+    while stack:
+        n = stack.pop()
+        if n in cone:
+            continue
+        cone.add(n)
+        stack.extend(readers[n])
+    return sorted(cone)
+
+
+def shrink_network(
+    network: BooleanNetwork,
+    still_fails: Predicate,
+    max_steps: int = 10_000,
+) -> BooleanNetwork:
+    """Minimize *network* while ``still_fails`` keeps holding.
+
+    The input network is never mutated.  If the predicate does not hold
+    on the input itself, the input is returned unchanged.
+    """
+    inputs, outputs, nodes = _snapshot(network)
+    name = network.name + "_min"
+    current = _rebuild(inputs, outputs, nodes, name)
+    if current is None or not still_fails(current):
+        return network
+
+    def attempt(
+        new_inputs: Sequence[str], new_nodes: _Nodes
+    ) -> Optional[BooleanNetwork]:
+        candidate = _rebuild(new_inputs, outputs, new_nodes, name)
+        if candidate is not None and still_fails(candidate):
+            return candidate
+        return None
+
+    steps = 0
+    progress = True
+    while progress and steps < max_steps:
+        progress = False
+
+        # Pass 1: drop whole fanout cones, biggest savings first.
+        for node in sorted(nodes, key=lambda n: -len(_fanout_cone(nodes, n))):
+            if node not in nodes:
+                continue
+            cone = _fanout_cone(nodes, node)
+            if len(cone) == len(nodes):
+                continue
+            trial = {n: cubes for n, cubes in nodes.items() if n not in cone}
+            steps += 1
+            if attempt(inputs, trial) is not None:
+                nodes = trial
+                progress = True
+
+        # Pass 2: drop single cubes.
+        for node in list(nodes):
+            i = 0
+            while i < len(nodes[node]):
+                trial = dict(nodes)
+                trial[node] = nodes[node][:i] + nodes[node][i + 1:]
+                steps += 1
+                if attempt(inputs, trial) is not None:
+                    nodes = trial
+                    progress = True
+                else:
+                    i += 1
+
+        # Pass 3: drop single literals (never emptying a cube).
+        for node in list(nodes):
+            i = 0
+            while i < len(nodes[node]):
+                cube = nodes[node][i]
+                shrunk_here = False
+                for j in range(len(cube)):
+                    if len(cube) <= 1:
+                        break
+                    trial = dict(nodes)
+                    trial[node] = (
+                        nodes[node][:i]
+                        + [cube[:j] + cube[j + 1:]]
+                        + nodes[node][i + 1:]
+                    )
+                    steps += 1
+                    if attempt(inputs, trial) is not None:
+                        nodes = trial
+                        cube = nodes[node][i]
+                        progress = True
+                        shrunk_here = True
+                        break
+                if not shrunk_here:
+                    i += 1
+
+        # Pass 4: drop unread primary inputs.
+        read = set()
+        for cubes in nodes.values():
+            for cube in cubes:
+                for nm in cube:
+                    read.add(base_signal(nm))
+        for pi in list(inputs):
+            if pi in read or pi in outputs or len(inputs) <= 1:
+                continue
+            trial_inputs = [x for x in inputs if x != pi]
+            steps += 1
+            if attempt(trial_inputs, nodes) is not None:
+                inputs = trial_inputs
+                progress = True
+
+    final = _rebuild(inputs, outputs, nodes, name)
+    return final if final is not None else network

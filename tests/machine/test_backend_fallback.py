@@ -1,0 +1,75 @@
+"""ProcessBackend serial-fallback paths (unpicklable fn, broken pool)."""
+
+import concurrent.futures
+import pickle
+
+import pytest
+
+from repro.machine import backend as backend_mod
+from repro.machine.backend import ProcessBackend
+
+
+class _UnpicklableFn:
+    """A callable whose pickling always fails."""
+
+    def __reduce__(self):
+        raise pickle.PicklingError("deliberately unpicklable")
+
+    def __call__(self, x):
+        return x * 10
+
+
+def test_unpicklable_fn_falls_back_to_serial():
+    # Regression: the docstring promises serial fallback when the pool
+    # cannot be used, but only OSError/PermissionError were caught — a
+    # PicklingError from an unpicklable fn raised straight through.
+    backend = ProcessBackend(2)
+    assert backend.map(_UnpicklableFn(), [1, 2, 3]) == [10, 20, 30]
+
+
+def test_broken_process_pool_falls_back_to_serial(monkeypatch):
+    class _BrokenPool:
+        def __init__(self, *args, **kwargs):
+            pass
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            return False
+
+        def map(self, fn, items):
+            raise concurrent.futures.process.BrokenProcessPool(
+                "worker died abruptly"
+            )
+
+    monkeypatch.setattr(
+        backend_mod.concurrent.futures, "ProcessPoolExecutor", _BrokenPool
+    )
+    backend = ProcessBackend(2)
+    assert backend.map(_double, [1, 2, 3]) == [2, 4, 6]
+
+
+def test_unrelated_errors_still_raise(monkeypatch):
+    class _ExplodingPool:
+        def __init__(self, *args, **kwargs):
+            pass
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            return False
+
+        def map(self, fn, items):
+            raise RuntimeError("not a pool-availability problem")
+
+    monkeypatch.setattr(
+        backend_mod.concurrent.futures, "ProcessPoolExecutor", _ExplodingPool
+    )
+    with pytest.raises(RuntimeError):
+        ProcessBackend(2).map(_double, [1])
+
+
+def _double(x):
+    return x * 2

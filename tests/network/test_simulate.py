@@ -101,6 +101,24 @@ class TestEquivalence:
         with pytest.raises(ValueError):
             random_equivalence_check(eq1_network, other)
 
+    def test_extra_inputs_in_b_rejected_symmetrically(self):
+        # Regression: validation used to be one-directional (a minus b),
+        # so extra primary inputs on b's side slipped past the check and
+        # surfaced as a raw KeyError from evaluate() instead of the
+        # documented ValueError.
+        a = BooleanNetwork("a")
+        a.add_inputs(["x"])
+        a.add_node("F", "x")
+        a.add_output("F")
+        b = BooleanNetwork("b")
+        b.add_inputs(["x", "y"])
+        b.add_node("F", "x + y")
+        b.add_output("F")
+        with pytest.raises(ValueError, match="different primary inputs"):
+            random_equivalence_check(a, b)
+        with pytest.raises(ValueError, match="different primary inputs"):
+            exhaustive_equivalence_check(a, b)
+
     def test_explicit_outputs(self, eq1_network):
         other = eq1_network.copy()
         other.nodes["H"] = other.nodes["H"][:1]

@@ -227,3 +227,32 @@ class TestRunTableCommand:
         assert main(["run-table", "eq3", "--scale", "0.05"]) == 0
         out = capsys.readouterr().out
         assert "Eq. 3" in out
+
+
+class TestFuzzCommand:
+    def test_clean_run_exits_zero(self, capsys):
+        assert main(["fuzz", "--runs", "3", "--seed", "0", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "3 runs" in out and "0 failure(s)" in out
+
+    def test_filters_and_check(self, capsys):
+        assert main([
+            "fuzz", "--runs", "2", "--seed", "1", "--quiet", "--check",
+            "--paths", "seq-pingpong", "--cores", "bit",
+        ]) == 0
+        assert "2 path×core checks" in capsys.readouterr().out
+
+    def test_progress_lines_by_default(self, capsys):
+        assert main(["fuzz", "--runs", "1",
+                     "--paths", "seq-pingpong", "--cores", "bit"]) == 0
+        assert "family=" in capsys.readouterr().out
+
+    def test_unknown_path_exits_2(self, capsys):
+        assert main(["fuzz", "--runs", "1", "--paths", "bogus"]) == 2
+        assert "unknown factorization path" in capsys.readouterr().err
+
+    def test_repro_dir_implies_shrink(self, tmp_path):
+        args = build_parser().parse_args(
+            ["fuzz", "--repro-dir", str(tmp_path)]
+        )
+        assert args.repro_dir == str(tmp_path) and not args.shrink

@@ -1,0 +1,177 @@
+"""Invariant audits: clean structures pass, corruption raises, gating."""
+
+import pytest
+
+from repro.parallel.cubestate import CubeStateStore, CubeStatus
+from repro.rectangles.kcmatrix import KCMatrix, LabelAllocator
+from repro.verify import InvariantViolation, audit, set_audits
+
+
+@pytest.fixture
+def audits_on():
+    prev = audit._enabled
+    set_audits(True)
+    yield
+    set_audits(prev)
+
+
+def _small_matrix() -> KCMatrix:
+    mat = KCMatrix()
+    alloc = LabelAllocator()
+    mat.add_row(1, "F", (10,))
+    mat.add_row(2, "F", (11,))
+    mat.add_row(3, "G", ())
+    c1 = mat.ensure_col((20,), alloc)
+    c2 = mat.ensure_col((21, 22), alloc)
+    for r in (1, 2, 3):
+        mat.add_entry(r, c1)
+    mat.add_entry(1, c2)
+    return mat
+
+
+class TestGating:
+    def test_env_var_controls_default(self, monkeypatch):
+        monkeypatch.setenv(audit.ENV_VAR, "1")
+        set_audits(None)  # re-read the environment
+        assert audit.enabled()
+        monkeypatch.setenv(audit.ENV_VAR, "0")
+        set_audits(None)
+        assert not audit.enabled()
+
+    def test_set_audits_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(audit.ENV_VAR, "0")
+        set_audits(True)
+        try:
+            assert audit.enabled()
+        finally:
+            set_audits(None)
+
+    def test_off_by_default_means_corruption_is_silent(self):
+        prev = audit._enabled
+        set_audits(False)
+        try:
+            mat = _small_matrix()
+            mat.by_col.clear()  # massive corruption
+            mat.add_row(9, "H", ())  # mutator runs its audit only if enabled
+        finally:
+            set_audits(prev)
+
+
+class TestKCMatrixAudits:
+    def test_clean_matrix_passes(self, audits_on):
+        mat = _small_matrix()  # every mutator self-audits on the way
+        audit.audit_kcmatrix(mat)
+
+    def test_mutators_audit_their_delta(self, audits_on):
+        mat = _small_matrix()
+        mat.remove_row(2)
+        mat.remove_col(mat.col_of_cube[(21, 22)])
+        audit.audit_kcmatrix(mat)
+
+    @pytest.mark.parametrize(
+        "corrupt, msg",
+        [
+            (lambda m: m.by_col[next(iter(m.by_col))].clear(),
+             "adjacency"),
+            (lambda m: m.entries.update(
+                {next(iter(m.entries)): (99, 98, 97)}), "cube"),
+            (lambda m: m.col_of_cube.update({(77,): 12345}), "col_of_cube"),
+            (lambda m: m.node_rows["F"].add(999), "node_rows"),
+            (lambda m: m.by_row.update({555: set()}), "by_row keys"),
+        ],
+    )
+    def test_corruption_detected(self, corrupt, msg):
+        mat = _small_matrix()
+        corrupt(mat)
+        with pytest.raises(InvariantViolation, match=msg):
+            audit.audit_kcmatrix(mat)
+
+    def test_bitview_parity_clean(self):
+        mat = _small_matrix()
+        view = mat.bitview()
+        audit.audit_bitview(mat, view)
+
+    def test_bitview_parity_detects_stale_view(self):
+        mat = _small_matrix()
+        view = mat.bitview()
+        mat.add_row(4, "G", (12,))  # view no longer mirrors the matrix
+        with pytest.raises(InvariantViolation):
+            audit.audit_bitview(mat, view)
+
+    def test_bitview_detects_corrupted_masks(self):
+        mat = _small_matrix()
+        view = mat.bitview()
+        view.row_cols[0] = 0
+        with pytest.raises(InvariantViolation, match="mask"):
+            audit.audit_bitview(mat, view)
+
+    def test_mutation_audit_fires_at_the_faulty_operation(self, audits_on):
+        mat = _small_matrix()
+        # Sabotage an index, then perform the next mutation touching it:
+        # the audit localizes the breach to that operation instead of
+        # letting it surface later as a wrong factorization.
+        mat.node_rows["G"].add(1)  # row 1 belongs to F, not G
+        with pytest.raises(InvariantViolation, match="still lists"):
+            mat.remove_row(1)
+
+
+class TestCubeStateAudits:
+    def test_clean_protocol_run_passes(self, audits_on):
+        store = CubeStateStore()
+        refs = [("F", (1, 2)), ("F", (3,)), ("G", (4, 5, 6))]
+        store.cover(refs, pid=0)
+        store.uncover(refs[:1], pid=0)
+        store.cover(refs[:1], pid=1)
+        store.divide(refs[1:])
+        audit.audit_cubestate(store)
+
+    def test_foreign_claim_is_not_stolen(self, audits_on):
+        store = CubeStateStore()
+        ref = ("F", (1, 2))
+        store.cover([ref], pid=0)
+        store.cover([ref], pid=1)  # must silently lose, not steal
+        assert store.record(ref).owner == 0
+        assert store.value(ref, asking_pid=1) == 0
+
+    def test_free_record_with_owner_flagged(self):
+        store = CubeStateStore()
+        ref = ("F", (1, 2))
+        rec = store.record(ref)
+        rec.owner = 3  # FREE cubes carry no owner
+        with pytest.raises(InvariantViolation, match="FREE"):
+            audit.audit_cubestate(store)
+
+    def test_covered_record_with_wrong_value_flagged(self):
+        store = CubeStateStore()
+        ref = ("F", (1, 2))
+        store.cover([ref], pid=0)
+        store.record(ref).trueval = 99
+        with pytest.raises(InvariantViolation, match="COVERED"):
+            audit.audit_cubestate(store)
+
+    def test_divided_record_with_value_flagged(self):
+        store = CubeStateStore()
+        ref = ("F", (1, 2))
+        store.divide([ref])
+        store.record(ref).trueval = 2
+        with pytest.raises(InvariantViolation, match="DIVIDED"):
+            audit.audit_cubestate(store)
+
+    def test_double_cover_transition_flagged(self):
+        store = CubeStateStore()
+        ref = ("F", (1, 2))
+        store.cover([ref], pid=0)
+        rec = store.record(ref)
+        rec.owner = 1  # simulate a protocol bug handing the claim over
+        with pytest.raises(InvariantViolation, match="double cover"):
+            audit.audit_cover_transition(ref, (CubeStatus.COVERED, 0), rec, 1)
+
+    def test_resurrected_divided_cube_flagged(self):
+        store = CubeStateStore()
+        ref = ("F", (1, 2))
+        store.cover([ref], pid=0)
+        rec = store.record(ref)
+        with pytest.raises(InvariantViolation, match="DIVIDED"):
+            audit.audit_cover_transition(
+                ref, (CubeStatus.DIVIDED, -1), rec, 0
+            )

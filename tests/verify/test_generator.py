@@ -1,0 +1,75 @@
+"""Seeded fuzz-network generator: determinism, validity, family shapes."""
+
+import pytest
+
+from repro.network.eqn import write_eqn
+from repro.verify.generator import (
+    FAMILIES,
+    MAX_INPUTS,
+    family_for_run,
+    random_network,
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_same_seed_same_network(self, family):
+        a = random_network(7, family=family)
+        b = random_network(7, family=family)
+        assert write_eqn(a) == write_eqn(b)
+
+    def test_different_seeds_differ(self):
+        texts = {write_eqn(random_network(s, family="dense")) for s in range(6)}
+        assert len(texts) > 1
+
+    def test_family_rotation_covers_all(self):
+        seen = {family_for_run(i) for i in range(len(FAMILIES))}
+        assert seen == set(FAMILIES)
+
+
+class TestValidity:
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("seed", range(8))
+    def test_generated_networks_validate(self, family, seed):
+        net = random_network(seed, family=family)
+        net.validate()
+        assert net.nodes
+        assert net.outputs
+        # Every network stays exhaustively checkable (exact fuzz oracle).
+        assert len(net.inputs) <= MAX_INPUTS
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown fuzz family"):
+            random_network(0, family="bogus")
+
+    def test_custom_name(self):
+        assert random_network(0, family="dense", name="abc").name == "abc"
+
+
+class TestFamilyShapes:
+    def test_dense_has_fat_nodes(self):
+        # Dense SOPs: at least one node with several cubes.
+        net = random_network(1, family="dense")
+        assert max(len(f) for f in net.nodes.values()) >= 4
+
+    def test_dupcube_repeats_cubes_across_nodes(self):
+        # The shared cube pool must actually produce repeats somewhere in
+        # a handful of seeds (cube duplicates within one SOP are merged).
+        for seed in range(10):
+            net = random_network(seed, family="dupcube")
+            seen = set()
+            for f in net.nodes.values():
+                for cube in f:
+                    names = tuple(sorted(net.table.name_of(l) for l in cube))
+                    if names in seen:
+                        return
+                    seen.add(names)
+        pytest.fail("no duplicated cube across nodes in 10 dupcube seeds")
+
+    def test_degenerate_produces_small_shapes(self):
+        # Degenerate family must hit single-cube or constant-0 nodes.
+        for seed in range(10):
+            net = random_network(seed, family="degenerate")
+            if any(len(f) <= 1 for f in net.nodes.values()):
+                return
+        pytest.fail("no degenerate node shape in 10 seeds")
