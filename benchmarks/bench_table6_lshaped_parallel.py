@@ -6,10 +6,31 @@ replicated algorithm's sync-bound speedups and the independent
 algorithm's super-linear ones.
 """
 
-from benchmarks.conftest import emit, run_once
+import json
+
+from benchmarks.conftest import RESULTS_DIR, bench_scale, emit, run_once
+from repro import obs
 from repro.harness.experiments import run_table6
 
 
 def test_table6_lshaped(benchmark, scale):
-    table = run_once(benchmark, lambda: run_table6(scale=scale))
+    # The table runs under its own tracer so the phase breakdown behind
+    # the reported speedups (kc-build vs rect-search vs sync stalls per
+    # processor) is persisted next to the speedup table itself.
+    tracer = obs.Tracer(name="table6")
+    with obs.use_tracer(tracer):
+        table = run_once(benchmark, lambda: run_table6(scale=scale))
     emit('table6_lshaped_parallel', table.render())
+    payload = {
+        "schema": "repro.obs.phases/1",
+        "table": "table6",
+        "scale": scale,
+        "phases": tracer.phase_breakdown(),
+        "counters": tracer.counter_totals(),
+        "tracks": {
+            str(k): v for k, v in tracer.track_virtual_totals().items()
+        },
+    }
+    out = RESULTS_DIR / f"phases_table6@{bench_scale():g}.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {out}")

@@ -43,14 +43,17 @@ def scale() -> float:
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Persist the engine/cache metrics snapshot next to the tables.
+    """Persist the observability snapshot next to the tables.
 
     Table runs route through the shared batch engine
     (:mod:`repro.service`), so after a benchmark session its metrics
     hold the cache hit rates and job timings behind every reported
-    speedup.  Written only when an engine was actually used.
+    speedup; with ``REPRO_TRACE=1`` the snapshot also folds in the
+    session's span-trace phase breakdown (one ``repro.obs`` schema for
+    all three).  Written only when an engine was actually used.
     """
     try:
+        from repro import obs
         from repro.service.engine import get_default_engine
 
         engine = get_default_engine(create=False)
@@ -58,7 +61,7 @@ def pytest_sessionfinish(session, exitstatus):
         return
     if engine is None:
         return
-    snap = {"metrics": engine.metrics.snapshot(), "cache": engine.cache.stats()}
+    snap = obs.snapshot(registry=engine.metrics, cache=engine.cache.stats())
     RESULTS_DIR.mkdir(exist_ok=True)
     out = RESULTS_DIR / f"metrics@{bench_scale():g}.json"
     out.write_text(json.dumps(snap, indent=2) + "\n")

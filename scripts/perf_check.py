@@ -8,8 +8,13 @@ Usage:
     PYTHONPATH=src python scripts/perf_check.py --check    # non-zero exit on regression
 
 ``--check`` fails (exit 1) when the bitmask core is slower than the
-legacy core in geomean, or when any workload's two cores disagree on
-the search result — the CI perf-smoke gate.
+legacy core in geomean, when any workload's two cores disagree on the
+search result, or when disabled tracing is estimated to cost the hot
+loops more than its budget (2%) — the CI perf-smoke gate.
+
+With ``REPRO_TRACE=1`` in the environment the timed runs are traced and
+every workload row in the JSON carries its phase breakdown and hot-loop
+counters alongside the speedup.
 """
 
 from __future__ import annotations
@@ -60,6 +65,15 @@ def main(argv=None) -> int:
             print(
                 f"FAIL: geomean speedup {report['geomean_speedup']:.2f}x "
                 f"< required {args.min_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+        overhead = report["trace_overhead"]
+        if not overhead["ok"]:
+            print(
+                f"FAIL: disabled-tracing overhead "
+                f"{100 * overhead['estimated_overhead']:.3f}% exceeds "
+                f"{100 * overhead['max_overhead']:.0f}%",
                 file=sys.stderr,
             )
             return 1

@@ -1,6 +1,7 @@
 """Command-line interface.
 
     python -m repro factor CIRCUIT [--algorithm ALG] [--procs N] [--cache]
+    python -m repro profile CIRCUIT [--algorithm ALG] [--procs N] [--format F]
     python -m repro batch MANIFEST [--workers N] [--repeat K] [--json OUT]
     python -m repro run-table {table1,table2,table3,table4,table6,eq3} [--scale S]
     python -m repro info CIRCUIT [--scale S]
@@ -16,10 +17,38 @@ jobs run through the batch engine (:mod:`repro.service`).
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import List, Optional
 
 from repro.network.boolean_network import BooleanNetwork
+
+
+@contextlib.contextmanager
+def _trace_to_file(path: Optional[str]):
+    """Trace the body and write the spans to *path* on the way out.
+
+    ``.jsonl`` suffix → one span per line (both clocks preserved);
+    anything else → a Chrome-trace JSON over the host clock, loadable in
+    ``chrome://tracing`` / Perfetto.  Used by ``batch --trace`` and
+    ``fuzz --trace`` so a slow job or a failing finding ships with its
+    trace; replay the run with the recorded seeds to regenerate it.
+    """
+    if not path:
+        yield
+        return
+    from repro.obs import Tracer, use_tracer, write_chrome_trace, write_jsonl
+
+    tracer = Tracer(name=path)
+    try:
+        with use_tracer(tracer):
+            yield
+    finally:
+        if path.endswith(".jsonl"):
+            write_jsonl(tracer, path)
+        else:
+            write_chrome_trace(tracer, path, clock="host")
+        print(f"trace: wrote {len(tracer.finished())} span(s) to {path}")
 
 
 def _load_circuit(spec: str, scale: float) -> BooleanNetwork:
@@ -102,6 +131,44 @@ def _cmd_factor(args: argparse.Namespace) -> int:
 
         save_eqn(work, args.output)
         print(f"written      : {args.output}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.profile import ProfileMismatch, profile_run
+    from repro.rectangles.search import BudgetExceeded
+
+    net = _load_circuit(args.circuit, args.scale)
+    try:
+        prof = profile_run(net, algorithm=args.algorithm, nprocs=args.procs)
+    except BudgetExceeded:
+        print(
+            f"error: {args.algorithm} exceeded the search budget on "
+            f"{net.name} (paper: DNF); try a smaller circuit or --scale",
+            file=sys.stderr,
+        )
+        return 3
+    except ProfileMismatch as exc:
+        print(f"error: profile self-check failed: {exc}", file=sys.stderr)
+        return 4
+    if args.format == "table":
+        output = prof.render()
+    elif args.format == "chrome":
+        output = prof.chrome_trace(clock=args.clock)
+    elif args.format == "jsonl":
+        output = prof.jsonl()
+    else:  # json
+        import json
+
+        output = json.dumps(prof.to_dict(), indent=2)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(output)
+            if not output.endswith("\n"):
+                fh.write("\n")
+        print(f"wrote {args.out} ({len(prof.tracer.finished())} span(s))")
+    else:
+        print(output)
     return 0
 
 
@@ -228,13 +295,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         return 2
     engine = FactorizationEngine(workers=args.workers, use_cache=args.cache)
     reports = []
-    for n in range(args.repeat):
-        report = engine.run_batch(_manifest_jobs(entries, args.scale))
-        reports.append(report)
-        if args.repeat > 1:
-            print(f"--- pass {n + 1}/{args.repeat} ---")
-        print(report.render())
-        print()
+    with _trace_to_file(args.trace):
+        for n in range(args.repeat):
+            report = engine.run_batch(_manifest_jobs(entries, args.scale))
+            reports.append(report)
+            if args.repeat > 1:
+                print(f"--- pass {n + 1}/{args.repeat} ---")
+            print(report.render())
+            print()
     if args.repeat > 1:
         times = ", ".join(f"{r.wall_time:.3f}s" for r in reports)
         print(f"pass wall times: {times}")
@@ -292,7 +360,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable/disable the content-addressed result cache",
     )
     p_batch.add_argument("--json", help="dump results + metrics as JSON")
+    p_batch.add_argument(
+        "--trace",
+        help="record a span trace of the batch (.jsonl → span-per-line, "
+             "otherwise Chrome-trace JSON)",
+    )
     p_batch.set_defaults(fn=_cmd_batch)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="Table-1-style phase/percent breakdown of one factorization run",
+    )
+    p_profile.add_argument("circuit")
+    p_profile.add_argument(
+        "--algorithm",
+        choices=["sequential", "replicated", "independent", "lshaped"],
+        default="lshaped",
+    )
+    p_profile.add_argument("--procs", type=int, default=4)
+    p_profile.add_argument("--scale", type=float, default=1.0)
+    p_profile.add_argument(
+        "--format", choices=["table", "chrome", "jsonl", "json"],
+        default="table",
+        help="table: phase + per-processor tables; chrome: chrome://tracing "
+             "JSON; jsonl: span-per-line; json: the full profile payload",
+    )
+    p_profile.add_argument(
+        "--clock", choices=["virtual", "host"], default="virtual",
+        help="which clock the chrome export uses (default: virtual)",
+    )
+    p_profile.add_argument("--out", help="write the output here instead of stdout")
+    p_profile.set_defaults(fn=_cmd_profile)
 
     p_table = sub.add_parser("run-table", help="regenerate a paper table")
     p_table.add_argument(
@@ -353,6 +451,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="Monte-Carlo vectors when >8 primary inputs")
     p_fuzz.add_argument("--quiet", action="store_true",
                         help="suppress per-run progress lines")
+    p_fuzz.add_argument(
+        "--trace",
+        help="record a span trace of the campaign (.jsonl → span-per-line, "
+             "otherwise Chrome-trace JSON); spans carry run/seed/path/core",
+    )
     p_fuzz.set_defaults(fn=_cmd_fuzz)
     return parser
 
@@ -432,7 +535,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         progress=None if args.quiet else print,
     )
     try:
-        report = run_fuzz(config)
+        with _trace_to_file(args.trace):
+            report = run_fuzz(config)
     except ValueError as exc:  # unknown path/core/family name
         print(f"error: {exc}", file=sys.stderr)
         return 2

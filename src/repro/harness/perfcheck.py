@@ -12,6 +12,14 @@ and speedup, plus the suite geomean, as the JSON written to
 Every timed pair is also cross-checked: a workload whose two cores
 disagree on the result is reported as a failure, so the perf harness
 doubles as an end-to-end differential test on real matrices.
+
+The harness also polices the observability layer itself: every run
+measures the per-call cost of the *disabled* tracing fast path and
+bounds the estimated overhead it adds to the hot search loops
+(:data:`MAX_TRACE_OVERHEAD`, gated under ``--check``).  With tracing
+enabled (``REPRO_TRACE=1``) each workload row additionally carries its
+phase breakdown and hot-loop counters, so the persisted JSON pairs every
+speedup with where the time went.
 """
 
 from __future__ import annotations
@@ -36,7 +44,11 @@ from repro.rectangles.search import (
 )
 
 #: JSON schema version for BENCH_rectsearch.json.
-SCHEMA = "rectsearch/1"
+SCHEMA = "rectsearch/2"
+
+#: Ceiling on the estimated fraction of a workload's wall time spent in
+#: disabled tracing gates — the price of observability when it is off.
+MAX_TRACE_OVERHEAD = 0.02
 
 
 @dataclass(frozen=True)
@@ -153,12 +165,28 @@ def _time_core(wl: Workload, matrix: KCMatrix, core: str) -> Tuple[float, object
 
 
 def run_workload(wl: Workload) -> Dict:
-    """Time both cores on one workload; cross-check their results."""
+    """Time both cores on one workload; cross-check their results.
+
+    When tracing is enabled the timings above ran *traced* (that is the
+    point of profiling a perf run), and the row gains a ``phases`` /
+    ``counters`` pair taken from one traced search, so the persisted
+    report says both how fast and where the time went.
+    """
+    from repro import obs
+
     net = _build_network(wl)
     matrix = build_kc_matrix(net)
     t_set, res_set, nodes = _time_core(wl, matrix, "set")
     t_bit, res_bit, _ = _time_core(wl, matrix, "bit")
-    return {
+    phases = counters = None
+    if obs.enabled():
+        tracer = obs.Tracer(name=wl.name)
+        with obs.use_tracer(tracer), obs.span(wl.name, cat="perfcheck"):
+            matrix._touch()
+            _run_searcher(wl, matrix, "bit")
+        phases = tracer.phase_breakdown()
+        counters = tracer.counter_totals()
+    row = {
         "name": wl.name,
         "circuit": wl.circuit,
         "scale": wl.scale,
@@ -174,6 +202,64 @@ def run_workload(wl: Workload) -> Dict:
         "speedup": t_set / t_bit if t_bit else None,
         "results_match": res_set == res_bit,
     }
+    if phases is not None:
+        row["phases"] = phases
+        row["counters"] = counters
+    return row
+
+
+def measure_trace_overhead(wl: Optional[Workload] = None) -> Dict:
+    """Bound what disabled tracing costs the hot loops, empirically.
+
+    Two per-call prices are measured directly: the ``active_tracer()``
+    gate the search loops hoist once per call, and a full disabled
+    ``span()`` enter/exit (the heavier shape used at phase boundaries).
+    One workload is then run *traced* to count how many trace-API events
+    it would emit; the estimated disabled overhead is that event count
+    priced at the heavier per-call cost, over the workload's untraced
+    wall time.  Deliberately pessimistic — the real disabled path pays
+    the cheap gate for most of those events.
+    """
+    from repro import obs
+    from repro.obs.tracer import active_tracer, span
+
+    wl = wl or QUICK_SUITE[-1]
+    reps = 200_000
+    with obs.use_tracer(None):
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            active_tracer()
+        gate_ns = (time.perf_counter() - t0) / reps * 1e9
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            with span("overhead-probe"):
+                pass
+        span_ns = (time.perf_counter() - t0) / reps * 1e9
+
+        net = _build_network(wl)
+        matrix = build_kc_matrix(net)
+        t_off, _, _ = _time_core(wl, matrix, "bit")
+
+    tracer = obs.Tracer(name="overhead")
+    with obs.use_tracer(tracer), obs.span(wl.name, cat="perfcheck"):
+        matrix._touch()
+        _run_searcher(wl, matrix, "bit")
+    spans = tracer.finished()
+    # Each span is one enter/exit pair; each counter key is one hot-loop
+    # attachment.  Counter *values* (e.g. thousands of node visits) cost
+    # nothing when disabled — the loops only pay the hoisted gate.
+    events = len(spans) + sum(len(sp.counters) for sp in spans)
+    overhead = (events * span_ns) / (t_off * 1e9) if t_off else 0.0
+    return {
+        "workload": wl.name,
+        "gate_ns_per_call": gate_ns,
+        "span_ns_per_call": span_ns,
+        "trace_events": events,
+        "t_untraced_s": t_off,
+        "estimated_overhead": overhead,
+        "max_overhead": MAX_TRACE_OVERHEAD,
+        "ok": overhead <= MAX_TRACE_OVERHEAD,
+    }
 
 
 def geomean(values: List[float]) -> float:
@@ -185,15 +271,19 @@ def geomean(values: List[float]) -> float:
 
 def run_perf_check(quick: bool = False) -> Dict:
     """Run the suite; return the BENCH_rectsearch.json payload."""
+    from repro import obs
+
     suite = QUICK_SUITE if quick else FULL_SUITE
     rows = [run_workload(wl) for wl in suite]
     report = {
         "schema": SCHEMA,
         "suite": "quick" if quick else "full",
         "python": platform.python_version(),
+        "tracing_enabled": obs.enabled(),
         "workloads": rows,
         "geomean_speedup": geomean([r["speedup"] for r in rows]),
         "all_results_match": all(r["results_match"] for r in rows),
+        "trace_overhead": measure_trace_overhead(),
     }
     return report
 
@@ -213,6 +303,17 @@ def render_report(report: Dict) -> str:
             f"{r['speedup']:>7.2f}x {str(r['results_match']):>6}"
         )
     lines.append(f"geomean speedup: {report['geomean_speedup']:.2f}x")
+    oh = report.get("trace_overhead")
+    if oh:
+        lines.append(
+            f"disabled-tracing overhead: {100 * oh['estimated_overhead']:.3f}% "
+            f"of {oh['workload']} ({oh['trace_events']} events x "
+            f"{oh['span_ns_per_call']:.0f} ns; limit "
+            f"{100 * oh['max_overhead']:.0f}%) "
+            f"{'OK' if oh['ok'] else 'FAIL'}"
+        )
+    if report.get("tracing_enabled"):
+        lines.append("tracing: enabled — workload rows carry phase breakdowns")
     return "\n".join(lines)
 
 

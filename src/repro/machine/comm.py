@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.machine.simulator import SimulatedMachine, VirtualProcessor
+from repro.obs.tracer import span as _obs_span
 
 
 def payload_words(obj: Any) -> int:
@@ -119,7 +120,21 @@ def run_spmd(
     per-rank return values.  Deterministic: ranks advance in rank order
     between communication points; compute between points is charged to
     the owning processor's clock via run_phase.
+
+    Every compute slice and communication charge goes through the
+    machine's instrumented primitives, so a traced SPMD run gets per-pid
+    spans (with stall/transfer-word counters) for free; the whole program
+    is additionally grouped under one ``spmd`` span.
     """
+    with _obs_span("spmd", cat="comm", track="spmd"):
+        return _run_spmd(machine, program, *args_per_rank)
+
+
+def _run_spmd(
+    machine: SimulatedMachine,
+    program: Callable[..., Generator],
+    *args_per_rank,
+) -> List[Any]:
     size = machine.nprocs
     comms = [Comm(r, size) for r in range(size)]
     gens: List[Optional[Generator]] = []

@@ -16,6 +16,14 @@ charged.  Synchronization primitives then combine clocks:
 
 ``elapsed()`` (max clock) over ``sequential_time`` gives the measured
 speedup the benchmark tables report.
+
+Every clock advance is also visible to :mod:`repro.obs`: when a tracer
+is active (``REPRO_TRACE=1`` or an explicit ``tracer=``), each phase,
+barrier stall, broadcast and send closes a span on the owning pid's
+track whose virtual interval is exactly the clock movement — so a
+trace's per-track maxima reproduce :meth:`elapsed` and the final
+:class:`PhaseReport` clocks bit-for-bit.  With no tracer the
+instrumentation reduces to one ``is None`` test per primitive.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
 from repro.machine.costmodel import CostMeter, CostModel, DEFAULT_COST_MODEL
+from repro.obs.tracer import Tracer, active_tracer
 
 T = TypeVar("T")
 
@@ -57,16 +66,26 @@ class PhaseReport:
 class SimulatedMachine:
     """A fixed-size pool of virtual processors with a shared cost model."""
 
-    def __init__(self, nprocs: int, model: CostModel = DEFAULT_COST_MODEL) -> None:
+    def __init__(
+        self,
+        nprocs: int,
+        model: CostModel = DEFAULT_COST_MODEL,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         if nprocs < 1:
             raise ValueError("need at least one processor")
         self.model = model
         self.procs = [VirtualProcessor(p) for p in range(nprocs)]
         self.phases: List[PhaseReport] = []
+        self.tracer = tracer
 
     @property
     def nprocs(self) -> int:
         return len(self.procs)
+
+    def _trace(self) -> Optional[Tracer]:
+        """Explicit tracer wins; otherwise the process-global one."""
+        return self.tracer if self.tracer is not None else active_tracer()
 
     # ------------------------------------------------------------------
     # Work execution
@@ -86,20 +105,65 @@ class SimulatedMachine:
         """
         results: List[T] = []
         pids = list(procs) if procs is not None else list(range(self.nprocs))
+        tr = self._trace()
         for pid in pids:
             proc = self.procs[pid]
             before = proc.meter.snapshot()
-            results.append(work(proc))
-            after = proc.meter.counts
-            delta = {k: after.get(k, 0.0) - before.get(k, 0.0) for k in after}
-            proc.clock += self.model.compute_time(delta)
+            if tr is None:
+                results.append(work(proc))
+                after = proc.meter.counts
+                delta = {k: after.get(k, 0.0) - before.get(k, 0.0) for k in after}
+                proc.clock += self.model.compute_time(delta)
+            else:
+                with tr.span(name, cat="phase", track=pid,
+                             virtual_start=proc.clock) as sp:
+                    results.append(work(proc))
+                    after = proc.meter.counts
+                    delta = {k: after.get(k, 0.0) - before.get(k, 0.0)
+                             for k in after}
+                    proc.clock += self.model.compute_time(delta)
+                    sp.set_virtual_end(proc.clock)
+                    for kind, amount in delta.items():
+                        if amount:
+                            sp.add_counter(kind, amount)
         self.phases.append(PhaseReport(name, [p.clock for p in self.procs]))
         return results
 
     def charge(self, pid: int, kind: str, amount: float = 1.0) -> None:
         """Direct charge outside a phase (rarely needed)."""
-        self.procs[pid].meter.charge(kind, amount)
-        self.procs[pid].clock += self.model.weight(kind) * amount
+        proc = self.procs[pid]
+        tr = self._trace()
+        v0 = proc.clock
+        proc.meter.charge(kind, amount)
+        proc.clock += self.model.weight(kind) * amount
+        if tr is not None:
+            with tr.span("charge", cat="compute", track=pid,
+                         virtual_start=v0) as sp:
+                sp.set_virtual_end(proc.clock)
+                sp.add_counter(kind, amount)
+
+    def charge_all(self, probe: CostMeter, name: str = "charge-all") -> None:
+        """Merge *probe* into every processor's meter; advance all clocks.
+
+        Models work every processor performs redundantly (the replicated
+        algorithm's whole-matrix build).  Advances each clock by the
+        probe's weighted cost, records a :class:`PhaseReport`, and — when
+        tracing — closes one span per pid so trace totals keep matching
+        the clocks.
+        """
+        cost = self.model.compute_time(probe.counts)
+        tr = self._trace()
+        nonzero = {k: v for k, v in probe.counts.items() if v}
+        for proc in self.procs:
+            v0 = proc.clock
+            proc.meter.merge(probe)
+            proc.clock += cost
+            if tr is not None:
+                with tr.span(name, cat="phase", track=proc.pid,
+                             virtual_start=v0) as sp:
+                    sp.set_virtual_end(proc.clock)
+                    sp.add_counters(**nonzero)
+        self.phases.append(PhaseReport(name, [p.clock for p in self.procs]))
 
     # ------------------------------------------------------------------
     # Synchronization
@@ -107,19 +171,40 @@ class SimulatedMachine:
     def barrier(self, name: str = "barrier") -> None:
         """All processors wait for the slowest, then pay the sync cost."""
         top = max(p.clock for p in self.procs)
+        tr = self._trace()
         for p in self.procs:
+            v0 = p.clock
             p.clock = top + self.model.barrier_cost
+            if tr is not None:
+                with tr.span(name, cat="sync", track=p.pid,
+                             virtual_start=v0) as sp:
+                    sp.set_virtual_end(p.clock)
+                    sp.add_counters(stall=top - v0,
+                                    barrier_cost=self.model.barrier_cost)
         self.phases.append(PhaseReport(name, [p.clock for p in self.procs]))
 
     def broadcast(self, src: int, words: float, name: str = "broadcast") -> None:
         """One-to-all transfer of a payload of *words* units."""
         cost = self.model.transfer_time(words)
         sender = self.procs[src]
+        tr = self._trace()
+        v0 = sender.clock
         sender.clock += cost * max(1, self.nprocs - 1) * 0.25 + cost
         arrival = sender.clock
+        if tr is not None:
+            with tr.span(name, cat="comm", track=src, virtual_start=v0) as sp:
+                sp.set_virtual_end(arrival)
+                sp.add_counters(transfer_words=words, fanout=self.nprocs - 1)
         for p in self.procs:
             if p.pid != src:
+                r0 = p.clock
                 p.clock = max(p.clock, arrival)
+                if tr is not None:
+                    with tr.span(name, cat="comm", track=p.pid,
+                                 virtual_start=r0) as sp:
+                        sp.set_virtual_end(p.clock)
+                        sp.add_counters(stall=p.clock - r0,
+                                        transfer_words=words)
         self.phases.append(PhaseReport(name, [p.clock for p in self.procs]))
 
     def send(self, src: int, dst: int, words: float, name: str = "send") -> None:
@@ -128,9 +213,20 @@ class SimulatedMachine:
             return
         cost = self.model.transfer_time(words)
         sender = self.procs[src]
+        tr = self._trace()
+        s0 = sender.clock
         sender.clock += cost
         receiver = self.procs[dst]
+        r0 = receiver.clock
         receiver.clock = max(receiver.clock, sender.clock)
+        if tr is not None:
+            with tr.span(name, cat="comm", track=src, virtual_start=s0) as sp:
+                sp.set_virtual_end(sender.clock)
+                sp.add_counters(transfer_words=words)
+            with tr.span(name, cat="comm", track=dst, virtual_start=r0) as sp:
+                sp.set_virtual_end(receiver.clock)
+                sp.add_counters(stall=receiver.clock - r0,
+                                transfer_words=words)
         self.phases.append(PhaseReport(name, [p.clock for p in self.procs]))
 
     # ------------------------------------------------------------------

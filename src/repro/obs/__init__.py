@@ -1,0 +1,101 @@
+"""repro.obs — observability: span tracing, metrics, exporters, profiler.
+
+One layer answers "where did the time go":
+
+- :mod:`repro.obs.tracer` — thread-safe dual-clock span tracer, off by
+  default (``REPRO_TRACE=1`` or an explicit tracer enables it);
+- :mod:`repro.obs.metrics` — the counter/histogram/timer registry the
+  batch engine reports through (formerly ``repro.service.metrics``),
+  with bounded-memory histograms;
+- :mod:`repro.obs.export` — Chrome-trace (Perfetto) and JSONL dumps;
+- :mod:`repro.obs.profile` — the Table-1-style phase/percent breakdown
+  behind ``repro profile``.
+
+:func:`snapshot` is the shared export schema: engine metrics, cache
+stats and span-trace summaries all land in one JSON-serializable dict,
+so ``benchmarks/results/metrics@SCALE.json`` and trace output agree on
+structure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.obs.export import (
+    chrome_trace_json,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    DEFAULT_HISTOGRAM_CAP,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+from repro.obs.tracer import (
+    ENV_VAR,
+    Span,
+    TraceContext,
+    Tracer,
+    active_tracer,
+    add_counters,
+    context,
+    current_span,
+    enabled,
+    set_tracer,
+    span,
+    use_tracer,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "Counter",
+    "DEFAULT_HISTOGRAM_CAP",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "Timer",
+    "active_tracer",
+    "add_counters",
+    "chrome_trace_json",
+    "context",
+    "current_span",
+    "enabled",
+    "set_tracer",
+    "snapshot",
+    "span",
+    "to_chrome_trace",
+    "to_jsonl",
+    "use_tracer",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+SNAPSHOT_SCHEMA = "repro.obs/1"
+
+
+def snapshot(
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+    cache: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One JSON-serializable dict for metrics + cache + trace summary.
+
+    Any part may be omitted; ``tracer`` defaults to the active one, so
+    ``obs.snapshot(registry=engine.metrics)`` inside a traced run
+    captures both views.  Benchmarks persist exactly this shape.
+    """
+    out: Dict[str, Any] = {"schema": SNAPSHOT_SCHEMA}
+    if registry is not None:
+        out["metrics"] = registry.snapshot()
+    if cache is not None:
+        out["cache"] = dict(cache)
+    tr = tracer if tracer is not None else active_tracer()
+    if tr is not None:
+        out["trace"] = tr.snapshot()
+    return out

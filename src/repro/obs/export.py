@@ -1,0 +1,119 @@
+"""Trace exporters: Chrome-trace (Perfetto) JSON and JSONL.
+
+Two serializations of the same span list:
+
+- :func:`to_chrome_trace` — the ``chrome://tracing`` / Perfetto "JSON
+  Array Format": one ``"ph": "X"`` complete event per span, timestamps
+  in microseconds, with each span's *track* mapped to a ``tid`` so the
+  viewer shows one lane per virtual processor (or per job/run id).
+- :func:`to_jsonl` — one :meth:`Span.to_dict` JSON object per line,
+  grep-friendly and the format ``repro batch --trace`` / ``repro fuzz
+  --trace`` write, so a slow job or a failing fuzz finding ships with
+  its trace.
+
+Both accept ``clock="host"`` (perf_counter wall time) or
+``clock="virtual"`` (simulator clock, one virtual unit rendered as one
+microsecond).  Spans without the requested clock are dropped from the
+Chrome view rather than plotted at garbage coordinates.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Union
+
+from .tracer import Span, Tracer
+
+__all__ = ["to_chrome_trace", "chrome_trace_json", "to_jsonl",
+           "write_chrome_trace", "write_jsonl"]
+
+_SpanSource = Union[Tracer, Iterable[Span]]
+
+
+def _spans(source: _SpanSource) -> List[Span]:
+    if isinstance(source, Tracer):
+        return source.finished()
+    return list(source)
+
+
+def _track_key(track: Any) -> str:
+    return track if isinstance(track, str) else str(track)
+
+
+def to_chrome_trace(source: _SpanSource, clock: str = "virtual") -> Dict[str, Any]:
+    """Build a Chrome-trace event dict from a tracer or span list.
+
+    ``clock="virtual"`` plots simulator time (1 unit -> 1 µs): the view
+    that matches the paper's tables, where a barrier stall is as wide as
+    its cost.  ``clock="host"`` plots measured wall time instead.
+    """
+    if clock not in ("virtual", "host"):
+        raise ValueError(f"clock must be 'virtual' or 'host', got {clock!r}")
+    spans = _spans(source)
+    events: List[Dict[str, Any]] = []
+    tids: Dict[str, int] = {}
+    t_base = min((sp.t0 for sp in spans), default=0.0)
+    for sp in spans:
+        if clock == "virtual":
+            if sp.v0 is None or sp.v1 is None:
+                continue
+            ts = sp.v0
+            dur = sp.v1 - sp.v0
+        else:
+            if sp.t1 is None:
+                continue
+            ts = (sp.t0 - t_base) * 1e6
+            dur = (sp.t1 - sp.t0) * 1e6
+        key = _track_key(sp.track)
+        tid = tids.setdefault(key, len(tids))
+        args: Dict[str, Any] = {}
+        if sp.counters:
+            args.update(sp.counters)
+        if sp.attrs:
+            args.update(sp.attrs)
+        if sp.error:
+            args["error"] = True
+        events.append({
+            "name": sp.name,
+            "cat": sp.cat or "repro",
+            "ph": "X",
+            "ts": ts,
+            "dur": dur,
+            "pid": 0,
+            "tid": tid,
+            "args": args,
+        })
+    # Thread-name metadata rows label each lane with its track.
+    for key, tid in tids.items():
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": tid,
+            "args": {"name": key},
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": clock, "producer": "repro.obs"},
+    }
+
+
+def chrome_trace_json(source: _SpanSource, clock: str = "virtual") -> str:
+    return json.dumps(to_chrome_trace(source, clock=clock), sort_keys=True)
+
+
+def to_jsonl(source: _SpanSource) -> str:
+    """One span per line; both clocks preserved verbatim."""
+    lines = [json.dumps(sp.to_dict(), sort_keys=True) for sp in _spans(source)]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_chrome_trace(source: _SpanSource, path: str, clock: str = "virtual") -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(chrome_trace_json(source, clock=clock))
+
+
+def write_jsonl(source: _SpanSource, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_jsonl(source))

@@ -1,0 +1,223 @@
+"""Operational metrics: counters, bounded histograms, timers, registry.
+
+This is the engine/cache metrics layer that used to live at
+``repro.service.metrics`` (that path remains a thin alias), now part of
+:mod:`repro.obs` so span traces and engine metrics export through one
+:func:`repro.obs.snapshot` schema.
+
+The one behavioral change from the service-era module: :class:`Histogram`
+no longer keeps every sample.  It stores samples exactly up to a cap and
+then switches to reservoir sampling (Vitter's Algorithm R with a
+name-seeded deterministic RNG), so observing a million values holds a
+fixed-size buffer while ``count``/``total``/``min``/``max`` — and hence
+``mean`` — stay exact.  Percentiles over a full buffer are exact;
+past the cap they are unbiased estimates from the reservoir.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+import zlib
+from typing import Dict, List, Optional
+
+__all__ = ["Counter", "Histogram", "Timer", "MetricsRegistry",
+           "DEFAULT_HISTOGRAM_CAP"]
+
+#: Samples kept exactly before reservoir sampling begins.  Batch runs
+#: observe at most a few thousand values, so in practice percentiles
+#: remain exact; the cap only matters for pathological volumes.
+DEFAULT_HISTOGRAM_CAP = 4096
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """Streaming distribution with bounded memory.
+
+    The first ``cap`` observations are stored exactly.  From observation
+    ``cap + 1`` on, Algorithm R replaces a uniformly random slot with
+    probability ``cap / n``, keeping the buffer a uniform sample of
+    everything seen.  The RNG is seeded from the histogram name, so two
+    runs observing the same stream produce the same summary.
+
+    ``count``, ``total``, ``min`` and ``max`` are maintained as scalars
+    outside the buffer and are exact regardless of volume.
+    """
+
+    def __init__(self, name: str, cap: int = DEFAULT_HISTOGRAM_CAP):
+        if cap < 1:
+            raise ValueError(f"histogram cap must be >= 1, got {cap}")
+        self.name = name
+        self.cap = cap
+        self._samples: List[float] = []
+        self._count = 0
+        self._total = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._total += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+            if len(self._samples) < self.cap:
+                self._samples.append(value)
+            else:
+                slot = self._rng.randrange(self._count)
+                if slot < self.cap:
+                    self._samples[slot] = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def total(self) -> float:
+        with self._lock:
+            return self._total
+
+    @property
+    def sample_size(self) -> int:
+        """Values currently buffered (== count until the cap is hit)."""
+        with self._lock:
+            return len(self._samples)
+
+    def percentile(self, p: float) -> Optional[float]:
+        """Nearest-rank percentile, ``p`` in [0, 100]; None when empty.
+
+        Exact while ``count <= cap``; estimated from the reservoir after.
+        """
+        with self._lock:
+            if not self._samples:
+                return None
+            ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1, round(p / 100.0 * (len(ordered) - 1))))
+        return ordered[int(rank)]
+
+    def summary(self) -> Dict[str, Optional[float]]:
+        with self._lock:
+            samples = list(self._samples)
+            count = self._count
+            total = self._total
+            lo = self._min
+            hi = self._max
+        if not count:
+            return {"count": 0, "total": 0.0, "min": None, "max": None,
+                    "mean": None, "p50": None, "p95": None}
+        ordered = sorted(samples)
+        n = len(ordered)
+
+        def nearest(p: float) -> float:
+            return ordered[max(0, min(n - 1, int(round(p / 100.0 * (n - 1)))))]
+
+        return {
+            "count": count,
+            "total": total,
+            "min": lo,
+            "max": hi,
+            "mean": total / count,
+            "p50": nearest(50),
+            "p95": nearest(95),
+        }
+
+
+class Timer:
+    """Context manager feeding elapsed wall-clock seconds to a histogram.
+
+    ::
+
+        with registry.timer("job"):
+            run_job()          # observes into histogram "job_seconds"
+    """
+
+    def __init__(self, histogram: Histogram):
+        self.histogram = histogram
+        self._start: Optional[float] = None
+        self.elapsed: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+        self.histogram.observe(self.elapsed)
+
+
+class MetricsRegistry:
+    """Get-or-create registry of counters/histograms with one snapshot."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.RLock()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter(name)
+            return self._counters[name]
+
+    def histogram(self, name: str, cap: int = DEFAULT_HISTOGRAM_CAP) -> Histogram:
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(name, cap=cap)
+            return self._histograms[name]
+
+    def timer(self, name: str) -> Timer:
+        """A fresh timer observing into histogram ``{name}_seconds``."""
+        return Timer(self.histogram(f"{name}_seconds"))
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counter(name).inc(n)
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """JSON-serializable dump of every metric at this instant."""
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: c.value for name, c in sorted(counters.items())},
+            "histograms": {
+                name: h.summary() for name, h in sorted(histograms.items())
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable one-metric-per-line dump for CLI output."""
+        snap = self.snapshot()
+        lines = []
+        for name, value in snap["counters"].items():
+            lines.append(f"{name:<28} {value}")
+        for name, summ in snap["histograms"].items():
+            if not summ["count"]:
+                continue
+            lines.append(
+                f"{name:<28} count={summ['count']} total={summ['total']:.3f}s "
+                f"mean={summ['mean']:.3f}s p95={summ['p95']:.3f}s"
+            )
+        return "\n".join(lines)

@@ -30,6 +30,9 @@ class ParallelRunResult:
     sequential_time: float
     extractions: int = 0
     details: Dict[str, float] = field(default_factory=dict)
+    #: Final virtual clock per pid — what a trace's per-track maxima
+    #: must reproduce (``max(proc_clocks) == parallel_time``).
+    proc_clocks: Optional[List[float]] = None
 
     @property
     def speedup(self) -> float:
@@ -53,6 +56,7 @@ class ParallelRunResult:
             "speedup": self.speedup if self.sequential_time else None,
             "extractions": self.extractions,
             "details": dict(self.details),
+            "proc_clocks": list(self.proc_clocks) if self.proc_clocks else None,
         }
 
 

@@ -28,6 +28,7 @@ from repro.machine.backend import SerialBackend
 from repro.machine.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.machine.simulator import SimulatedMachine
 from repro.network.boolean_network import BooleanNetwork
+from repro.obs.tracer import Tracer
 from repro.parallel.common import ParallelRunResult, partition_network_nodes
 from repro.rectangles.cover import kernel_extract
 
@@ -49,16 +50,18 @@ def independent_kernel_extract(
     seed: int = 0,
     partitioner: str = "mincut",
     max_seeds: Optional[int] = 64,
+    tracer: Optional["Tracer"] = None,
 ) -> ParallelRunResult:
     """Run the no-interaction partitioned algorithm on a copy.
 
     The master (processor 0) partitions the circuit and distributes the
     blocks; every processor then factors its block to completion without
     communicating.  Parallel time = partition + distribution + the
-    slowest block's extraction.
+    slowest block's extraction.  Pass ``tracer`` (or set
+    ``REPRO_TRACE=1``) to record per-processor spans.
     """
     work_net = network.copy()
-    machine = SimulatedMachine(nprocs, model)
+    machine = SimulatedMachine(nprocs, model, tracer=tracer)
     initial_lc = work_net.literal_count()
 
     # Master partitions the circuit; the FM passes charge processor 0.
@@ -106,6 +109,7 @@ def independent_kernel_extract(
         sequential_time=0.0,  # caller fills with the SIS baseline
         extractions=extractions,
         details={"duplicate_kernels": float(duplicates)},
+        proc_clocks=[p.clock for p in machine.procs],
     )
 
 

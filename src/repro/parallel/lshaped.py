@@ -37,6 +37,7 @@ from repro.algebra.sop import Sop, divide
 from repro.machine.costmodel import CostMeter, CostModel, DEFAULT_COST_MODEL
 from repro.machine.simulator import SimulatedMachine
 from repro.network.boolean_network import BooleanNetwork
+from repro.obs.tracer import Tracer
 from repro.parallel.common import ParallelRunResult, partition_network_nodes
 from repro.parallel.cubestate import CubeRef, CubeStateStore, CubeStatus
 from repro.rectangles.kcmatrix import KCMatrix, LabelAllocator
@@ -211,6 +212,7 @@ def lshaped_kernel_extract(
     min_gain: int = 1,
     disable_vertical_leg: bool = False,
     disable_recheck: bool = False,
+    tracer: Optional["Tracer"] = None,
 ) -> ParallelRunResult:
     """Run the L-shaped algorithm on a copy of *network*.
 
@@ -228,7 +230,7 @@ def lshaped_kernel_extract(
     suite while preserving the speedup.
     """
     work_net = network.copy()
-    machine = SimulatedMachine(nprocs, model)
+    machine = SimulatedMachine(nprocs, model, tracer=tracer)
     initial_lc = work_net.literal_count()
 
     blocks: List[List[str]] = machine.run_phase(
@@ -414,6 +416,7 @@ def lshaped_kernel_extract(
         sequential_time=0.0,  # caller fills with the SIS baseline
         extractions=extractions,
         details={"alpha": alpha, "gamma": gamma},
+        proc_clocks=[p.clock for p in machine.procs],
     )
 
 

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.algebra.cube import Cube
 from repro.machine.simulator import SimulatedMachine
 from repro.network.boolean_network import BooleanNetwork
+from repro.obs.tracer import span as _obs_span
 from repro.parallel.common import ParallelRunResult, partition_network_nodes
 from repro.parallel.cubestate import CubeRef, CubeStateStore
 from repro.parallel.lshaped import (
@@ -79,6 +80,12 @@ def lshaped_kernel_extract_threaded(
         extracted_flag = [False]
 
         def run_processor(pid: int) -> None:
+            # Host-clock-only span: virtual time is meaningless on real
+            # threads, but per-thread lanes and search counters are not.
+            with _obs_span("worker-cycle", cat="thread", track=f"thread-{pid}"):
+                _run_processor_rounds(pid)
+
+        def _run_processor_rounds(pid: int) -> None:
             mat = matrices[pid]
             for _ in range(max_rounds):
                 # ---- drain forwarded partial rectangles ----------------

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.algebra.kernels import Kernel, kernels
 from repro.machine.costmodel import CostMeter, CostModel, DEFAULT_COST_MODEL
 from repro.machine.simulator import SimulatedMachine
+from repro.obs.tracer import Tracer
 from repro.network.boolean_network import BooleanNetwork
 from repro.parallel.common import ParallelRunResult
 from repro.rectangles.cover import apply_rectangle
@@ -96,9 +97,8 @@ def _build_replicated_matrix(
                 col = mat.ensure_col(kc, col_allocs[owner])
                 mat.add_entry(row, col)
                 probe.charge("kc_entry", 1)
-    for proc in machine.procs:
-        proc.meter.merge(probe)
-        proc.clock += machine.model.compute_time(probe.counts)
+    # The build is redundant work performed by all processors.
+    machine.charge_all(probe, name="kc-build")
     return mat
 
 
@@ -109,14 +109,16 @@ def replicated_kernel_extract(
     search_budget: Optional[int] = 5_000_000,
     min_gain: int = 1,
     max_iterations: Optional[int] = None,
+    tracer: Optional["Tracer"] = None,
 ) -> ParallelRunResult:
     """Run the replicated-circuit algorithm on a copy of *network*.
 
     Raises :class:`BudgetExceeded` when the exhaustive search blows the
-    budget (the paper's DNF rows) — callers report "—".
+    budget (the paper's DNF rows) — callers report "—".  Pass ``tracer``
+    (or set ``REPRO_TRACE=1``) to record per-processor spans.
     """
     work_net = network.copy()
-    machine = SimulatedMachine(nprocs, model)
+    machine = SimulatedMachine(nprocs, model, tracer=tracer)
     budget = SearchBudget(search_budget) if search_budget is not None else None
     cache: Dict[str, List[Kernel]] = {}
     active = sorted(work_net.nodes)
@@ -166,9 +168,7 @@ def replicated_kernel_extract(
         applied = apply_rectangle(work_net, matrix, rect, new_name=new_name, gain=gain)
         probe.charge("divide_node", len(applied.modified_nodes))
         # Every processor divides its own replica: redundant work for all.
-        for proc in machine.procs:
-            proc.meter.merge(probe)
-            proc.clock += machine.model.compute_time(probe.counts)
+        machine.charge_all(probe, name="extract-commit")
         extractions += 1
         node_owner[applied.new_node] = extractions % nprocs
         active = sorted(set(active) | {applied.new_node})
@@ -186,4 +186,5 @@ def replicated_kernel_extract(
         sequential_time=0.0,  # caller fills with the 1-proc run of this algorithm
         extractions=extractions,
         details={"budget_used": float(budget.used) if budget else 0.0},
+        proc_clocks=[p.clock for p in machine.procs],
     )

@@ -13,9 +13,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.algebra.cube import Cube, cube_union
-from repro.algebra.kernels import Kernel
+from repro.algebra.kernels import Kernel, kernels
 from repro.algebra.sop import Sop
+from repro.machine.costmodel import CostMeter, CostModel, DEFAULT_COST_MODEL
 from repro.network.boolean_network import BooleanNetwork
+from repro.obs.tracer import active_tracer
 from repro.rectangles.kcmatrix import KCMatrix, build_kc_matrix
 from repro.rectangles.pingpong import best_rectangle_pingpong
 from repro.rectangles.rectangle import (
@@ -157,6 +159,7 @@ def kernel_extract(
     name_prefix: str = "[k",
     max_seeds: Optional[int] = 64,
     core: Optional[str] = None,
+    model: CostModel = DEFAULT_COST_MODEL,
 ) -> KernelExtractionResult:
     """Run greedy kernel extraction in place; return the run record.
 
@@ -166,7 +169,20 @@ def kernel_extract(
     :mod:`repro.machine.costmodel`) is charged for kernel generation,
     matrix entries and search work — the simulated multiprocessor uses
     these charges as its clock.
+
+    When a tracer is active (:mod:`repro.obs`), each iteration emits
+    ``kernel-gen`` / ``kc-build`` / ``rect-search`` / ``extract-commit``
+    spans whose virtual intervals are cumulative metered compute time
+    under *model* — the sequential path's virtual clock.  An internal
+    meter is created for this when the caller passed none.
     """
+    tr = active_tracer()
+    if tr is not None and meter is None:
+        meter = CostMeter()
+
+    def _vnow() -> Optional[float]:
+        return model.compute_time(meter.counts) if meter is not None else None
+
     if isinstance(searcher, str):
         searcher = make_searcher(
             searcher, budget=budget, meter=meter, max_seeds=max_seeds, core=core
@@ -181,10 +197,28 @@ def kernel_extract(
     )
     counter = 0
     while max_iterations is None or result.iterations < max_iterations:
-        matrix = build_kc_matrix(
-            network, nodes=sorted(active), kernel_cache=kernel_cache, meter=meter
-        )
-        best = searcher(matrix)
+        if tr is None:
+            matrix = build_kc_matrix(
+                network, nodes=sorted(active), kernel_cache=kernel_cache, meter=meter
+            )
+            best = searcher(matrix)
+        else:
+            # Pre-warm the kernel cache under its own span so kernel
+            # generation and matrix build are separately attributable.
+            with tr.span("kernel-gen", cat="seq", virtual_start=_vnow()) as sp:
+                for n in sorted(active):
+                    if n not in kernel_cache:
+                        kernel_cache[n] = kernels(network.nodes[n], meter=meter)
+                sp.set_virtual_end(_vnow())
+            with tr.span("kc-build", cat="seq", virtual_start=_vnow()) as sp:
+                matrix = build_kc_matrix(
+                    network, nodes=sorted(active),
+                    kernel_cache=kernel_cache, meter=meter,
+                )
+                sp.set_virtual_end(_vnow())
+            with tr.span("rect-search", cat="seq", virtual_start=_vnow()) as sp:
+                best = searcher(matrix)
+                sp.set_virtual_end(_vnow())
         if best is None:
             break
         rect, gain = best
@@ -194,13 +228,26 @@ def kernel_extract(
         while new_name in network.nodes or network.is_input(new_name):
             counter += 1
             new_name = f"{name_prefix}{counter}]"
-        applied = apply_rectangle(network, matrix, rect, new_name=new_name, gain=gain)
+        if tr is None:
+            applied = apply_rectangle(
+                network, matrix, rect, new_name=new_name, gain=gain
+            )
+            if meter is not None:
+                meter.charge("divide_node", len(applied.modified_nodes))
+        else:
+            with tr.span("extract-commit", cat="seq",
+                         virtual_start=_vnow()) as sp:
+                applied = apply_rectangle(
+                    network, matrix, rect, new_name=new_name, gain=gain
+                )
+                if meter is not None:
+                    meter.charge("divide_node", len(applied.modified_nodes))
+                sp.set_virtual_end(_vnow())
+                sp.add_counters(gain=gain, modified=len(applied.modified_nodes))
         counter += 1
         for n in applied.modified_nodes:
             kernel_cache.pop(n, None)
         active.add(applied.new_node)
-        if meter is not None:
-            meter.charge("divide_node", len(applied.modified_nodes))
         result.steps.append(applied)
     result.final_lc = network.literal_count()
     return result

@@ -26,6 +26,7 @@ from __future__ import annotations
 from operator import itemgetter, mul
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
+from repro.obs.tracer import active_tracer, add_counters
 from repro.rectangles.bitview import popcount, resolve_core
 from repro.rectangles.kcmatrix import KCMatrix
 from repro.rectangles.rectangle import (
@@ -112,6 +113,8 @@ def _ascents_set(matrix, value_fn, min_cols, max_seeds, max_rounds, meter):
     seeds = sorted(matrix.rows, key=lambda r: (-row_potential[r], r))
     if max_seeds is not None:
         seeds = seeds[:max_seeds]
+    tracing = active_tracer() is not None
+    n_rounds = 0
 
     for seed in seeds:
         rows: Tuple[int, ...] = (seed,)
@@ -119,6 +122,8 @@ def _ascents_set(matrix, value_fn, min_cols, max_seeds, max_rounds, meter):
         for _ in range(max_rounds):
             if meter is not None:
                 meter.charge("pingpong_round", 1)
+            if tracing:
+                n_rounds += 1
             new_cols = _cols_for_rows(matrix, rows, value_fn, min_cols)
             if not new_cols:
                 break
@@ -134,6 +139,8 @@ def _ascents_set(matrix, value_fn, min_cols, max_seeds, max_rounds, meter):
         gain = rectangle_gain(matrix, rect, value_fn)
         if gain > 0:
             yield rect, gain
+    if tracing:
+        add_counters(pingpong_round_visit=n_rounds, ascent_seed=len(seeds))
 
 
 def _ascents_bit(matrix, value_fn, min_cols, max_seeds, max_rounds, meter):
@@ -251,22 +258,32 @@ def _ascents_bit(matrix, value_fn, min_cols, max_seeds, max_rounds, meter):
     # converge to the same state can share one object.
     memo_out: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], tuple] = {}
 
+    tracing = active_tracer() is not None
+    n_rounds = 0
+    n_memo_hits = 0
+
     for seed in seeds:
         rows: Tuple[int, ...] = (seed,)
         cols: Tuple[int, ...] = ()
         for _ in range(max_rounds):
             if meter is not None:
                 meter.charge("pingpong_round", 1)
+            if tracing:
+                n_rounds += 1
             new_cols = memo_cfr.get(rows)
             if new_cols is None:
                 new_cols = cols_for_rows(rows)
                 memo_cfr[rows] = new_cols
+            elif tracing:
+                n_memo_hits += 1
             if not new_cols:
                 break
             new_rows = memo_rfc.get(new_cols)
             if new_rows is None:
                 new_rows = rows_for_cols(new_cols)
                 memo_rfc[new_cols] = new_rows
+            elif tracing:
+                n_memo_hits += 1
             if not new_rows:
                 break
             if new_cols == cols and new_rows == rows:
@@ -289,8 +306,16 @@ def _ascents_bit(matrix, value_fn, min_cols, max_seeds, max_rounds, meter):
             else:
                 out = ()
             memo_out[state] = out
+        elif tracing:
+            n_memo_hits += 1
         if out:
             yield out
+    if tracing:
+        add_counters(
+            pingpong_round_visit=n_rounds,
+            memo_hit=n_memo_hits,
+            ascent_seed=len(seeds),
+        )
 
 
 def _ascents(

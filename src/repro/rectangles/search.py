@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro.obs.tracer import active_tracer, add_counters
 from repro.rectangles.bitview import resolve_core
 from repro.rectangles.kcmatrix import KCMatrix
 from repro.rectangles.rectangle import (
@@ -126,6 +127,9 @@ def _enumerate_rectangles_set(
     """The legacy sparse-set core (kept behind ``core="set"``)."""
     col_labels = sorted(matrix.cols)
     value_fn = _memoized(value_fn)
+    tracing = active_tracer() is not None
+    n_visits = [0]
+    n_forced = [0]
 
     def explore(
         cols: List[int], rows: Set[int], last_col: int
@@ -134,6 +138,8 @@ def _enumerate_rectangles_set(
             budget.spend()
         if meter is not None:
             meter.charge("search_node", 1)
+        if tracing:
+            n_visits[0] += 1
         # Only columns co-occurring with the current rows can extend the
         # rectangle; scanning anything else would intersect to empty.
         in_cols = set(cols)
@@ -152,6 +158,8 @@ def _enumerate_rectangles_set(
                 forced.append(c2)
             else:
                 branch.append(c2)
+        if tracing:
+            n_forced[0] += len(forced)
         cols.extend(forced)
         if len(cols) >= min_cols:
             chosen, _ = _best_rows_for_cols(matrix, cols, rows, value_fn)
@@ -174,6 +182,8 @@ def _enumerate_rectangles_set(
         if not rows0:
             continue
         yield from explore([c], rows0, c)
+    if tracing:
+        add_counters(search_node_visit=n_visits[0], dominance_prune=n_forced[0])
 
 
 def _enumerate_rectangles_bit(
@@ -215,6 +225,11 @@ def _enumerate_rectangles_bit(
     # is the candidate superset, so no node ever rescans its column set.
     spend = budget.spend if budget is not None else None
     charge = meter.charge if meter is not None else None
+    # Tracing hoisted to one bool; counters are plain local ints and are
+    # attached to the active span once, when the traversal finishes.
+    tracing = active_tracer() is not None
+    n_visits = 0
+    n_forced = 0
     stack: List[tuple] = []
     push = stack.append
     pop = stack.pop
@@ -232,6 +247,8 @@ def _enumerate_rectangles_bit(
             spend()
         if charge is not None:
             charge("search_node", 1)
+        if tracing:
+            n_visits += 1
         sums: Dict[int, int] = {}
         cand_all = 0
         mm = rows_mask
@@ -309,6 +326,8 @@ def _enumerate_rectangles_bit(
                     low = m & -m
                     forced.append(low.bit_length() - 1)
                     m ^= low
+                if tracing:
+                    n_forced += len(forced)
                 cols.extend(forced)
                 cols_mask |= forced_mask
                 # Batched: one pass per row over all forced columns.
@@ -383,6 +402,8 @@ def _enumerate_rectangles_bit(
                 cols + [cpos], cols_mask | (1 << cpos), rows2, cpos,
                 sums, cpos,
             ))
+    if tracing:
+        add_counters(search_node_visit=n_visits, dominance_prune=n_forced)
 
 
 def enumerate_rectangles(
@@ -431,6 +452,8 @@ def best_rectangle_exhaustive(
     core: Optional[str] = None,
 ) -> Optional[Tuple[Rectangle, int]]:
     """Maximum-gain rectangle by full enumeration (deterministic ties)."""
+    tracing = active_tracer() is not None
+    n_yield = 0
     best: Optional[Tuple[Rectangle, int]] = None
     for rect, gain in enumerate_rectangles(
         matrix,
@@ -441,12 +464,16 @@ def best_rectangle_exhaustive(
         meter=meter,
         core=core,
     ):
+        if tracing:
+            n_yield += 1
         if (
             best is None
             or gain > best[1]
             or (gain == best[1] and (rect.cols, rect.rows) < (best[0].cols, best[0].rows))
         ):
             best = (rect, gain)
+    if tracing:
+        add_counters(rect_yield=n_yield)
     return best
 
 

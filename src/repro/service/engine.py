@@ -29,6 +29,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from repro import obs as _obs
 from repro.network.boolean_network import BooleanNetwork
 from repro.rectangles.cover import KernelExtractionResult, kernel_extract
 from repro.rectangles.search import BudgetExceeded, SearchBudget
@@ -237,6 +238,20 @@ class FactorizationEngine:
         )
 
     def _run_job(self, job: FactorizationJob) -> JobResult:
+        # Trace context: every span opened while this job runs — machine
+        # phases, rectangle-search counters, retries — carries the job id
+        # and lands on the job's track, so a batch trace separates jobs
+        # end-to-end even across the worker pool.
+        with _obs.context(
+            track=f"job:{job.job_id}",
+            job_id=job.job_id,
+            circuit=job.circuit or (job.network.name if job.network else "?"),
+            algorithm=job.algorithm,
+        ):
+            with _obs.span("job", cat="service"):
+                return self._run_job_traced(job)
+
+    def _run_job_traced(self, job: FactorizationJob) -> JobResult:
         start = time.perf_counter()
         if job.allow_degrade:
             try:

@@ -1,171 +1,22 @@
-"""Lightweight operational metrics for the batch factorization engine.
+"""Thin alias for :mod:`repro.obs.metrics` (the metrics layer moved).
 
-The registry is a process-local, thread-safe collection of named
-counters, histograms and timers in the style of a Prometheus client —
-small enough to have no dependencies, rich enough that the engine and
-cache can answer "how many jobs retried, what was the cache hit rate,
-how long did lshaped jobs take" from one :meth:`MetricsRegistry.snapshot`
-call.  Benchmarks persist snapshots next to the rendered tables so every
-recorded speedup carries its cache-hit rate with it.
+The batch engine's counters/histograms/timers now live in the
+observability layer so engine metrics and span traces export through one
+:func:`repro.obs.snapshot` schema.  This module keeps the historical
+import path working::
+
+    from repro.service.metrics import MetricsRegistry   # still fine
+
+New code should import from :mod:`repro.obs` directly.
 """
 
-from __future__ import annotations
+from repro.obs.metrics import (  # noqa: F401
+    DEFAULT_HISTOGRAM_CAP,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
 
-import threading
-import time
-from typing import Dict, List, Optional
-
-__all__ = ["Counter", "Histogram", "Timer", "MetricsRegistry"]
-
-
-class Counter:
-    """A monotonically increasing named count."""
-
-    def __init__(self, name: str):
-        self.name = name
-        self.value = 0
-        self._lock = threading.Lock()
-
-    def inc(self, n: int = 1) -> None:
-        with self._lock:
-            self.value += n
-
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"Counter({self.name}={self.value})"
-
-
-class Histogram:
-    """Streaming distribution of observed values (all samples kept).
-
-    Batch runs observe at most a few thousand samples, so exact
-    percentiles are affordable and simpler than bucketing.
-    """
-
-    def __init__(self, name: str):
-        self.name = name
-        self._samples: List[float] = []
-        self._lock = threading.Lock()
-
-    def observe(self, value: float) -> None:
-        with self._lock:
-            self._samples.append(float(value))
-
-    @property
-    def count(self) -> int:
-        with self._lock:
-            return len(self._samples)
-
-    @property
-    def total(self) -> float:
-        with self._lock:
-            return sum(self._samples)
-
-    def percentile(self, p: float) -> Optional[float]:
-        """Nearest-rank percentile, ``p`` in [0, 100]; None when empty."""
-        with self._lock:
-            if not self._samples:
-                return None
-            ordered = sorted(self._samples)
-        rank = max(0, min(len(ordered) - 1, round(p / 100.0 * (len(ordered) - 1))))
-        return ordered[int(rank)]
-
-    def summary(self) -> Dict[str, Optional[float]]:
-        with self._lock:
-            samples = list(self._samples)
-        if not samples:
-            return {"count": 0, "total": 0.0, "min": None, "max": None,
-                    "mean": None, "p50": None, "p95": None}
-        ordered = sorted(samples)
-        n = len(ordered)
-
-        def nearest(p: float) -> float:
-            return ordered[max(0, min(n - 1, int(round(p / 100.0 * (n - 1)))))]
-
-        return {
-            "count": n,
-            "total": sum(ordered),
-            "min": ordered[0],
-            "max": ordered[-1],
-            "mean": sum(ordered) / n,
-            "p50": nearest(50),
-            "p95": nearest(95),
-        }
-
-
-class Timer:
-    """Context manager feeding elapsed wall-clock seconds to a histogram.
-
-    ::
-
-        with registry.timer("job"):
-            run_job()          # observes into histogram "job_seconds"
-    """
-
-    def __init__(self, histogram: Histogram):
-        self.histogram = histogram
-        self._start: Optional[float] = None
-        self.elapsed: Optional[float] = None
-
-    def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc) -> None:
-        assert self._start is not None
-        self.elapsed = time.perf_counter() - self._start
-        self.histogram.observe(self.elapsed)
-
-
-class MetricsRegistry:
-    """Get-or-create registry of counters/histograms with one snapshot."""
-
-    def __init__(self):
-        self._counters: Dict[str, Counter] = {}
-        self._histograms: Dict[str, Histogram] = {}
-        self._lock = threading.RLock()
-
-    def counter(self, name: str) -> Counter:
-        with self._lock:
-            if name not in self._counters:
-                self._counters[name] = Counter(name)
-            return self._counters[name]
-
-    def histogram(self, name: str) -> Histogram:
-        with self._lock:
-            if name not in self._histograms:
-                self._histograms[name] = Histogram(name)
-            return self._histograms[name]
-
-    def timer(self, name: str) -> Timer:
-        """A fresh timer observing into histogram ``{name}_seconds``."""
-        return Timer(self.histogram(f"{name}_seconds"))
-
-    def inc(self, name: str, n: int = 1) -> None:
-        self.counter(name).inc(n)
-
-    def snapshot(self) -> Dict[str, Dict]:
-        """JSON-serializable dump of every metric at this instant."""
-        with self._lock:
-            counters = dict(self._counters)
-            histograms = dict(self._histograms)
-        return {
-            "counters": {name: c.value for name, c in sorted(counters.items())},
-            "histograms": {
-                name: h.summary() for name, h in sorted(histograms.items())
-            },
-        }
-
-    def render(self) -> str:
-        """Human-readable one-metric-per-line dump for CLI output."""
-        snap = self.snapshot()
-        lines = []
-        for name, value in snap["counters"].items():
-            lines.append(f"{name:<28} {value}")
-        for name, summ in snap["histograms"].items():
-            if not summ["count"]:
-                continue
-            lines.append(
-                f"{name:<28} count={summ['count']} total={summ['total']:.3f}s "
-                f"mean={summ['mean']:.3f}s p95={summ['p95']:.3f}s"
-            )
-        return "\n".join(lines)
+__all__ = ["Counter", "Histogram", "Timer", "MetricsRegistry",
+           "DEFAULT_HISTOGRAM_CAP"]

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs as _obs
 from repro.network.boolean_network import BooleanNetwork
 from repro.network.eqn import write_eqn
 from repro.network.simulate import (
@@ -187,9 +188,16 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
             lc_by_core: Dict[Tuple[str, str], int] = {}
             for path in paths:
                 for core in cores:
-                    outcome, final = check_path(
-                        net, path, core, vectors=config.vectors
-                    )
+                    # Trace context: a traced campaign tags every span
+                    # with (run, seed, family, path, core) so a failing
+                    # check ships with its exact trace slice.
+                    with _obs.context(
+                        track=f"fuzz:{run}", run=run, seed=seed,
+                        family=family, path=path.name, core=core,
+                    ), _obs.span("fuzz-check", cat="verify"):
+                        outcome, final = check_path(
+                            net, path, core, vectors=config.vectors
+                        )
                     report.checks += 1
                     if final is not None:
                         lc_by_core[(path.name, core)] = final

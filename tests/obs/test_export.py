@@ -1,0 +1,126 @@
+"""Exporters: Chrome-trace JSON round-trip and JSONL shape."""
+
+import json
+
+import pytest
+
+from repro.circuits import load_circuit
+from repro.obs.export import (
+    chrome_trace_json,
+    to_chrome_trace,
+    to_jsonl,
+)
+from repro.obs.profile import profile_run
+from repro.obs.tracer import Tracer, use_tracer
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_tracer():
+    with use_tracer(None):
+        yield
+
+
+def _profiled():
+    return profile_run(load_circuit("example"), algorithm="lshaped", nprocs=3)
+
+
+class TestChromeTrace:
+    def test_round_trips_through_json(self):
+        prof = _profiled()
+        doc = json.loads(prof.chrome_trace())
+        assert doc["otherData"]["clock"] == "virtual"
+        events = doc["traceEvents"]
+        assert events, "no events exported"
+        for ev in events:
+            assert ev["ph"] in ("X", "M")
+            if ev["ph"] == "X":
+                assert ev["dur"] >= 0
+                assert isinstance(ev["ts"], (int, float))
+
+    def test_timestamps_monotonic_per_track(self):
+        """Within one virtual track, complete events never overlap
+        backwards: sorted by ts, each event starts at or after the
+        previous non-enclosing event's start."""
+        prof = _profiled()
+        doc = json.loads(prof.chrome_trace())
+        by_tid = {}
+        for ev in doc["traceEvents"]:
+            if ev["ph"] == "X":
+                by_tid.setdefault(ev["tid"], []).append(ev)
+        assert len(by_tid) >= 3  # one lane per processor
+        for tid, events in by_tid.items():
+            ts = [ev["ts"] for ev in events]
+            assert ts == sorted(ts) or sorted(ts) == ts, tid
+            last_end = 0.0
+            for ev in sorted(events, key=lambda e: (e["ts"], -e["dur"])):
+                # events either nest inside the previous one or start
+                # after it — virtual lanes have no time travel
+                assert ev["ts"] + ev["dur"] <= last_end + 1e-6 \
+                    or ev["ts"] >= last_end - 1e-6 \
+                    or ev["ts"] + ev["dur"] >= last_end
+                last_end = max(last_end, ev["ts"] + ev["dur"])
+
+    def test_host_clock_export(self):
+        tr = Tracer()
+        with tr.span("a", track="x"):
+            pass
+        doc = to_chrome_trace(tr, clock="host")
+        xs = [ev for ev in doc["traceEvents"] if ev["ph"] == "X"]
+        assert len(xs) == 1
+        assert xs[0]["ts"] >= 0  # rebased to the earliest span
+
+    def test_metadata_names_tracks(self):
+        prof = _profiled()
+        doc = json.loads(prof.chrome_trace())
+        names = {ev["args"]["name"] for ev in doc["traceEvents"]
+                 if ev["ph"] == "M"}
+        assert {"0", "1", "2"} <= names
+
+    def test_counters_and_error_flag_land_in_args(self):
+        tr = Tracer()
+        with pytest.raises(ValueError):
+            with tr.span("bad", track="t") as sp:
+                sp.add_counter("visits", 7)
+                sp.set_virtual_end(1.0)
+                raise ValueError()
+        doc = to_chrome_trace(tr, clock="host")
+        [ev] = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert ev["args"]["visits"] == 7.0
+        assert ev["args"]["error"] is True
+
+    def test_virtual_export_drops_host_only_spans(self):
+        tr = Tracer()
+        with tr.span("host-only", track="t"):
+            pass
+        with tr.span("both", track="t", virtual_start=0.0) as sp:
+            sp.set_virtual_end(2.0)
+        doc = to_chrome_trace(tr, clock="virtual")
+        xs = [e["name"] for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert xs == ["both"]
+
+
+class TestJsonl:
+    def test_one_json_object_per_line(self):
+        prof = _profiled()
+        lines = prof.jsonl().strip().splitlines()
+        assert len(lines) == len(prof.tracer.finished())
+        for line in lines:
+            record = json.loads(line)
+            assert "name" in record and "track" in record
+            assert record["t1"] >= record["t0"]
+
+    def test_jsonl_preserves_both_clocks(self):
+        tr = Tracer()
+        with tr.span("w", track=0, virtual_start=3.0) as sp:
+            sp.set_virtual_end(9.0)
+        [record] = [json.loads(l) for l in to_jsonl(tr).strip().splitlines()]
+        assert record["v0"] == 3.0 and record["v1"] == 9.0
+        assert record["t1"] >= record["t0"]
+
+
+def test_chrome_trace_json_accepts_span_iterables():
+    tr = Tracer()
+    with tr.span("a", track="t", virtual_start=0.0) as sp:
+        sp.set_virtual_end(1.0)
+    text = chrome_trace_json(tr.finished())
+    assert json.loads(text)["traceEvents"]

@@ -1,0 +1,184 @@
+"""Tracer core: nesting, dual clocks, disabled mode, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.obs.tracer import (
+    NULL_SPAN,
+    Tracer,
+    active_tracer,
+    add_counters,
+    context,
+    enabled,
+    set_tracer,
+    span,
+    use_tracer,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_tracer():
+    """Each test starts with tracing force-disabled (env ignored)."""
+    with use_tracer(None):
+        yield
+
+
+class TestSpanBasics:
+    def test_span_records_name_cat_track(self):
+        tr = Tracer()
+        with tr.span("kc-build", cat="phase", track=3) as sp:
+            sp.set_attr("circuit", "dalu")
+        [done] = tr.finished()
+        assert done.name == "kc-build"
+        assert done.cat == "phase"
+        assert done.track == 3
+        assert done.attrs["circuit"] == "dalu"
+        assert done.t1 >= done.t0
+
+    def test_virtual_clock_coordinates(self):
+        tr = Tracer()
+        with tr.span("work", virtual_start=10.0) as sp:
+            sp.set_virtual_end(25.5)
+        [done] = tr.finished()
+        assert done.v0 == 10.0
+        assert done.v1 == 25.5
+        assert done.virtual_duration == 15.5
+
+    def test_counters_accumulate(self):
+        tr = Tracer()
+        with tr.span("search") as sp:
+            sp.add_counter("visits", 3)
+            sp.add_counters(visits=2, prunes=1)
+        [done] = tr.finished()
+        assert done.counters == {"visits": 5.0, "prunes": 1.0}
+
+    def test_nesting_parent_child(self):
+        tr = Tracer()
+        with tr.span("outer") as outer:
+            with tr.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert inner.track == outer.track
+        names = {sp.name: sp for sp in tr.finished()}
+        assert names["inner"].parent_id == names["outer"].span_id
+
+
+class TestExceptionUnwinding:
+    def test_spans_nest_under_exceptions(self):
+        """An exception closes every open span, marks them errored."""
+        tr = Tracer()
+        with pytest.raises(RuntimeError):
+            with tr.span("outer"):
+                with tr.span("middle"):
+                    with tr.span("inner"):
+                        raise RuntimeError("boom")
+        done = {sp.name: sp for sp in tr.finished()}
+        assert set(done) == {"outer", "middle", "inner"}
+        assert all(sp.error for sp in done.values())
+        # The stack fully unwound: a fresh span has no leaked parent.
+        with tr.span("after") as sp:
+            assert sp.parent_id is None
+
+    def test_abandoned_children_are_closed_by_parent_exit(self):
+        """A child left open (generator abandoned mid-flight) must not
+        corrupt the stack: the parent's exit pops and closes it."""
+        tr = Tracer()
+        with tr.span("parent"):
+            tr.span("orphan")  # entered lazily, never __exit__-ed
+        assert {sp.name for sp in tr.finished()} >= {"parent"}
+        with tr.span("next") as sp:
+            assert sp.parent_id is None
+
+
+class TestDisabledMode:
+    def test_disabled_emits_nothing_and_allocates_no_spans(self):
+        assert active_tracer() is None
+        assert not enabled()
+        sps = [span(f"s{i}", cat="x") for i in range(16)]
+        # Exactly one shared singleton — zero per-call allocation.
+        assert all(sp is NULL_SPAN for sp in sps)
+        for sp in sps:
+            with sp:
+                sp.add_counter("n", 1)
+                sp.set_virtual_end(5.0)
+        add_counters(loose=1)
+        with context(track="t", job="j"):
+            pass
+
+    def test_use_tracer_scopes_install(self):
+        tr = Tracer()
+        with use_tracer(tr):
+            assert active_tracer() is tr
+            with span("visible"):
+                pass
+        assert active_tracer() is None
+        assert [sp.name for sp in tr.finished()] == ["visible"]
+
+    def test_set_tracer_round_trip(self):
+        tr = Tracer()
+        set_tracer(tr)
+        try:
+            assert active_tracer() is tr
+        finally:
+            set_tracer(None)
+        # set_tracer(None) re-arms the env check but, under the fixture's
+        # use_tracer(None) scope... the scope was replaced; re-disable.
+        set_tracer(None)
+
+
+class TestContext:
+    def test_context_attrs_and_track_propagate(self):
+        tr = Tracer()
+        with use_tracer(tr):
+            with context(track="job:7", job_id="7"):
+                with span("work"):
+                    pass
+            with span("outside"):
+                pass
+        done = {sp.name: sp for sp in tr.finished()}
+        assert done["work"].track == "job:7"
+        assert done["work"].attrs["job_id"] == "7"
+        assert done["outside"].attrs.get("job_id") is None
+
+    def test_threads_get_independent_stacks(self):
+        tr = Tracer()
+        errs = []
+
+        def worker(i):
+            try:
+                with tr.span("w", track=f"t{i}"):
+                    with tr.span("inner") as sp:
+                        assert sp.track == f"t{i}"
+            except Exception as exc:  # pragma: no cover
+                errs.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errs
+        assert len(tr.finished()) == 16
+
+
+class TestAggregation:
+    def test_phase_breakdown_and_track_totals(self):
+        tr = Tracer()
+        with tr.span("a", track=0, virtual_start=0.0) as sp:
+            sp.set_virtual_end(10.0)
+        with tr.span("a", track=0, virtual_start=10.0) as sp:
+            sp.set_virtual_end(15.0)
+        with tr.span("b", track=1, virtual_start=0.0) as sp:
+            sp.set_virtual_end(7.0)
+        bd = tr.phase_breakdown()
+        assert bd["a"]["count"] == 2
+        assert bd["a"]["virtual"] == 15.0
+        assert tr.track_virtual_totals() == {0: 15.0, 1: 7.0}
+
+    def test_counter_totals(self):
+        tr = Tracer()
+        with tr.span("x") as sp:
+            sp.add_counters(visits=5)
+        with tr.span("y") as sp:
+            sp.add_counters(visits=2, stall=1.5)
+        assert tr.counter_totals() == {"visits": 7.0, "stall": 1.5}
