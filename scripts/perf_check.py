@@ -9,8 +9,9 @@ Usage:
 
 ``--check`` fails (exit 1) when the bitmask core is slower than the
 legacy core in geomean, when any workload's two cores disagree on the
-search result, or when disabled tracing is estimated to cost the hot
-loops more than its budget (2%) — the CI perf-smoke gate.
+search result, or when disabled tracing or the disabled fault-injection
+gates are estimated to cost more than their budgets (2% each) — the CI
+perf-smoke gate.
 
 With ``REPRO_TRACE=1`` in the environment the timed runs are traced and
 every workload row in the JSON carries its phase breakdown and hot-loop
@@ -74,6 +75,15 @@ def main(argv=None) -> int:
                 f"FAIL: disabled-tracing overhead "
                 f"{100 * overhead['estimated_overhead']:.3f}% exceeds "
                 f"{100 * overhead['max_overhead']:.0f}%",
+                file=sys.stderr,
+            )
+            return 1
+        faults = report["fault_overhead"]
+        if not faults["ok"]:
+            print(
+                f"FAIL: disabled-faults overhead "
+                f"{100 * faults['estimated_overhead']:.3f}% exceeds "
+                f"{100 * faults['max_overhead']:.0f}%",
                 file=sys.stderr,
             )
             return 1

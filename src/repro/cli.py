@@ -5,7 +5,8 @@
     python -m repro batch MANIFEST [--workers N] [--repeat K] [--json OUT]
     python -m repro run-table {table1,table2,table3,table4,table6,eq3} [--scale S]
     python -m repro info CIRCUIT [--scale S]
-    python -m repro fuzz [--runs N] [--seed S] [--shrink] [--check]
+    python -m repro fuzz [--runs N] [--seed S] [--shrink] [--check] [--faults]
+    python -m repro chaos CIRCUIT [--plan SPEC] [--seed S] [--algorithm ALG]
     python -m repro --list
 
 ``CIRCUIT`` is a named stand-in (``dalu``, ``seq``, …), a path to an
@@ -449,6 +450,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run with REPRO_CHECK-style invariant audits on")
     p_fuzz.add_argument("--vectors", type=int, default=256,
                         help="Monte-Carlo vectors when >8 primary inputs")
+    p_fuzz.add_argument("--faults", action="store_true",
+                        help="also re-run the machine-backed paths under "
+                             "random crash+drop fault plans (chaos mode)")
+    p_fuzz.add_argument("--fault-seed", type=int, default=0,
+                        help="base seed for the per-run fault plans")
     p_fuzz.add_argument("--quiet", action="store_true",
                         help="suppress per-run progress lines")
     p_fuzz.add_argument(
@@ -457,6 +463,33 @@ def build_parser() -> argparse.ArgumentParser:
              "otherwise Chrome-trace JSON); spans carry run/seed/path/core",
     )
     p_fuzz.set_defaults(fn=_cmd_fuzz)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="factor one circuit under an injected fault plan and verify "
+             "detection, recovery, and functional equivalence",
+    )
+    p_chaos.add_argument("circuit")
+    p_chaos.add_argument(
+        "--plan",
+        help="fault spec, e.g. 'crash:1@3,drop:5' (default: a random "
+             "single-crash plan derived from --seed)",
+    )
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="injector seed (and random-plan seed)")
+    p_chaos.add_argument(
+        "--algorithm", choices=["replicated", "independent", "lshaped"],
+        default="lshaped",
+    )
+    p_chaos.add_argument("--procs", type=int, default=4)
+    p_chaos.add_argument("--scale", type=float, default=1.0)
+    p_chaos.add_argument("--vectors", type=int, default=256,
+                         help="Monte-Carlo equivalence vectors")
+    p_chaos.add_argument(
+        "--trace",
+        help="record a span trace (fault:*/recovery:* spans included)",
+    )
+    p_chaos.set_defaults(fn=_cmd_chaos)
     return parser
 
 
@@ -532,6 +565,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         repro_dir=args.repro_dir,
         audits=args.check,
         vectors=args.vectors,
+        faults=args.faults,
+        fault_seed=args.fault_seed,
         progress=None if args.quiet else print,
     )
     try:
@@ -542,6 +577,72 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         return 2
     print(report.render())
     return 0 if report.ok else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run one parallel factorization under faults; verify the recovery.
+
+    Exit code 0 means every injected fault was detected and answered by
+    a recovery action, the recovered network is functionally equivalent
+    to the input, and the final literal count stays within 5% of the
+    fault-free run of the same algorithm.
+    """
+    from repro.faults import FaultInjector, FaultPlan
+    from repro.network.simulate import random_equivalence_check
+    from repro.parallel import (
+        independent_kernel_extract,
+        lshaped_kernel_extract,
+        replicated_kernel_extract,
+    )
+
+    net = _load_circuit(args.circuit, args.scale)
+    if args.plan:
+        try:
+            plan = FaultPlan.parse(args.plan)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        plan = FaultPlan.random_single(args.seed, args.procs)
+    if plan.is_empty():
+        print("error: the fault plan is empty; nothing to inject",
+              file=sys.stderr)
+        return 2
+    runner = {
+        "replicated": replicated_kernel_extract,
+        "independent": independent_kernel_extract,
+        "lshaped": lshaped_kernel_extract,
+    }[args.algorithm]
+    injector = FaultInjector(plan, seed=args.seed)
+    with _trace_to_file(args.trace):
+        baseline = runner(net, args.procs)
+        chaos = runner(net, args.procs, faults=injector)
+    summary = injector.summary()
+    print(f"circuit      : {net.name}")
+    print(f"algorithm    : {args.algorithm} ({args.procs} processors)")
+    print(f"plan         : {summary['plan']} (seed {args.seed})")
+    print(f"injected     : {summary['injected'] or '(nothing fired)'}")
+    print(f"recovered    : {summary['recovered'] or '(nothing to recover)'}")
+    if summary["dead"]:
+        print(f"crashed pids : {summary['dead']}")
+    unrecovered = [r for r in injector.unrecovered() if r.kind != "slow"]
+    equivalent = random_equivalence_check(
+        net, chaos.network, vectors=args.vectors, outputs=net.outputs,
+    )
+    base_lc, chaos_lc = baseline.final_lc, chaos.final_lc
+    within = base_lc == 0 or chaos_lc - base_lc <= max(base_lc * 0.05, 5)
+    print(f"literal count: fault-free {base_lc}, under faults {chaos_lc}"
+          + ("" if within else "  (> 5% worse)"))
+    print(f"equivalence  : {'ok' if equivalent else 'FAILED'}")
+    if unrecovered:
+        print("unrecovered  :")
+        for rec in unrecovered:
+            print(f"  {rec.kind}@op{rec.op} pid={rec.pid} {rec.detail}")
+    else:
+        print("unrecovered  : none")
+    ok = equivalent and within and not unrecovered
+    print(f"verdict      : {'ok' if ok else 'FAILED'}")
+    return 0 if ok else 1
 
 
 def main(argv: Optional[list] = None) -> int:

@@ -1,0 +1,53 @@
+"""Deterministic fault injection & recovery (chaos layer).
+
+``repro.faults`` turns the simulated multiprocessor into a crash-test
+rig: a frozen :class:`FaultPlan` schedules processor crashes, slowdowns,
+message drops/corruption/duplication and transient backend errors; the
+:class:`FaultInjector` replays it deterministically while the machine
+and the three parallel algorithms detect and recover.  Everything is off
+by default — no plan (or an empty one) is byte-identical to the
+fault-free path — and every injected fault / recovery action lands in an
+event log and, when tracing, as ``fault:*``/``recovery:*`` spans.
+
+Entry points::
+
+    from repro.faults import FaultPlan, FaultInjector
+
+    plan = FaultPlan.parse("crash:1@3,drop:5")      # or .random_single(seed, nprocs)
+    inj = FaultInjector(plan, seed=0)
+    run = lshaped_kernel_extract(net, nprocs=4, faults=inj)
+    inj.summary()                                    # injected vs recovered
+
+or environment-driven: ``REPRO_FAULTS="crash:1@3" python -m repro ...``;
+``python -m repro chaos CIRCUIT --plan ... --algorithm lshaped`` wraps
+the whole story in one command.
+"""
+
+from repro.faults.injector import (
+    CommFault,
+    FaultInjector,
+    FaultRecord,
+    note_control_resync,
+    payload_checksum,
+)
+from repro.faults.journal import ExtractionJournal, JournalEntry
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    resolve_fault_injector,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "CommFault",
+    "ExtractionJournal",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRecord",
+    "JournalEntry",
+    "note_control_resync",
+    "payload_checksum",
+    "resolve_fault_injector",
+]

@@ -1,0 +1,52 @@
+"""The per-step extraction journal behind L-shaped message replay.
+
+During an L-shaped cycle every forwarded
+:class:`~repro.parallel.lshaped.PartialRectangle` is logged here when
+faults are active.  A message can be lost two ways: the transport
+dropped it past the retransmit bound, or its destination processor died
+with the message still in its mailbox.  Either way the journal keeps the
+host-side copy, and the post-barrier recovery pass replays every
+undelivered message to the *current* owner of each affected node — so a
+crash costs detection time and some redundant work, never extraction
+results.
+
+The journal only exists when an injector is attached (``faults`` active)
+— the fault-free path allocates nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class JournalEntry:
+    """One lost message awaiting replay."""
+
+    message: object          # a PartialRectangle (kept duck-typed)
+    reason: str              # "transport" | "dead-owner"
+    replayed: bool = False
+
+
+@dataclass
+class ExtractionJournal:
+    """Append-only log of lost partial-rectangle messages."""
+
+    entries: List[JournalEntry] = field(default_factory=list)
+
+    def log_lost(self, message, reason: str = "transport") -> None:
+        self.entries.append(JournalEntry(message=message, reason=reason))
+
+    def take_undelivered(self) -> List[JournalEntry]:
+        """Entries still awaiting replay, marked replayed as they go."""
+        pending = [e for e in self.entries if not e.replayed]
+        for e in pending:
+            e.replayed = True
+        return pending
+
+    def summary(self) -> dict:
+        return {
+            "lost": len(self.entries),
+            "replayed": sum(1 for e in self.entries if e.replayed),
+        }

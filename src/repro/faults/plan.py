@@ -1,0 +1,244 @@
+"""Deterministic fault schedules for the simulated machine.
+
+A :class:`FaultPlan` is a frozen, seeded schedule of faults — processor
+crashes, slowdowns, message drops / corruption / duplication, and
+transient execution-backend errors — that the
+:class:`~repro.faults.injector.FaultInjector` replays against a
+:class:`~repro.machine.simulator.SimulatedMachine`.  Two runs with the
+same ``(plan, seed)`` inject byte-identical fault sequences; an empty
+plan (``FaultPlan.none()``) is *exactly* the fault-free path — the
+machine never even consults the injector.
+
+Time coordinates
+----------------
+Crash and slowdown events fire at **top-level machine operations** (each
+``run_phase``/``barrier``/``broadcast``/``charge_all`` and each
+non-nested ``send``/``charge`` is one operation, counted from 0).
+Message events (drop/corrupt/dup) fire at **message operations** (each
+``send``/``broadcast`` consumes one index, counted from 0).  Backend
+events fire at **backend map calls** (counted from 0).  All three
+counters are deterministic properties of the algorithm being run.
+
+Crash events are normalized to ``at >= 1`` so operation 0 — always the
+partition/setup phase in the parallel algorithms — completes before any
+processor can die, and the injector never kills the last surviving
+processor regardless of what the plan asks for.
+
+Spec strings
+------------
+``FaultPlan.parse`` accepts a compact comma-separated spec, also read
+from the ``REPRO_FAULTS`` environment variable::
+
+    crash:1@3            processor 1 dies before top-level op 3
+    slow:2x4@5-12        processor 2 runs 4x slower during ops [5, 12)
+    drop:7               message op 7 fails once (recovered by retransmit)
+    drop:7*3             ... fails 3 times (permanent with max_retransmits=2)
+    corrupt:4[*K]        checksum mismatch on message op 4 (K attempts)
+    dup:9                message op 9 delivered twice (receiver dedupes)
+    backend:0            backend map call 0 raises TransientBackendError
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+FAULT_KINDS = ("crash", "slow", "drop", "corrupt", "dup", "backend")
+
+#: Environment variables honored by :func:`resolve_fault_injector`.
+ENV_PLAN = "REPRO_FAULTS"
+ENV_SEED = "REPRO_FAULTS_SEED"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``at`` is a top-level operation index for crash/slow events, a
+    message operation index for drop/corrupt/dup events, and a backend
+    map-call index for backend events.  ``until`` (exclusive) and
+    ``factor`` apply to slowdowns; ``attempts`` is the number of
+    consecutive failed transmissions for drop/corrupt events.
+    """
+
+    kind: str
+    pid: int = -1
+    at: int = 0
+    until: int = 0
+    factor: float = 1.0
+    attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.kind in ("crash", "slow") and self.pid < 0:
+            raise ValueError(f"{self.kind} event needs a pid")
+        if self.kind == "slow" and self.factor < 1.0:
+            raise ValueError("slowdown factor must be >= 1")
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+
+    def render(self) -> str:
+        """The canonical spec-string form of this event."""
+        if self.kind == "crash":
+            return f"crash:{self.pid}@{self.at}"
+        if self.kind == "slow":
+            return f"slow:{self.pid}x{self.factor:g}@{self.at}-{self.until}"
+        if self.kind == "backend":
+            return f"backend:{self.at}"
+        base = f"{self.kind}:{self.at}"
+        return f"{base}*{self.attempts}" if self.attempts > 1 else base
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind, "pid": self.pid, "at": self.at,
+            "until": self.until, "factor": self.factor,
+            "attempts": self.attempts,
+        }
+
+
+def _sort_key(ev: FaultEvent) -> Tuple:
+    return (ev.at, FAULT_KINDS.index(ev.kind), ev.pid, ev.attempts)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, ordered schedule of :class:`FaultEvent`\\ s.
+
+    ``detection_timeout`` is the virtual-clock cost every surviving
+    processor pays at the first barrier after an undetected crash (the
+    cost of the failure detector firing); ``retransmit_timeout`` is the
+    per-failed-attempt ack-timeout added to a sender's clock;
+    ``max_retransmits`` bounds retransmission — a message whose injected
+    failure count exceeds it is permanently lost and must be recovered
+    by the algorithm (journal replay).
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+    detection_timeout: float = 400.0
+    max_retransmits: int = 2
+    retransmit_timeout: float = 150.0
+
+    def __post_init__(self) -> None:
+        # Normalize: crashes never before op 1, events in canonical order.
+        normalized = tuple(sorted(
+            (replace(ev, at=max(1, ev.at)) if ev.kind == "crash" else ev
+             for ev in self.events),
+            key=_sort_key,
+        ))
+        object.__setattr__(self, "events", normalized)
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The empty plan: running under it is the fault-free path."""
+        return cls()
+
+    @classmethod
+    def parse(cls, spec: str, **kwargs) -> "FaultPlan":
+        """Parse the compact spec grammar (see module docstring)."""
+        events: List[FaultEvent] = []
+        for raw in spec.replace(";", ",").split(","):
+            part = raw.strip()
+            if not part:
+                continue
+            try:
+                kind, _, rest = part.partition(":")
+                kind = kind.strip()
+                if kind == "crash":
+                    pid_s, _, at_s = rest.partition("@")
+                    events.append(FaultEvent(
+                        "crash", pid=int(pid_s), at=int(at_s) if at_s else 4))
+                elif kind == "slow":
+                    head, _, window = rest.partition("@")
+                    pid_s, _, factor_s = head.partition("x")
+                    start_s, _, end_s = window.partition("-")
+                    start = int(start_s) if start_s else 1
+                    events.append(FaultEvent(
+                        "slow", pid=int(pid_s),
+                        factor=float(factor_s) if factor_s else 4.0,
+                        at=start, until=int(end_s) if end_s else start + 15))
+                elif kind in ("drop", "corrupt", "dup"):
+                    at_s, _, attempts_s = rest.partition("*")
+                    events.append(FaultEvent(
+                        kind, at=int(at_s),
+                        attempts=int(attempts_s) if attempts_s else 1))
+                elif kind == "backend":
+                    events.append(FaultEvent("backend", at=int(rest)))
+                else:
+                    raise ValueError(f"unknown fault kind {kind!r}")
+            except (ValueError, TypeError) as exc:
+                raise ValueError(f"bad fault spec element {part!r}: {exc}") from exc
+        return cls(events=tuple(events), **kwargs)
+
+    @classmethod
+    def random_single(cls, seed: int, nprocs: int, **kwargs) -> "FaultPlan":
+        """A chaos plan: one crash plus 1–2 message drops, seeded.
+
+        This is the per-run plan behind ``repro fuzz --faults`` and the
+        acceptance sweep: deterministic in ``(seed, nprocs)``.
+        """
+        rng = random.Random(f"repro-chaos:{seed}:{nprocs}")
+        events = [FaultEvent("crash", pid=rng.randrange(nprocs),
+                             at=1 + rng.randrange(11))]
+        for _ in range(1 + rng.randrange(2)):
+            events.append(FaultEvent(
+                "drop", at=rng.randrange(60), attempts=1 + rng.randrange(3)))
+        return cls(events=tuple(events), **kwargs)
+
+    # -- introspection --------------------------------------------------
+
+    def is_empty(self) -> bool:
+        return not self.events
+
+    def render(self) -> str:
+        """The canonical comma-separated spec string."""
+        return ",".join(ev.render() for ev in self.events)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "events": [ev.to_dict() for ev in self.events],
+            "detection_timeout": self.detection_timeout,
+            "max_retransmits": self.max_retransmits,
+            "retransmit_timeout": self.retransmit_timeout,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
+        events = tuple(
+            FaultEvent(**ev) for ev in data.get("events", ())  # type: ignore[arg-type]
+        )
+        return cls(
+            events=events,
+            detection_timeout=float(data.get("detection_timeout", 400.0)),
+            max_retransmits=int(data.get("max_retransmits", 2)),
+            retransmit_timeout=float(data.get("retransmit_timeout", 150.0)),
+        )
+
+
+def resolve_fault_injector(faults=None):
+    """Normalize the ``faults=`` argument the parallel entry points take.
+
+    Accepts ``None`` (consult ``REPRO_FAULTS``/``REPRO_FAULTS_SEED``), a
+    :class:`FaultPlan`, or a ready
+    :class:`~repro.faults.injector.FaultInjector`.  Returns an injector,
+    or ``None`` when the resulting plan is empty — an empty plan must be
+    byte-identical to (and as cheap as) the fault-free path, so it is
+    represented by the absence of an injector.
+    """
+    from repro.faults.injector import FaultInjector
+
+    if faults is None:
+        spec = os.environ.get(ENV_PLAN, "").strip()
+        if not spec:
+            return None
+        seed = int(os.environ.get(ENV_SEED, "0"))
+        faults = FaultInjector(FaultPlan.parse(spec), seed=seed)
+    if isinstance(faults, FaultPlan):
+        faults = FaultInjector(faults)
+    if faults.plan.is_empty():
+        return None
+    return faults

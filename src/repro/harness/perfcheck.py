@@ -50,6 +50,11 @@ SCHEMA = "rectsearch/2"
 #: disabled tracing gates — the price of observability when it is off.
 MAX_TRACE_OVERHEAD = 0.02
 
+#: Same ceiling for the disabled fault-injection gates (``machine.faults
+#: is None`` tests in the simulator's primitives): chaos readiness must
+#: be free when no plan is attached.
+MAX_FAULT_OVERHEAD = 0.02
+
 
 @dataclass(frozen=True)
 class Workload:
@@ -262,6 +267,56 @@ def measure_trace_overhead(wl: Optional[Workload] = None) -> Dict:
     }
 
 
+def measure_fault_overhead() -> Dict:
+    """Bound what the disabled fault-injection gates cost, empirically.
+
+    The simulated machine consults ``self.faults`` (one attribute fetch
+    plus an ``is None`` test) in every primitive — top-level operations,
+    message sends, backend map calls.  That per-call gate is priced
+    directly; one parallel workload is then run fault-free for its wall
+    time and once more under an *idle* injector (a plan whose single
+    event can never fire) purely to count how many operation indices the
+    run consumes.  The estimated disabled overhead prices every counted
+    index at three gate calls — deliberately pessimistic, since most
+    primitives test the attribute once.
+    """
+    from repro.faults import FaultInjector, FaultPlan
+    from repro.parallel.lshaped import lshaped_kernel_extract
+
+    class _Gated:
+        faults = None
+
+    gated = _Gated()
+    hits = 0
+    reps = 200_000
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        if gated.faults is not None:
+            hits += 1  # pragma: no cover - the branch never fires
+    gate_ns = (time.perf_counter() - t0) / reps * 1e9
+
+    net = make_circuit("dalu", scale=0.2)
+    t0 = time.perf_counter()
+    lshaped_kernel_extract(net, nprocs=4)
+    t_off = time.perf_counter() - t0
+
+    # An event at an unreachable message index attaches the injector
+    # without ever firing; its counters say how often the gates ran.
+    idle = FaultInjector(FaultPlan.parse("drop:1000000000"))
+    lshaped_kernel_extract(net, nprocs=4, faults=idle)
+    sites = 3 * (idle.op_index + idle.msg_index + idle.backend_index)
+    overhead = (sites * gate_ns) / (t_off * 1e9) if t_off else 0.0
+    return {
+        "workload": "dalu@0.2/lshaped-4",
+        "gate_ns_per_call": gate_ns,
+        "gate_sites": sites,
+        "t_faultfree_s": t_off,
+        "estimated_overhead": overhead,
+        "max_overhead": MAX_FAULT_OVERHEAD,
+        "ok": overhead <= MAX_FAULT_OVERHEAD,
+    }
+
+
 def geomean(values: List[float]) -> float:
     vals = [v for v in values if v and v > 0]
     if not vals:
@@ -284,6 +339,7 @@ def run_perf_check(quick: bool = False) -> Dict:
         "geomean_speedup": geomean([r["speedup"] for r in rows]),
         "all_results_match": all(r["results_match"] for r in rows),
         "trace_overhead": measure_trace_overhead(),
+        "fault_overhead": measure_fault_overhead(),
     }
     return report
 
@@ -311,6 +367,15 @@ def render_report(report: Dict) -> str:
             f"{oh['span_ns_per_call']:.0f} ns; limit "
             f"{100 * oh['max_overhead']:.0f}%) "
             f"{'OK' if oh['ok'] else 'FAIL'}"
+        )
+    fo = report.get("fault_overhead")
+    if fo:
+        lines.append(
+            f"disabled-faults overhead: {100 * fo['estimated_overhead']:.3f}% "
+            f"of {fo['workload']} ({fo['gate_sites']} gates x "
+            f"{fo['gate_ns_per_call']:.0f} ns; limit "
+            f"{100 * fo['max_overhead']:.0f}%) "
+            f"{'OK' if fo['ok'] else 'FAIL'}"
         )
     if report.get("tracing_enabled"):
         lines.append("tracing: enabled — workload rows carry phase breakdowns")

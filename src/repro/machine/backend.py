@@ -17,10 +17,44 @@ from __future__ import annotations
 import concurrent.futures
 import pickle
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, List, Sequence, TypeVar
+from typing import Callable, List, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+class TransientBackendError(RuntimeError):
+    """An injected transient failure of an execution backend.
+
+    Raised by the chaos hook (below) at the start of a ``map`` call; the
+    thread/process backends answer it by degrading to the serial path,
+    like every other pool failure they tolerate.
+    """
+
+
+#: Chaos hook: when set, called as ``hook(backend_name)`` at the start of
+#: every ThreadBackend/ProcessBackend map; it may raise
+#: :class:`TransientBackendError` to simulate a pool that failed to come
+#: up.  Installed by tests and the fault injector's backend schedule.
+_FAULT_HOOK: Optional[Callable[[str], None]] = None
+
+
+def install_backend_fault_hook(hook: Optional[Callable[[str], None]]) -> None:
+    """Install (or with ``None`` clear) the backend chaos hook."""
+    global _FAULT_HOOK
+    _FAULT_HOOK = hook
+
+
+def _check_backend_fault(name: str) -> bool:
+    """True when the hook injected a transient failure for this call."""
+    hook = _FAULT_HOOK
+    if hook is None:
+        return False
+    try:
+        hook(name)
+    except TransientBackendError:
+        return True
+    return False
 
 
 class SerialBackend:
@@ -33,7 +67,13 @@ class SerialBackend:
 
 
 class ThreadBackend:
-    """Run tasks on a thread pool (shared memory, GIL-bound for CPU work)."""
+    """Run tasks on a thread pool (shared memory, GIL-bound for CPU work).
+
+    Degrades to serial execution when the pool cannot be populated —
+    thread exhaustion surfaces as ``RuntimeError("can't start new
+    thread")`` from the executor — or when the chaos hook injects a
+    transient failure.  Either way the task list still completes.
+    """
 
     name = "thread"
 
@@ -43,8 +83,15 @@ class ThreadBackend:
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         if not items:
             return []
-        with concurrent.futures.ThreadPoolExecutor(self.max_workers) as pool:
-            return list(pool.map(fn, items))
+        if _check_backend_fault(self.name):
+            return [fn(x) for x in items]
+        try:
+            with concurrent.futures.ThreadPoolExecutor(self.max_workers) as pool:
+                return list(pool.map(fn, items))
+        except RuntimeError as exc:
+            if "can't start new thread" not in str(exc):
+                raise
+            return [fn(x) for x in items]
 
 
 def _call_pickled(payload):
@@ -71,6 +118,8 @@ class ProcessBackend:
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         if not items:
             return []
+        if _check_backend_fault(self.name):
+            return [fn(x) for x in items]
         try:
             with concurrent.futures.ProcessPoolExecutor(self.max_workers) as pool:
                 return list(pool.map(_call_pickled, [(fn, x) for x in items]))

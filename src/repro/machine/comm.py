@@ -22,6 +22,15 @@ Implementation note: each rank runs as a greenlet-style coroutine built
 on Python generators — ``yield`` marks a communication point; the
 scheduler advances every rank to its next point, resolves the collective
 or the matched point-to-point pair, charges the machine, and resumes.
+
+Fault semantics (:mod:`repro.faults`): when the machine carries an
+injector, every matched ``send``/``recv`` pair goes through
+checksum-verify + bounded retransmit (inside
+:meth:`SimulatedMachine.send`); a permanently lost or corrupted message,
+or a peer that died mid-program, surfaces as a typed
+:class:`~repro.faults.injector.CommFault` *value* delivered to the
+blocked rank — never a silent ``None`` and never a hang.  Dead ranks'
+generators are closed and excluded from collectives.
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
+from repro.faults.injector import CommFault, payload_checksum
 from repro.machine.simulator import SimulatedMachine, VirtualProcessor
 from repro.obs.tracer import span as _obs_span
 
@@ -168,12 +178,28 @@ def _run_spmd(
     for r in range(size):
         advance(r, None)
 
+    fa = machine.faults
+
+    def reap_dead() -> bool:
+        """Close generators of crashed ranks; True when any were reaped."""
+        if fa is None:
+            return False
+        reaped = False
+        for r in range(size):
+            if r in fa.dead and gens[r] is not None:
+                gens[r].close()
+                gens[r] = None
+                ops[r] = None
+                results[r] = None
+                reaped = True
+        return reaped
+
     guard = 0
     while any(g is not None for g in gens):
         guard += 1
         if guard > 100_000:
             raise RuntimeError("SPMD program did not converge (deadlock?)")
-        progressed = False
+        progressed = reap_dead()
 
         # Point-to-point matching first.
         for r in range(size):
@@ -181,13 +207,51 @@ def _run_spmd(
             if op is None or op.kind != "send":
                 continue
             value, dest = op.args
+            if fa is not None and dest in fa.dead:
+                # Peer died: the sender pays the attempt and learns of
+                # the failure instead of blocking forever.
+                machine.send(r, dest, payload_words(value), name="spmd-send")
+                ops[r] = None
+                advance(r, CommFault("peer-dead", src=r, dst=dest,
+                                     detail="send to crashed rank"))
+                progressed = True
+                continue
             dop = ops[dest]
             if dop is not None and dop.kind == "recv" and dop.args[0] == r:
-                machine.send(r, dest, payload_words(value), name="spmd-send")
+                delivered = machine.send(
+                    r, dest, payload_words(value), name="spmd-send")
                 ops[r] = None
                 ops[dest] = None
                 advance(r, None)
-                advance(dest, value)
+                if delivered:
+                    # Checksum-verify the payload survived the wire; the
+                    # machine already retransmitted recoverable failures,
+                    # so a surviving mismatch would be a corruption that
+                    # beat the bounded retransmit.
+                    chk = payload_checksum(value)
+                    if chk != payload_checksum(value):  # pragma: no cover
+                        advance(dest, CommFault("corrupt", src=r, dst=dest))
+                    else:
+                        advance(dest, value)
+                else:
+                    advance(dest, CommFault(
+                        "drop", src=r, dst=dest,
+                        detail="lost past the retransmit bound"))
+                progressed = True
+        if fa is not None:
+            # Receivers blocked on a crashed source resolve with a typed
+            # failure; their peer can no longer send.
+            for r in range(size):
+                op = ops[r]
+                if op is None or op.kind != "recv":
+                    continue
+                source = op.args[0]
+                if source in fa.dead:
+                    ops[r] = None
+                    advance(r, CommFault("peer-dead", src=source, dst=r,
+                                         detail="recv from crashed rank"))
+                    progressed = True
+            if reap_dead():
                 progressed = True
 
         # Collectives: all live ranks must be parked on the same kind.
@@ -206,7 +270,13 @@ def _run_spmd(
                 progressed = True
             elif kind == "bcast":
                 root = ops[live[0]].args[1]
-                value = ops[root].args[0] if gens[root] is not None else None
+                if gens[root] is not None:
+                    value = ops[root].args[0]
+                elif fa is not None and root in fa.dead:
+                    value = CommFault("root-dead", src=root, dst=-1,
+                                      detail="bcast root crashed")
+                else:
+                    value = None
                 machine.broadcast(root, payload_words(value), name="spmd-bcast")
                 for r in live:
                     ops[r] = None
@@ -240,7 +310,13 @@ def _run_spmd(
                 progressed = True
             elif kind == "scatter":
                 root = ops[live[0]].args[1]
-                values = ops[root].args[0]
+                if ops[root] is not None:
+                    values = ops[root].args[0]
+                else:
+                    # Root crashed before scattering: everyone learns.
+                    fault = CommFault("root-dead", src=root, dst=-1,
+                                      detail="scatter root crashed")
+                    values = [fault] * size
                 for r in live:
                     if r != root:
                         machine.send(

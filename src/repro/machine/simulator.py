@@ -24,6 +24,18 @@ track whose virtual interval is exactly the clock movement — so a
 trace's per-track maxima reproduce :meth:`elapsed` and the final
 :class:`PhaseReport` clocks bit-for-bit.  With no tracer the
 instrumentation reduces to one ``is None`` test per primitive.
+
+Fault injection (:mod:`repro.faults`) follows the same discipline: with
+a :class:`~repro.faults.injector.FaultInjector` attached via ``faults=``
+the primitives honor scheduled crashes (dead pids stop running and their
+clocks freeze), slowdowns (compute multipliers), and message
+drop/corruption/duplication (bounded retransmit with per-attempt
+timeouts; :meth:`send` returns ``False`` on permanent loss so callers
+can journal the payload).  Crashes are *detected* at the next barrier:
+every survivor pays the plan's detection timeout once and the newly
+detected pids are surfaced through :meth:`take_detected` for the
+algorithm's recovery pass.  With ``faults=None`` every primitive is
+byte-identical to the pre-fault implementation — one ``is None`` test.
 """
 
 from __future__ import annotations
@@ -71,6 +83,7 @@ class SimulatedMachine:
         nprocs: int,
         model: CostModel = DEFAULT_COST_MODEL,
         tracer: Optional[Tracer] = None,
+        faults=None,
     ) -> None:
         if nprocs < 1:
             raise ValueError("need at least one processor")
@@ -78,6 +91,14 @@ class SimulatedMachine:
         self.procs = [VirtualProcessor(p) for p in range(nprocs)]
         self.phases: List[PhaseReport] = []
         self.tracer = tracer
+        #: a repro.faults.FaultInjector, or None for the fault-free path.
+        self.faults = faults
+        self._in_phase = False
+        self._newly_detected: List[int] = []
+        if faults is not None:
+            attach = getattr(faults, "attach", None)
+            if attach is not None:
+                attach(self)
 
     @property
     def nprocs(self) -> int:
@@ -86,6 +107,25 @@ class SimulatedMachine:
     def _trace(self) -> Optional[Tracer]:
         """Explicit tracer wins; otherwise the process-global one."""
         return self.tracer if self.tracer is not None else active_tracer()
+
+    # ------------------------------------------------------------------
+    # Fault-awareness helpers (trivial identities when faults is None)
+    # ------------------------------------------------------------------
+    def alive_pids(self) -> List[int]:
+        """Processors still running (all of them on the fault-free path)."""
+        fa = self.faults
+        if fa is None:
+            return list(range(self.nprocs))
+        return [p for p in range(self.nprocs) if p not in fa.dead]
+
+    def lowest_alive(self) -> int:
+        """The master role: the lowest-numbered surviving processor."""
+        return self.alive_pids()[0]
+
+    def take_detected(self) -> List[int]:
+        """Dead pids detected since the last call (recovery handoff)."""
+        out, self._newly_detected = self._newly_detected, []
+        return sorted(set(out))
 
     # ------------------------------------------------------------------
     # Work execution
@@ -106,36 +146,62 @@ class SimulatedMachine:
         results: List[T] = []
         pids = list(procs) if procs is not None else list(range(self.nprocs))
         tr = self._trace()
-        for pid in pids:
-            proc = self.procs[pid]
-            before = proc.meter.snapshot()
-            if tr is None:
-                results.append(work(proc))
-                after = proc.meter.counts
-                delta = {k: after.get(k, 0.0) - before.get(k, 0.0) for k in after}
-                proc.clock += self.model.compute_time(delta)
-            else:
-                with tr.span(name, cat="phase", track=pid,
-                             virtual_start=proc.clock) as sp:
+        fa = self.faults
+        if fa is not None:
+            fa.tick(self)
+            self._in_phase = True
+        try:
+            for pid in pids:
+                if fa is not None and pid in fa.dead:
+                    results.append(None)
+                    continue
+                proc = self.procs[pid]
+                before = proc.meter.snapshot()
+                if tr is None:
                     results.append(work(proc))
                     after = proc.meter.counts
-                    delta = {k: after.get(k, 0.0) - before.get(k, 0.0)
-                             for k in after}
-                    proc.clock += self.model.compute_time(delta)
-                    sp.set_virtual_end(proc.clock)
-                    for kind, amount in delta.items():
-                        if amount:
-                            sp.add_counter(kind, amount)
+                    delta = {k: after.get(k, 0.0) - before.get(k, 0.0) for k in after}
+                    dt = self.model.compute_time(delta)
+                    if fa is not None:
+                        dt *= fa.slow_factor(pid)
+                    proc.clock += dt
+                else:
+                    with tr.span(name, cat="phase", track=pid,
+                                 virtual_start=proc.clock) as sp:
+                        results.append(work(proc))
+                        after = proc.meter.counts
+                        delta = {k: after.get(k, 0.0) - before.get(k, 0.0)
+                                 for k in after}
+                        dt = self.model.compute_time(delta)
+                        if fa is not None:
+                            dt *= fa.slow_factor(pid)
+                        proc.clock += dt
+                        sp.set_virtual_end(proc.clock)
+                        for kind, amount in delta.items():
+                            if amount:
+                                sp.add_counter(kind, amount)
+        finally:
+            if fa is not None:
+                self._in_phase = False
         self.phases.append(PhaseReport(name, [p.clock for p in self.procs]))
         return results
 
     def charge(self, pid: int, kind: str, amount: float = 1.0) -> None:
         """Direct charge outside a phase (rarely needed)."""
+        fa = self.faults
+        if fa is not None:
+            if not self._in_phase:
+                fa.tick(self)
+            if pid in fa.dead:
+                return
         proc = self.procs[pid]
         tr = self._trace()
         v0 = proc.clock
         proc.meter.charge(kind, amount)
-        proc.clock += self.model.weight(kind) * amount
+        dt = self.model.weight(kind) * amount
+        if fa is not None:
+            dt *= fa.slow_factor(pid)
+        proc.clock += dt
         if tr is not None:
             with tr.span("charge", cat="compute", track=pid,
                          virtual_start=v0) as sp:
@@ -153,11 +219,19 @@ class SimulatedMachine:
         """
         cost = self.model.compute_time(probe.counts)
         tr = self._trace()
+        fa = self.faults
+        if fa is not None and not self._in_phase:
+            fa.tick(self)
         nonzero = {k: v for k, v in probe.counts.items() if v}
         for proc in self.procs:
+            if fa is not None and proc.pid in fa.dead:
+                continue
             v0 = proc.clock
             proc.meter.merge(probe)
-            proc.clock += cost
+            dt = cost
+            if fa is not None:
+                dt *= fa.slow_factor(proc.pid)
+            proc.clock += dt
             if tr is not None:
                 with tr.span(name, cat="phase", track=proc.pid,
                              virtual_start=v0) as sp:
@@ -169,7 +243,18 @@ class SimulatedMachine:
     # Synchronization
     # ------------------------------------------------------------------
     def barrier(self, name: str = "barrier") -> None:
-        """All processors wait for the slowest, then pay the sync cost."""
+        """All processors wait for the slowest, then pay the sync cost.
+
+        With faults attached: dead processors are excluded from the
+        rendezvous, and if any crash is still undetected every survivor
+        additionally pays the plan's detection timeout (the failure
+        detector firing); the newly detected pids become available via
+        :meth:`take_detected`.
+        """
+        fa = self.faults
+        if fa is not None:
+            self._barrier_faulted(name, fa)
+            return
         top = max(p.clock for p in self.procs)
         tr = self._trace()
         for p in self.procs:
@@ -183,8 +268,38 @@ class SimulatedMachine:
                                     barrier_cost=self.model.barrier_cost)
         self.phases.append(PhaseReport(name, [p.clock for p in self.procs]))
 
+    def _barrier_faulted(self, name: str, fa) -> None:
+        fa.tick(self)
+        alive = [p for p in self.procs if p.pid not in fa.dead]
+        top = max(p.clock for p in alive)
+        undetected = fa.undetected_dead()
+        extra = fa.plan.detection_timeout if undetected else 0.0
+        tr = self._trace()
+        for p in alive:
+            v0 = p.clock
+            p.clock = top + self.model.barrier_cost + extra
+            if tr is not None:
+                with tr.span(name, cat="sync", track=p.pid,
+                             virtual_start=v0) as sp:
+                    sp.set_virtual_end(p.clock)
+                    sp.add_counters(stall=top - v0,
+                                    barrier_cost=self.model.barrier_cost,
+                                    crash_detect=extra)
+        if undetected:
+            newly = fa.mark_detected()
+            self._newly_detected.extend(newly)
+            for pid in newly:
+                fa.note_recovery("detect", self, pid=pid, consume=False,
+                                 detail=f"detected at {name}")
+        fa.absorb_expired_slowdowns(self)
+        self.phases.append(PhaseReport(name, [p.clock for p in self.procs]))
+
     def broadcast(self, src: int, words: float, name: str = "broadcast") -> None:
         """One-to-all transfer of a payload of *words* units."""
+        fa = self.faults
+        if fa is not None:
+            self._broadcast_faulted(src, words, name, fa)
+            return
         cost = self.model.transfer_time(words)
         sender = self.procs[src]
         tr = self._trace()
@@ -207,10 +322,70 @@ class SimulatedMachine:
                                         transfer_words=words)
         self.phases.append(PhaseReport(name, [p.clock for p in self.procs]))
 
-    def send(self, src: int, dst: int, words: float, name: str = "send") -> None:
-        """Point-to-point transfer; receiver can't proceed before arrival."""
-        if src == dst:
+    def _broadcast_faulted(self, src: int, words: float, name: str, fa) -> None:
+        if not self._in_phase:
+            fa.tick(self)
+        if src in fa.dead:
             return
+        cost = self.model.transfer_time(words)
+        sender = self.procs[src]
+        tr = self._trace()
+        ev = fa.message_event()
+        if ev is not None and ev.kind in ("drop", "corrupt"):
+            # Broadcasts always complete (tree retransmit), but every
+            # failed round costs the sender a full attempt plus the
+            # ack timeout.
+            v0 = sender.clock
+            sender.clock += ev.attempts * (cost + fa.plan.retransmit_timeout)
+            fa.note_fault(ev.kind, self, pid=src,
+                          detail=f"bcast attempts={ev.attempts}",
+                          v_start=v0, v_end=sender.clock)
+            fa.note_recovery("retransmit", self, pid=src,
+                             for_kinds=(ev.kind,),
+                             detail=f"bcast delivered after {ev.attempts} retries")
+        dup = ev is not None and ev.kind == "dup"
+        if dup:
+            fa.note_fault("dup", self, pid=src, detail="bcast duplicated")
+        alive = [p for p in self.procs if p.pid not in fa.dead]
+        v0 = sender.clock
+        sender.clock += cost * max(1, len(alive) - 1) * 0.25 + cost
+        arrival = sender.clock
+        if tr is not None:
+            with tr.span(name, cat="comm", track=src, virtual_start=v0) as sp:
+                sp.set_virtual_end(arrival)
+                sp.add_counters(transfer_words=words, fanout=len(alive) - 1)
+        for p in alive:
+            if p.pid != src:
+                r0 = p.clock
+                p.clock = max(p.clock, arrival)
+                if dup:
+                    p.clock += cost
+                if tr is not None:
+                    with tr.span(name, cat="comm", track=p.pid,
+                                 virtual_start=r0) as sp:
+                        sp.set_virtual_end(p.clock)
+                        sp.add_counters(stall=p.clock - r0,
+                                        transfer_words=words)
+        if dup:
+            fa.note_recovery("dedup", self, pid=src, for_kinds=("dup",),
+                             detail="receivers discarded duplicate bcast")
+        self.phases.append(PhaseReport(name, [p.clock for p in self.procs]))
+
+    def send(self, src: int, dst: int, words: float, name: str = "send") -> bool:
+        """Point-to-point transfer; receiver can't proceed before arrival.
+
+        Returns True when the payload was delivered.  On the fault-free
+        path that is always the case; with faults attached, a message to
+        a dead peer or one whose injected failure count exceeds the
+        retransmit bound is permanently lost (``False``) — callers that
+        carry real data alongside the cost charge must journal it for
+        replay.
+        """
+        if src == dst:
+            return True
+        fa = self.faults
+        if fa is not None:
+            return self._send_faulted(src, dst, words, name, fa)
         cost = self.model.transfer_time(words)
         sender = self.procs[src]
         tr = self._trace()
@@ -228,6 +403,71 @@ class SimulatedMachine:
                 sp.add_counters(stall=receiver.clock - r0,
                                 transfer_words=words)
         self.phases.append(PhaseReport(name, [p.clock for p in self.procs]))
+        return True
+
+    def _send_faulted(self, src: int, dst: int, words: float,
+                      name: str, fa) -> bool:
+        if not self._in_phase:
+            fa.tick(self)
+        if src in fa.dead:
+            return False
+        cost = self.model.transfer_time(words)
+        sender = self.procs[src]
+        tr = self._trace()
+        if dst in fa.dead:
+            # The attempt is paid for; the payload lands nowhere.  The
+            # crash itself is the fault on record — the caller journals
+            # the payload and the post-barrier recovery replays it.
+            s0 = sender.clock
+            sender.clock += cost
+            if tr is not None:
+                with tr.span(name, cat="comm", track=src,
+                             virtual_start=s0) as sp:
+                    sp.set_virtual_end(sender.clock)
+                    sp.add_counters(transfer_words=words, lost=1)
+            self.phases.append(PhaseReport(name, [p.clock for p in self.procs]))
+            return False
+        ev = fa.message_event()
+        dup = False
+        if ev is not None:
+            if ev.kind in ("drop", "corrupt"):
+                v0 = sender.clock
+                failed = ev.attempts
+                sender.clock += failed * (cost + fa.plan.retransmit_timeout)
+                fa.note_fault(ev.kind, self, pid=src,
+                              detail=f"msg {fa.msg_index - 1} -> p{dst} "
+                                     f"attempts={failed}",
+                              v_start=v0, v_end=sender.clock)
+                if failed > fa.plan.max_retransmits:
+                    self.phases.append(
+                        PhaseReport(name, [p.clock for p in self.procs]))
+                    return False
+                fa.note_recovery("retransmit", self, pid=src,
+                                 for_kinds=(ev.kind,),
+                                 detail=f"delivered after {failed} retries")
+            elif ev.kind == "dup":
+                dup = True
+                fa.note_fault("dup", self, pid=src,
+                              detail=f"msg {fa.msg_index - 1} -> p{dst}")
+        s0 = sender.clock
+        sender.clock += cost
+        receiver = self.procs[dst]
+        r0 = receiver.clock
+        receiver.clock = max(receiver.clock, sender.clock)
+        if dup:
+            receiver.clock += cost
+            fa.note_recovery("dedup", self, pid=dst, for_kinds=("dup",),
+                             detail="duplicate discarded by sequence check")
+        if tr is not None:
+            with tr.span(name, cat="comm", track=src, virtual_start=s0) as sp:
+                sp.set_virtual_end(sender.clock)
+                sp.add_counters(transfer_words=words)
+            with tr.span(name, cat="comm", track=dst, virtual_start=r0) as sp:
+                sp.set_virtual_end(receiver.clock)
+                sp.add_counters(stall=receiver.clock - r0,
+                                transfer_words=words)
+        self.phases.append(PhaseReport(name, [p.clock for p in self.procs]))
+        return True
 
     # ------------------------------------------------------------------
     # Reporting

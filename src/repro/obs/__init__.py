@@ -34,6 +34,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     Timer,
+    health_snapshot,
 )
 from repro.obs.tracer import (
     ENV_VAR,
@@ -66,6 +67,7 @@ __all__ = [
     "context",
     "current_span",
     "enabled",
+    "health_snapshot",
     "set_tracer",
     "snapshot",
     "span",

@@ -23,7 +23,7 @@ import zlib
 from typing import Dict, List, Optional
 
 __all__ = ["Counter", "Histogram", "Timer", "MetricsRegistry",
-           "DEFAULT_HISTOGRAM_CAP"]
+           "DEFAULT_HISTOGRAM_CAP", "health_snapshot"]
 
 #: Samples kept exactly before reservoir sampling begins.  Batch runs
 #: observe at most a few thousand values, so in practice percentiles
@@ -144,6 +144,40 @@ class Histogram:
         }
 
 
+def health_snapshot(
+    registry: "MetricsRegistry",
+    breakers: Optional[Dict[str, str]] = None,
+    queue_depth: int = 0,
+    workers: int = 0,
+) -> Dict[str, object]:
+    """Assemble a health/readiness document from live service state.
+
+    *breakers* maps path keys to breaker states (see
+    :mod:`repro.service.breaker`).  ``status`` is ``ok`` when nothing is
+    tripped, ``degraded`` while some paths are open (their traffic is
+    being short-circuited to fallbacks), and ``failing`` when every
+    known path is open.  ``ready`` mirrors the usual readiness-probe
+    semantics: the service still accepts work unless it is failing.
+    """
+    breakers = dict(breakers or {})
+    open_paths = sorted(k for k, v in breakers.items() if v == "open")
+    if not open_paths:
+        status = "ok"
+    elif len(open_paths) < len(breakers):
+        status = "degraded"
+    else:
+        status = "failing"
+    return {
+        "status": status,
+        "ready": status != "failing",
+        "workers": workers,
+        "queue_depth": queue_depth,
+        "breakers": breakers,
+        "open_paths": open_paths,
+        "counters": registry.health_keys(),
+    }
+
+
 class Timer:
     """Context manager feeding elapsed wall-clock seconds to a histogram.
 
@@ -206,6 +240,19 @@ class MetricsRegistry:
                 name: h.summary() for name, h in sorted(histograms.items())
             },
         }
+
+    def health_keys(self) -> Dict[str, int]:
+        """The counter values health reporting cares about (failures,
+        timeouts, breaker activity); zero-valued keys are omitted."""
+        with self._lock:
+            counters = dict(self._counters)
+        wanted = (
+            "jobs_submitted", "jobs_completed", "jobs_failed",
+            "jobs_timeouts", "jobs_cancelled", "jobs_degraded",
+            "breaker_opened", "breaker_short_circuits",
+        )
+        return {k: counters[k].value for k in wanted
+                if k in counters and counters[k].value}
 
     def render(self) -> str:
         """Human-readable one-metric-per-line dump for CLI output."""

@@ -119,6 +119,27 @@ class CubeStateStore:
             if _audit.enabled():
                 _audit.audit_cube_record(ref, rec)
 
+    def release_owner(self, pid: int, meter=None) -> int:
+        """Free every COVERED claim held by a crashed processor.
+
+        A dead processor's speculative claims would otherwise zero out
+        those cubes' values for every survivor forever (Table 5's
+        COVERED/other-pid row).  Recovery releases them back to FREE so
+        survivors can re-claim; DIVIDED cubes stay consumed.  Returns
+        the number of claims released.
+        """
+        freed = 0
+        for ref, rec in self._recs.items():
+            if rec.status is CubeStatus.COVERED and rec.owner == pid:
+                if meter is not None:
+                    meter.charge("cube_state_op", 1)
+                rec.status = CubeStatus.FREE
+                rec.owner = -1
+                freed += 1
+                if _audit.enabled():
+                    _audit.audit_cube_record(ref, rec)
+        return freed
+
     def divide(self, refs: Iterable[CubeRef], meter=None) -> None:
         """Mark *refs* permanently consumed by an applied extraction."""
         for ref in refs:

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.faults import note_control_resync, resolve_fault_injector
 from repro.machine.backend import SerialBackend
 from repro.machine.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.machine.simulator import SimulatedMachine
@@ -33,8 +34,13 @@ from repro.parallel.common import ParallelRunResult, partition_network_nodes
 from repro.rectangles.cover import kernel_extract
 
 
-def _count_duplicate_kernels(network: BooleanNetwork, prefixes: List[str]) -> int:
-    """How many extracted kernel expressions appear in >1 partition."""
+def _count_duplicate_kernels(network: BooleanNetwork, prefixes) -> int:
+    """How many extracted kernel expressions appear in >1 partition.
+
+    *prefixes* holds one ``str.startswith`` argument per partition — a
+    string, or a tuple of strings when recovery re-factored the block
+    under a distinct prefix.
+    """
     seen: Dict[Tuple, List[int]] = {}
     for pid, prefix in enumerate(prefixes):
         for name, expr in network.nodes.items():
@@ -51,6 +57,7 @@ def independent_kernel_extract(
     partitioner: str = "mincut",
     max_seeds: Optional[int] = 64,
     tracer: Optional["Tracer"] = None,
+    faults=None,
 ) -> ParallelRunResult:
     """Run the no-interaction partitioned algorithm on a copy.
 
@@ -59,9 +66,17 @@ def independent_kernel_extract(
     communicating.  Parallel time = partition + distribution + the
     slowest block's extraction.  Pass ``tracer`` (or set
     ``REPRO_TRACE=1``) to record per-processor spans.
+
+    ``faults`` accepts a :class:`~repro.faults.plan.FaultPlan` or
+    :class:`~repro.faults.injector.FaultInjector` (default: the
+    ``REPRO_FAULTS`` environment).  With faults active a gather barrier
+    follows the factor phase; blocks orphaned by a crash are re-factored
+    by survivors under per-block recovery prefixes.
     """
     work_net = network.copy()
-    machine = SimulatedMachine(nprocs, model, tracer=tracer)
+    machine = SimulatedMachine(
+        nprocs, model, tracer=tracer, faults=resolve_fault_injector(faults)
+    )
     initial_lc = work_net.literal_count()
 
     # Master partitions the circuit; the FM passes charge processor 0.
@@ -75,7 +90,8 @@ def independent_kernel_extract(
     # Distribution: the master ships each block's share of the netlist.
     for pid in range(1, nprocs):
         words = sum(work_net.literal_count(n) for n in blocks[pid])
-        machine.send(0, pid, words, name="distribute")
+        if not machine.send(0, pid, words, name="distribute"):
+            note_control_resync(machine, pid, "distribute")
 
     prefixes = [f"[p{pid}_" for pid in range(nprocs)]
     extractions = 0
@@ -96,8 +112,53 @@ def independent_kernel_extract(
         extractions += res.iterations
         return res
 
-    machine.run_phase(factor_block, name="factor")
-    duplicates = _count_duplicate_kernels(work_net, prefixes)
+    results = machine.run_phase(factor_block, name="factor")
+    count_prefixes = list(prefixes)
+    fa = machine.faults
+    if fa is not None:
+        # Crashes surface at this barrier (the algorithm proper has
+        # none); orphaned blocks — dead owner, work never finished — are
+        # re-factored by survivors.  Recovery prefixes stay distinct so
+        # extracted node names never collide, but count as the original
+        # partition for duplicate-kernel accounting.
+        machine.barrier("gather-sync")
+        newly = machine.take_detected()
+        orphaned = [
+            pid for pid in newly if blocks[pid] and results[pid] is None
+        ]
+        alive = machine.alive_pids()
+        assign = {pid: alive[i % len(alive)] for i, pid in enumerate(orphaned)}
+        if orphaned:
+            def refactor(proc):
+                nonlocal extractions
+                for opid in sorted(assign):
+                    if assign[opid] != proc.pid:
+                        continue
+                    res = kernel_extract(
+                        work_net,
+                        nodes=[n for n in blocks[opid] if n in work_net.nodes],
+                        searcher="pingpong",
+                        meter=proc.meter,
+                        name_prefix=f"[p{opid}r_",
+                        max_seeds=max_seeds,
+                    )
+                    extractions += res.iterations
+            machine.run_phase(refactor, name="recovery-factor", procs=alive)
+            for opid in orphaned:
+                count_prefixes[opid] = (prefixes[opid], f"[p{opid}r_")
+        for pid in newly:
+            if pid in orphaned:
+                fa.note_recovery(
+                    "refactor", machine, pid=assign[pid],
+                    for_kinds=("crash",),
+                    detail=f"block {pid} re-factored by p{assign[pid]}",
+                )
+            else:
+                fa.note_recovery(
+                    "retire", machine, pid=pid, for_kinds=("crash",),
+                    detail="crashed after its block completed",
+                )
+    duplicates = _count_duplicate_kernels(work_net, count_prefixes)
 
     return ParallelRunResult(
         algorithm="independent",

@@ -34,6 +34,12 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.algebra.cube import Cube, cube_union
 from repro.algebra.kernels import Kernel, kernels
 from repro.algebra.sop import Sop, divide
+from repro.faults import (
+    ExtractionJournal,
+    note_control_resync,
+    resolve_fault_injector,
+)
+from repro.machine.cancel import check_cancelled
 from repro.machine.costmodel import CostMeter, CostModel, DEFAULT_COST_MODEL
 from repro.machine.simulator import SimulatedMachine
 from repro.network.boolean_network import BooleanNetwork
@@ -66,6 +72,7 @@ class _LShapeSetup:
     owned_cols: List[Set[int]]
     alpha: float  # sparsity of the conceptual full matrix
     gamma: float  # mean sparsity of the L-shaped matrices
+    lost_bij: bool = False  # a vertical-leg piece was permanently dropped
 
 
 def build_lshaped_matrices(
@@ -97,12 +104,23 @@ def build_lshaped_matrices(
         return mat
 
     slabs: List[KCMatrix] = machine.run_phase(build_slab, name="build-slab")
+    if machine.faults is not None:
+        # Crashed processors contribute empty slabs this cycle; their
+        # nodes are reassigned by the post-barrier recovery pass.
+        slabs = [s if s is not None else KCMatrix() for s in slabs]
 
-    # Phase 2: processors send their kernel-cube lists to the master,
-    # which distributes ownership greedily (paper's pseudo-code lines
-    # 1–7) and returns the local→global column mapping.
-    for pid in range(1, nprocs):
-        machine.send(pid, 0, len(slabs[pid].cols), name="cube-gather")
+    # Phase 2: processors send their kernel-cube lists to the master
+    # (the lowest surviving pid — 0 unless it crashed), which distributes
+    # ownership greedily (paper's pseudo-code lines 1–7) and returns the
+    # local→global column mapping.
+    master = machine.lowest_alive()
+    for pid in range(nprocs):
+        if pid != master:
+            delivered = machine.send(
+                pid, master, len(slabs[pid].cols), name="cube-gather"
+            )
+            if not delivered:
+                note_control_resync(machine, master, "cube-gather")
     global_label_of_cube: Dict[Cube, int] = {}
     owner_of_cube: Dict[Cube, int] = {}
     for pid in range(nprocs):
@@ -111,9 +129,14 @@ def build_lshaped_matrices(
             if cube not in global_label_of_cube:
                 global_label_of_cube[cube] = label
                 owner_of_cube[cube] = pid
-    machine.charge(0, "cube_state_op", sum(len(s.cols) for s in slabs))
-    for pid in range(1, nprocs):
-        machine.send(0, pid, len(slabs[pid].cols), name="cube-map")
+    machine.charge(master, "cube_state_op", sum(len(s.cols) for s in slabs))
+    for pid in range(nprocs):
+        if pid != master:
+            delivered = machine.send(
+                master, pid, len(slabs[pid].cols), name="cube-map"
+            )
+            if not delivered:
+                note_control_resync(machine, pid, "cube-map")
 
     # Phase 3: relabel each slab to global column labels, carve the
     # B_ij sub-blocks, ship them, and splice the vertical legs.
@@ -134,11 +157,14 @@ def build_lshaped_matrices(
     relabeled = machine.run_phase(
         lambda proc: relabel(slabs[proc.pid]), name="relabel"
     )
+    if machine.faults is not None:
+        relabeled = [m if m is not None else KCMatrix() for m in relabeled]
     owned_cols: List[Set[int]] = [set() for _ in range(nprocs)]
     for cube, pid in owner_of_cube.items():
         owned_cols[pid].add(global_label_of_cube[cube])
 
     matrices = [relabeled[p] for p in range(nprocs)]
+    lost_bij = False
     for i in range(nprocs):
         for j in range(nprocs):
             if i == j:
@@ -146,8 +172,22 @@ def build_lshaped_matrices(
             bij = relabeled[i].submatrix_columns(owned_cols[j])
             if not bij.entries:
                 continue
-            machine.send(i, j, bij.num_entries, name="Bij")
-            matrices[j].merge(bij)
+            delivered = machine.send(i, j, bij.num_entries, name="Bij")
+            if delivered:
+                matrices[j].merge(bij)
+            else:
+                # The vertical-leg piece is missing this cycle; the next
+                # rebuild regenerates it from the network.  (The drop
+                # only costs quality for one cycle, never correctness —
+                # the caller forces an extra cycle if this was the last.)
+                fa = machine.faults
+                if fa is not None and fa.has_open(("drop", "corrupt")):
+                    lost_bij = True
+                    fa.note_recovery(
+                        "rebuild", machine, pid=j,
+                        for_kinds=("drop", "corrupt"),
+                        detail=f"B_{i}{j} lost; regenerated next cycle",
+                    )
 
     rows_total = sum(s.num_rows for s in slabs)
     cols_total = len(global_label_of_cube)
@@ -155,7 +195,8 @@ def build_lshaped_matrices(
     alpha = entries_total / (rows_total * cols_total) if rows_total and cols_total else 0.0
     gammas = [m.sparsity() for m in matrices if m.num_rows and m.num_cols]
     gamma = sum(gammas) / len(gammas) if gammas else 0.0
-    return _LShapeSetup(matrices=matrices, owned_cols=owned_cols, alpha=alpha, gamma=gamma)
+    return _LShapeSetup(matrices=matrices, owned_cols=owned_cols,
+                        alpha=alpha, gamma=gamma, lost_bij=lost_bij)
 
 
 def _apply_kernel_to_node(
@@ -213,6 +254,7 @@ def lshaped_kernel_extract(
     disable_vertical_leg: bool = False,
     disable_recheck: bool = False,
     tracer: Optional["Tracer"] = None,
+    faults=None,
 ) -> ParallelRunResult:
     """Run the L-shaped algorithm on a copy of *network*.
 
@@ -228,9 +270,18 @@ def lshaped_kernel_extract(
     rebuilds, one barrier each) buys quality at sync cost.  The default
     of 16 keeps quality within ~0.5% of sequential on the benchmark
     suite while preserving the speedup.
+
+    ``faults`` accepts a :class:`~repro.faults.plan.FaultPlan` or
+    :class:`~repro.faults.injector.FaultInjector` (default: the
+    ``REPRO_FAULTS`` environment).  Crashed owners are detected at the
+    cycle barrier; their blocks and speculative cube claims go to
+    survivors, and partial rectangles lost in flight are replayed from
+    the extraction journal — see ``docs/robustness.md``.
     """
     work_net = network.copy()
-    machine = SimulatedMachine(nprocs, model, tracer=tracer)
+    machine = SimulatedMachine(
+        nprocs, model, tracer=tracer, faults=resolve_fault_injector(faults)
+    )
     initial_lc = work_net.literal_count()
 
     blocks: List[List[str]] = machine.run_phase(
@@ -242,7 +293,8 @@ def lshaped_kernel_extract(
     )[0]
     for pid in range(1, nprocs):
         words = sum(work_net.literal_count(n) for n in blocks[pid])
-        machine.send(0, pid, words, name="distribute")
+        if not machine.send(0, pid, words, name="distribute"):
+            note_control_resync(machine, pid, "distribute")
 
     node_owner: Dict[str, int] = {}
     for pid, block in enumerate(blocks):
@@ -255,6 +307,7 @@ def lshaped_kernel_extract(
     alpha = gamma = 0.0
 
     for cycle in range(max_cycles):
+        check_cancelled()
         setup = build_lshaped_matrices(machine, work_net, blocks, kernel_cache)
         if cycle == 0:
             alpha, gamma = setup.alpha, setup.gamma
@@ -275,6 +328,7 @@ def lshaped_kernel_extract(
             matrices = reduced
         store = CubeStateStore()
         mailbox: List[List[PartialRectangle]] = [[] for _ in range(nprocs)]
+        journal = ExtractionJournal() if machine.faults is not None else None
         cycle_changed: Set[str] = set()
         cycle_extractions = 0
 
@@ -349,8 +403,13 @@ def lshaped_kernel_extract(
                         src_pid=proc.pid, dst_pid=dst,
                         new_node=new_name, kernel=kernel_sop, rows=rows,
                     )
-                    machine.send(proc.pid, dst, msg.words(), name="partial-rect")
-                    mailbox[dst].append(msg)
+                    delivered = machine.send(
+                        proc.pid, dst, msg.words(), name="partial-rect"
+                    )
+                    if delivered:
+                        mailbox[dst].append(msg)
+                    elif journal is not None:
+                        journal.log_lost(msg)
                 for r in rect.rows:
                     if r in mat.rows:
                         mat.remove_row(r)
@@ -391,6 +450,10 @@ def lshaped_kernel_extract(
                 break
 
         machine.barrier("cycle-sync")
+        recovered = False
+        if machine.faults is not None:
+            recovered = _recover_lshaped(machine, work_net, blocks, node_owner,
+                                         store, mailbox, journal, cycle_changed)
         extractions += cycle_extractions
         # Drop extraction nodes nothing ended up using, and collapse
         # duplicate-kernel aliases ([Li] = [Lj]) the interleaving can
@@ -404,6 +467,12 @@ def lshaped_kernel_extract(
         for n in cycle_changed:
             kernel_cache.pop(n, None)
         if cycle_extractions == 0:
+            # A quiescent cycle normally terminates, but a cycle that
+            # lost a vertical-leg piece or just reassigned a dead
+            # owner's block hasn't searched that state yet — run one
+            # more rebuild so recovery costs time, not quality.
+            if recovered or setup.lost_bij:
+                continue
             break
 
     return ParallelRunResult(
@@ -418,6 +487,92 @@ def lshaped_kernel_extract(
         details={"alpha": alpha, "gamma": gamma},
         proc_clocks=[p.clock for p in machine.procs],
     )
+
+
+def _recover_lshaped(
+    machine: SimulatedMachine,
+    work_net: BooleanNetwork,
+    blocks: List[List[str]],
+    node_owner: Dict[str, int],
+    store: CubeStateStore,
+    mailbox: List[List[PartialRectangle]],
+    journal: ExtractionJournal,
+    cycle_changed: Set[str],
+) -> bool:
+    """Post-barrier recovery: reassign crashed owners, replay lost mail.
+
+    Runs right after ``cycle-sync``, where crashes are detected.  For
+    every newly dead processor: its speculative COVERED claims are
+    released (survivors can re-claim the cubes), messages stranded in
+    its mailbox join the journal, and its block — rows *and* the owned
+    kernel-cube columns that follow from node ownership under the
+    offset-based global labeling — is dealt round-robin to survivors,
+    who rebuild slabs for the inherited nodes next cycle.  Finally every
+    journaled (undelivered) partial rectangle is replayed to the current
+    owner of each affected node in a ``recovery-drain`` phase.  Returns
+    True when anything was recovered, so the caller can force another
+    extraction cycle over the repaired state.
+    """
+    fa = machine.faults
+    newly = machine.take_detected()
+    alive = machine.alive_pids()
+    for pid in newly:
+        released = store.release_owner(pid)
+        for msg in mailbox[pid]:
+            journal.log_lost(msg, reason="dead-owner")
+        mailbox[pid] = []
+        moved = sorted(n for n in blocks[pid] if n in work_net.nodes)
+        blocks[pid] = []
+        for i, n in enumerate(moved):
+            tgt = alive[i % len(alive)]
+            blocks[tgt].append(n)
+            node_owner[n] = tgt
+        fa.note_recovery(
+            "reassign", machine, pid=pid, for_kinds=("crash",),
+            detail=f"{len(moved)} nodes -> {len(alive)} survivors, "
+                   f"{released} claims released",
+        )
+    pending = journal.take_undelivered()
+    if not pending:
+        return bool(newly)
+
+    def replay(proc):
+        for entry in pending:
+            msg = entry.message
+            if msg.new_node not in work_net.nodes:
+                continue
+            x_lit = work_net.table.id_of(msg.new_node)
+            by_node: Dict[str, List] = {}
+            for row in msg.rows:
+                by_node.setdefault(row[0], []).append(row)
+            for node, rows in sorted(by_node.items()):
+                if node not in work_net.nodes:
+                    continue
+                if node_owner.get(node) != proc.pid:
+                    continue
+                changed = _apply_kernel_to_node(
+                    work_net, node, msg.kernel, x_lit, rows,
+                    store, proc.pid, proc.meter,
+                )
+                if changed:
+                    cycle_changed.add(node)
+
+    machine.run_phase(replay, name="recovery-drain", procs=alive)
+    for entry in pending:
+        fa.note_recovery(
+            "replay", machine, pid=_replay_pid(entry, alive),
+            for_kinds=("drop", "corrupt", "crash"),
+            detail=f"{entry.reason}: {entry.message.new_node} "
+                   f"({len(entry.message.rows)} rows)",
+        )
+    return True
+
+
+def _replay_pid(entry, alive: List[int]) -> int:
+    """The pid a replayed message is attributed to (its original target
+    when still alive, else the lowest survivor)."""
+    dst = entry.message.dst_pid
+    return dst if dst in alive else alive[0]
 
 
 def _sweep_dead_extractions(network: BooleanNetwork) -> Set[str]:

@@ -24,6 +24,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.algebra.kernels import Kernel, kernels
+from repro.faults import resolve_fault_injector
+from repro.machine.cancel import check_cancelled
 from repro.machine.costmodel import CostMeter, CostModel, DEFAULT_COST_MODEL
 from repro.machine.simulator import SimulatedMachine
 from repro.obs.tracer import Tracer
@@ -52,9 +54,11 @@ def _generate_kernels_partitioned(
     one copy suffices for correctness; each processor is charged for its
     own share and then broadcasts it).
     """
+    alive = machine.alive_pids()
     shares: List[List[str]] = [[] for _ in range(machine.nprocs)]
-    for i, n in enumerate(sorted(nodes)):
-        shares[i % machine.nprocs].append(n)
+    ordered = sorted(nodes)
+    for i, n in enumerate(ordered):
+        shares[alive[i % len(alive)]].append(n)
 
     def work(proc):
         produced = 0
@@ -65,6 +69,26 @@ def _generate_kernels_partitioned(
         return produced
 
     payloads = machine.run_phase(work, name="kernel-gen")
+    fa = machine.faults
+    if fa is not None:
+        # A processor that crashed at the kernel-gen tick leaves its
+        # share un-enumerated; the lowest survivor regenerates it so the
+        # replica build below never misses a cache entry.
+        while True:
+            missing = [n for n in ordered if n not in cache]
+            if not missing:
+                break
+            regen_pid = machine.lowest_alive()
+
+            def regen(proc):
+                for n in missing:
+                    cache[n] = kernels(network.nodes[n], meter=proc.meter)
+
+            machine.run_phase(regen, name="kernel-regen", procs=[regen_pid])
+            fa.note_recovery(
+                "regen", machine, pid=regen_pid, consume=False,
+                detail=f"{len(missing)} shares regenerated",
+            )
     for pid, words in enumerate(payloads):
         if words:
             machine.broadcast(pid, words, name="kernel-bcast")
@@ -110,15 +134,24 @@ def replicated_kernel_extract(
     min_gain: int = 1,
     max_iterations: Optional[int] = None,
     tracer: Optional["Tracer"] = None,
+    faults=None,
 ) -> ParallelRunResult:
     """Run the replicated-circuit algorithm on a copy of *network*.
 
     Raises :class:`BudgetExceeded` when the exhaustive search blows the
     budget (the paper's DNF rows) — callers report "—".  Pass ``tracer``
     (or set ``REPRO_TRACE=1``) to record per-processor spans.
+
+    ``faults`` accepts a :class:`~repro.faults.plan.FaultPlan` or
+    :class:`~repro.faults.injector.FaultInjector` (default: the
+    ``REPRO_FAULTS`` environment).  Because every replica is complete,
+    recovery is redistribution: crashed processors' kernel shares and
+    column stripes are re-dealt to survivors at the next step barrier.
     """
     work_net = network.copy()
-    machine = SimulatedMachine(nprocs, model, tracer=tracer)
+    machine = SimulatedMachine(
+        nprocs, model, tracer=tracer, faults=resolve_fault_injector(faults)
+    )
     budget = SearchBudget(search_budget) if search_budget is not None else None
     cache: Dict[str, List[Kernel]] = {}
     active = sorted(work_net.nodes)
@@ -128,12 +161,15 @@ def replicated_kernel_extract(
     pending = list(active)
 
     while max_iterations is None or extractions < max_iterations:
+        check_cancelled()
         _generate_kernels_partitioned(machine, work_net, pending, cache)
         matrix = _build_replicated_matrix(machine, work_net, active, cache, node_owner)
-        stripes = column_stripes(matrix, nprocs)
+        alive = machine.alive_pids()
+        stripes = column_stripes(matrix, len(alive))
+        stripe_of = {pid: stripes[i] for i, pid in enumerate(alive)}
 
         def search(proc):
-            stripe = stripes[proc.pid]
+            stripe = stripe_of.get(proc.pid)
             if not stripe:
                 return None
             return best_rectangle_exhaustive(
@@ -159,6 +195,17 @@ def replicated_kernel_extract(
                 name="winner-bcast",
             )
         machine.barrier("step-sync")
+        fa = machine.faults
+        if fa is not None:
+            # Crashes surface at the barriers above; the replicated
+            # algorithm's recovery is pure redistribution — every
+            # survivor holds the whole circuit, so the next iteration's
+            # share/stripe dealing over the survivor set is complete.
+            for pid in machine.take_detected():
+                fa.note_recovery(
+                    "redistribute", machine, pid=pid, for_kinds=("crash",),
+                    detail="shares and stripes re-dealt to survivors",
+                )
         if best is None or best[1] < min_gain:
             break
 

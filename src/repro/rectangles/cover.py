@@ -15,6 +15,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tupl
 from repro.algebra.cube import Cube, cube_union
 from repro.algebra.kernels import Kernel, kernels
 from repro.algebra.sop import Sop
+from repro.machine.cancel import check_cancelled
 from repro.machine.costmodel import CostMeter, CostModel, DEFAULT_COST_MODEL
 from repro.network.boolean_network import BooleanNetwork
 from repro.obs.tracer import active_tracer
@@ -197,6 +198,7 @@ def kernel_extract(
     )
     counter = 0
     while max_iterations is None or result.iterations < max_iterations:
+        check_cancelled()
         if tr is None:
             matrix = build_kc_matrix(
                 network, nodes=sorted(active), kernel_cache=kernel_cache, meter=meter

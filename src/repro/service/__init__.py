@@ -11,6 +11,9 @@ above the algorithm substrate.  This package provides it:
 - :mod:`~repro.service.engine` — :class:`FactorizationEngine`: bounded
   worker pool, per-job deadlines and node budgets, retry with backoff,
   exhaustive→ping-pong degradation (the paper's DNF rows, served);
+- :mod:`~repro.service.breaker` — per-``algorithm:circuit`` circuit
+  breakers; persistently failing paths are short-circuited straight to
+  the sequential fallback instead of re-paying their timeouts;
 - :mod:`~repro.service.cache` — content-addressed LRU result cache;
 - :mod:`~repro.service.metrics` — counters/timers/histograms with one
   snapshot export.
@@ -22,6 +25,7 @@ routes table runs through it so repeated circuit×algorithm cells are
 computed once.
 """
 
+from repro.service.breaker import BreakerBoard, BreakerState, CircuitBreaker
 from repro.service.cache import ResultCache, canonical_job_key, canonical_network_text
 from repro.service.engine import (
     BatchReport,
@@ -36,6 +40,9 @@ from repro.service.metrics import Counter, Histogram, MetricsRegistry, Timer
 
 __all__ = [
     "BatchReport",
+    "BreakerBoard",
+    "BreakerState",
+    "CircuitBreaker",
     "Counter",
     "FactorizationEngine",
     "FactorizationJob",

@@ -1,0 +1,149 @@
+"""Per-path circuit breakers for the factorization engine.
+
+A *path* is one ``algorithm:circuit`` combination.  When a path keeps
+failing — the exhaustive search never terminates on spla, a chaos plan
+kills every attempt — retrying it at full price on every submission
+wastes the worker pool.  The breaker trips open after
+``failure_threshold`` consecutive failures; while open the engine
+short-circuits the path straight to its sequential fallback instead of
+paying the timeout again.  After ``cooldown`` seconds the breaker lets
+one trial attempt through (half-open); success closes it, failure
+re-opens it for another cooldown.
+
+The clock is injectable so tests (and the deterministic chaos harness)
+can step time without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+__all__ = ["BreakerState", "CircuitBreaker", "BreakerBoard"]
+
+
+class BreakerState:
+    """The three breaker states, as string constants."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with cooldown and half-open trials."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.clock = clock
+        self._state = BreakerState.CLOSED
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._lock = threading.Lock()
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._peek_state()
+
+    def _peek_state(self) -> str:
+        # Lock held.  An open breaker past its cooldown reads as
+        # half-open; the transition is committed by the next allow().
+        if (
+            self._state == BreakerState.OPEN
+            and self._opened_at is not None
+            and self.clock() - self._opened_at >= self.cooldown
+        ):
+            return BreakerState.HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """May the caller attempt this path right now?
+
+        Closed → yes.  Open → no, until the cooldown elapses; then one
+        caller is let through as the half-open trial (subsequent callers
+        keep getting False until that trial reports back).
+        """
+        with self._lock:
+            state = self._peek_state()
+            if state == BreakerState.CLOSED:
+                return True
+            if state == BreakerState.HALF_OPEN:
+                if self._state != BreakerState.HALF_OPEN:
+                    self._state = BreakerState.HALF_OPEN
+                    return True  # this caller is the trial
+                return False
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = BreakerState.CLOSED
+            self._failures = 0
+            self._opened_at = None
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if (
+                self._state == BreakerState.HALF_OPEN
+                or self._failures >= self.failure_threshold
+            ):
+                self._state = BreakerState.OPEN
+                self._opened_at = self.clock()
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "state": self._peek_state(),
+                "failures": self._failures,
+                "opened_at": self._opened_at,
+            }
+
+
+class BreakerBoard:
+    """Get-or-create registry of breakers keyed by path string."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.clock = clock
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._lock = threading.Lock()
+
+    def get(self, key: str) -> CircuitBreaker:
+        with self._lock:
+            br = self._breakers.get(key)
+            if br is None:
+                br = CircuitBreaker(
+                    failure_threshold=self.failure_threshold,
+                    cooldown=self.cooldown,
+                    clock=self.clock,
+                )
+                self._breakers[key] = br
+            return br
+
+    def states(self) -> Dict[str, str]:
+        with self._lock:
+            items = list(self._breakers.items())
+        return {key: br.state for key, br in items}
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        with self._lock:
+            items = list(self._breakers.items())
+        return {key: br.snapshot() for key, br in items}

@@ -30,9 +30,12 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro import obs as _obs
+from repro.machine.cancel import CancelToken, JobCancelled, cancel_scope
 from repro.network.boolean_network import BooleanNetwork
+from repro.obs.metrics import health_snapshot
 from repro.rectangles.cover import KernelExtractionResult, kernel_extract
 from repro.rectangles.search import BudgetExceeded, SearchBudget
+from repro.service.breaker import BreakerBoard, BreakerState
 from repro.service.cache import ResultCache, canonical_job_key
 from repro.service.jobs import FactorizationJob, JobQueue, JobResult, JobStatus
 from repro.service.metrics import MetricsRegistry
@@ -153,6 +156,8 @@ class FactorizationEngine:
         backoff: float = 0.05,
         backoff_factor: float = 2.0,
         default_deadline: Optional[float] = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 30.0,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -165,6 +170,11 @@ class FactorizationEngine:
         self.backoff_factor = backoff_factor
         self.default_deadline = default_deadline
         self.queue = JobQueue()
+        #: per-``algorithm:circuit`` breakers; a path that keeps failing
+        #: trips open and is short-circuited to the sequential fallback.
+        self.breakers = BreakerBoard(
+            failure_threshold=breaker_threshold, cooldown=breaker_cooldown
+        )
         self._id_lock = threading.Lock()
         self._next_id = 0
         #: requested-key -> degraded job fields, so re-submissions of a
@@ -211,6 +221,27 @@ class FactorizationEngine:
         return self._run_job(job)
 
     # ------------------------------------------------------------------
+    # health / readiness
+    # ------------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        """Live health document: breaker states, queue depth, counters.
+
+        ``status`` is ``ok`` / ``degraded`` (some paths short-circuited)
+        / ``failing`` (every known path's breaker open).
+        """
+        return health_snapshot(
+            self.metrics,
+            breakers=self.breakers.states(),
+            queue_depth=len(self.queue),
+            workers=self.workers,
+        )
+
+    def ready(self) -> bool:
+        """Readiness probe: can this engine still produce answers?"""
+        return bool(self.health()["ready"])
+
+    # ------------------------------------------------------------------
     # the job lifecycle
     # ------------------------------------------------------------------
 
@@ -251,8 +282,35 @@ class FactorizationEngine:
             with _obs.span("job", cat="service"):
                 return self._run_job_traced(job)
 
+    def _path_key(self, job: FactorizationJob) -> str:
+        circuit = job.circuit or (job.network.name if job.network else "?")
+        return f"{job.algorithm}:{circuit}"
+
+    def _short_circuit(self, job: FactorizationJob) -> None:
+        """Degrade *job* to the sequential fallback without attempting.
+
+        Called when the job's path breaker is open: the combination has
+        already failed ``failure_threshold`` times, so re-paying its
+        timeout buys nothing.  The ping-pong sequential loop terminates
+        on every circuit the suite contains.
+        """
+        for k, v in (
+            ("deadline", None), ("node_budget", None),
+            ("algorithm", "sequential"), ("searcher", "pingpong"),
+            ("procs", 1),
+        ):
+            setattr(job, k, v)
+        job.degraded = True
+        self.metrics.inc("breaker_short_circuits")
+
     def _run_job_traced(self, job: FactorizationJob) -> JobResult:
         start = time.perf_counter()
+        if (
+            job.allow_degrade
+            and job.algorithm != "sequential"
+            and not self.breakers.get(self._path_key(job)).allow()
+        ):
+            self._short_circuit(job)
         if job.allow_degrade:
             try:
                 memo = self._degrade_memo.get(self._job_key(job))
@@ -268,9 +326,14 @@ class FactorizationEngine:
             job.attempts += 1
             self.metrics.inc("jobs_attempts")
             job.transition(JobStatus.RUNNING)
+            breaker = self.breakers.get(self._path_key(job))
             try:
                 payload, cache_hit = self._attempt(job)
             except Exception as exc:  # noqa: BLE001 - lifecycle boundary
+                was_open = breaker.state == BreakerState.OPEN
+                breaker.record_failure()
+                if not was_open and breaker.state == BreakerState.OPEN:
+                    self.metrics.inc("breaker_opened")
                 job.error = f"{type(exc).__name__}: {exc}"
                 job.transition(JobStatus.FAILED)
                 self.metrics.inc("jobs_failed_attempts")
@@ -292,6 +355,7 @@ class FactorizationEngine:
                 if delay > 0:
                     time.sleep(delay)
                 continue
+            breaker.record_success()
             job.error = None
             job.transition(JobStatus.DONE)
             self.metrics.inc("jobs_completed")
@@ -364,7 +428,7 @@ class FactorizationEngine:
             return self._dispatch(job, network)
 
         payload = (
-            _call_with_deadline(compute, deadline)
+            _call_with_deadline(compute, deadline, metrics=self.metrics)
             if deadline is not None
             else compute()
         )
@@ -410,19 +474,32 @@ class FactorizationEngine:
         raise ValueError(f"unknown algorithm {job.algorithm!r}")
 
 
-def _call_with_deadline(fn: Callable[[], Any], deadline: float) -> Any:
+def _call_with_deadline(
+    fn: Callable[[], Any], deadline: float, metrics: Optional[MetricsRegistry] = None
+) -> Any:
     """Run *fn* in a helper thread; :class:`JobTimeout` past *deadline*.
 
-    Python threads cannot be force-killed, so a timed-out computation is
-    abandoned (daemon thread) and its eventual result discarded — the
-    bounded pool stays responsive and the retry proceeds immediately.
+    Python threads cannot be force-killed, but they can be asked to stop:
+    the helper runs under a :func:`~repro.machine.cancel.cancel_scope`,
+    and on timeout the token is cancelled so the extraction loop unwinds
+    with :class:`~repro.machine.cancel.JobCancelled` at its next step
+    boundary instead of surviving as a leaked daemon thread running the
+    computation to completion.  The caller's retry proceeds immediately
+    either way.
     """
     box: Dict[str, Any] = {}
     done = threading.Event()
+    token = CancelToken()
 
     def target() -> None:
         try:
-            box["value"] = fn()
+            with cancel_scope(token):
+                box["value"] = fn()
+        except JobCancelled:
+            # The deadline already fired and JobTimeout was raised to the
+            # caller; this thread just confirms it unwound promptly.
+            if metrics is not None:
+                metrics.inc("jobs_cancelled")
         except BaseException as exc:  # noqa: BLE001 - re-raised below
             box["error"] = exc
         finally:
@@ -431,6 +508,7 @@ def _call_with_deadline(fn: Callable[[], Any], deadline: float) -> Any:
     thread = threading.Thread(target=target, daemon=True, name="job-attempt")
     thread.start()
     if not done.wait(deadline):
+        token.cancel()
         raise JobTimeout(f"attempt exceeded deadline of {deadline}s")
     if "error" in box:
         raise box["error"]

@@ -5,7 +5,8 @@ repository keeps one under ``tests/fuzz_corpus/``):
 
 - ``<stem>.eqn`` — the minimal network in equation format,
 - ``<stem>.json`` — replay coordinates: family, generator seed, path,
-  core, failure kind, and a human-readable detail string.
+  core, failure kind, a human-readable detail string, and — for chaos
+  findings — the fault plan spec and injector seed.
 
 The tier-1 suite replays the whole corpus on every run
 (``tests/verify/test_corpus_replay.py``), so a repro added once is a
@@ -40,15 +41,20 @@ class CorpusEntry:
     seed: int = 0
     kind: str = ""
     detail: str = ""
+    fault_plan: Optional[str] = None    # chaos repros replay this plan
+    fault_seed: int = 0
 
     def describe(self) -> str:
         core = f"/{self.core}" if self.core else ""
-        return f"{self.stem}: {self.path}{core} ({self.kind or 'regression'})"
+        chaos = f" faults=[{self.fault_plan}]" if self.fault_plan else ""
+        return f"{self.stem}: {self.path}{core}{chaos} ({self.kind or 'regression'})"
 
 
 def _stem_for(failure: "FuzzFailure") -> str:
     raw = f"{failure.family}_s{failure.seed}_{failure.path}_" \
           f"{failure.core or 'any'}_{failure.kind}"
+    if failure.fault_plan:
+        raw += f"_chaos{failure.fault_seed}"
     return re.sub(r"[^A-Za-z0-9_.-]", "-", raw)
 
 
@@ -68,6 +74,9 @@ def save_repro(directory: str, failure: "FuzzFailure") -> str:
         "detail": failure.detail,
         "shrunk": failure.shrunk,
     }
+    if failure.fault_plan:
+        meta["fault_plan"] = failure.fault_plan
+        meta["fault_seed"] = failure.fault_seed
     with open(os.path.join(directory, stem + ".json"), "w") as fh:
         json.dump(meta, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -100,6 +109,8 @@ def load_corpus(directory: str) -> List[CorpusEntry]:
                 seed=int(meta.get("seed", 0)),
                 kind=meta.get("kind", ""),
                 detail=meta.get("detail", ""),
+                fault_plan=meta.get("fault_plan"),
+                fault_seed=int(meta.get("fault_seed", 0)),
             )
         )
     return entries
@@ -109,7 +120,9 @@ def replay_entry(entry: CorpusEntry, vectors: int = 256) -> "CheckOutcome":
     """Re-run the recorded path × core; ``None`` means all oracles pass.
 
     When the entry records no core (cross-core findings), both cores are
-    replayed and the first failing outcome is returned.
+    replayed and the first failing outcome is returned.  Entries that
+    record a fault plan replay it with the recorded seed, so a chaos
+    repro exercises the exact recovery path that once failed.
     """
     from repro.verify.fuzz import check_path
     from repro.verify.paths import all_cores, get_path
@@ -117,7 +130,9 @@ def replay_entry(entry: CorpusEntry, vectors: int = 256) -> "CheckOutcome":
     path = get_path(entry.path)
     cores = [entry.core] if entry.core else all_cores()
     for core in cores:
-        outcome, _ = check_path(entry.network, path, core, vectors=vectors)
+        outcome, _ = check_path(entry.network, path, core, vectors=vectors,
+                                faults=entry.fault_plan,
+                                fault_seed=entry.fault_seed)
         if outcome is not None:
             return outcome
     return None

@@ -16,10 +16,18 @@ result against four oracles:
    byte-identical search streams, so a deterministic path must reach the
    same final literal count under both cores.
 
+With ``faults=True`` every machine-backed path is additionally re-run
+under a seeded random crash+drop schedule
+(:meth:`repro.faults.FaultPlan.random_single`), adding two oracles:
+every injected fault must carry a paired recovery record, and the
+post-recovery literal count must stay within 5% of the fault-free
+result for the same path × core.
+
 Failures are captured as :class:`FuzzFailure` records carrying the
 ``.eqn`` text of the offending network and everything needed to replay:
-family, seed, path, core.  With ``shrink=True`` each failure is first
-minimized (:mod:`repro.verify.shrink`) and written as a corpus entry
+family, seed, path, core — plus the fault plan and its seed for chaos
+findings.  With ``shrink=True`` each failure is first minimized
+(:mod:`repro.verify.shrink`) and written as a corpus entry
 (:mod:`repro.verify.corpus`).
 """
 
@@ -48,19 +56,41 @@ def check_path(
     path: FactorPath,
     core: Optional[str] = None,
     vectors: int = 256,
+    faults=None,
+    fault_seed: int = 0,
 ) -> Tuple[CheckOutcome, Optional[int]]:
     """Run one path × core over *network* and apply the per-path oracles.
 
     Returns ``(failure, final_literal_count)``; the count is ``None``
     when the run itself failed and is used by the caller's cross-core
     comparison.
+
+    With *faults* (a :class:`~repro.faults.plan.FaultPlan` or its spec
+    string) the path runs under a fresh injector seeded with
+    *fault_seed*, and a fifth oracle applies: every injected crash /
+    drop / corrupt / dup fault must have a paired ``recovery:*`` record
+    once the run completes ("fault-recovery" failures).
     """
+    injector = None
+    if faults is not None and path.supports_faults:
+        from repro.faults import FaultInjector, FaultPlan
+
+        plan = faults if isinstance(faults, FaultPlan) else FaultPlan.parse(str(faults))
+        if not plan.is_empty():
+            injector = FaultInjector(plan, seed=fault_seed)
     initial = network.literal_count()
     try:
-        result = path.run(network, core)
+        result = path.run(network, core, faults=injector)
         result.validate()
     except Exception as exc:  # noqa: BLE001 - any escape is a finding
         return ("exception", f"{type(exc).__name__}: {exc}"), None
+    if injector is not None:
+        # Slow windows that outlive the run have nothing to absorb them;
+        # only discrete faults are held to the pairing contract.
+        bad = [r for r in injector.unrecovered() if r.kind != "slow"]
+        if bad:
+            what = "; ".join(f"{r.kind}@op{r.op} pid={r.pid}" for r in bad)
+            return ("fault-recovery", f"unrecovered fault(s): {what}"), None
     if list(result.inputs) != list(network.inputs):
         return ("interface", "primary inputs changed"), None
     missing = [o for o in network.outputs
@@ -102,13 +132,17 @@ class FuzzFailure:
     eqn: str
     shrunk: bool = False
     repro_file: Optional[str] = None
+    fault_plan: Optional[str] = None    # spec string; None = fault-free check
+    fault_seed: int = 0
 
     def describe(self) -> str:
         core = f"/{self.core}" if self.core else ""
+        chaos = (f" under faults [{self.fault_plan} seed={self.fault_seed}]"
+                 if self.fault_plan else "")
         tail = f" [repro: {self.repro_file}]" if self.repro_file else ""
         return (
             f"run {self.run} (family={self.family}, seed={self.seed}) "
-            f"{self.path}{core}: {self.kind} — {self.detail}{tail}"
+            f"{self.path}{core}{chaos}: {self.kind} — {self.detail}{tail}"
         )
 
 
@@ -125,6 +159,8 @@ class FuzzConfig:
     repro_dir: Optional[str] = None         # where shrunk repros land
     audits: bool = False                    # REPRO_CHECK-style audits
     vectors: int = 256
+    faults: bool = False                    # chaos mode: re-run parallel
+    fault_seed: int = 0                     # paths under random fault plans
     progress: Optional[Callable[[str], None]] = None
 
 
@@ -157,11 +193,14 @@ def _shrink_failure(
     core: Optional[str],
     kind: str,
     vectors: int,
+    faults=None,
+    fault_seed: int = 0,
 ) -> BooleanNetwork:
     from repro.verify.shrink import shrink_network
 
     def still_fails(candidate: BooleanNetwork) -> bool:
-        outcome, _ = check_path(candidate, path, core, vectors=vectors)
+        outcome, _ = check_path(candidate, path, core, vectors=vectors,
+                                faults=faults, fault_seed=fault_seed)
         return outcome is not None and outcome[0] == kind
 
     return shrink_network(network, still_fails)
@@ -233,10 +272,89 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
                     )
                     report.failures.append(failure)
                     say("  " + failure.describe())
+            if config.faults:
+                _chaos_sweep(report, config, run, seed, family, net,
+                             paths, cores, lc_by_core, say)
             report.runs += 1
     finally:
         audit.set_audits(prev_audits)
     return report
+
+
+def _chaos_sweep(
+    report: FuzzReport,
+    config: FuzzConfig,
+    run: int,
+    seed: int,
+    family: str,
+    net: BooleanNetwork,
+    paths: Sequence[FactorPath],
+    cores: Sequence[str],
+    lc_by_core: Dict[Tuple[str, str], int],
+    say: Callable[[str], None],
+) -> None:
+    """Re-run the machine-backed paths under a random single-crash plan.
+
+    One :meth:`FaultPlan.random_single` schedule per (run, path) —
+    deterministic in ``config.fault_seed + run`` — and two extra oracles
+    on top of the usual five: recovery must leave the final literal
+    count within 5% of the fault-free result for the same path × core
+    (crash recovery re-deals work, so exact equality is not promised,
+    but near-misses bound how much quality a failure may cost), and
+    deterministic paths must agree across cores under the same plan.
+    """
+    from repro.faults import FaultPlan
+
+    for path in paths:
+        if not path.supports_faults:
+            continue
+        fseed = config.fault_seed + run
+        plan = FaultPlan.random_single(fseed, path.nprocs)
+        spec = plan.render()
+        chaos_lc: Dict[str, int] = {}
+        for core in cores:
+            with _obs.context(
+                track=f"fuzz:{run}", run=run, seed=seed, family=family,
+                path=path.name, core=core, faults=spec,
+            ), _obs.span("fuzz-chaos-check", cat="verify"):
+                outcome, final = check_path(
+                    net, path, core, vectors=config.vectors,
+                    faults=plan, fault_seed=fseed,
+                )
+            report.checks += 1
+            if outcome is None and final is not None:
+                chaos_lc[core] = final
+                fault_free = lc_by_core.get((path.name, core))
+                # 5% relative, with an absolute floor of one small
+                # rectangle: on tiny fuzz networks a single diverged
+                # greedy choice costs a handful of literals, which is
+                # recovery working as designed; the relative bound is
+                # what matters on real circuits.
+                if fault_free is not None and fault_free > 0 \
+                        and final - fault_free > max(fault_free * 0.05, 5):
+                    outcome = ("fault-quality",
+                               f"post-recovery LC {final} exceeds "
+                               f"fault-free {fault_free} by more than 5%")
+            if outcome is None:
+                continue
+            kind, detail = outcome
+            failure = FuzzFailure(
+                run=run, seed=seed, family=family,
+                path=path.name, core=core, kind=kind, detail=detail,
+                eqn=write_eqn(net), fault_plan=spec, fault_seed=fseed,
+            )
+            _finalize_failure(failure, net, path, core, config)
+            report.failures.append(failure)
+            say("  " + failure.describe())
+        if path.deterministic and len(set(chaos_lc.values())) > 1:
+            failure = FuzzFailure(
+                run=run, seed=seed, family=family,
+                path=path.name, core=None, kind="core-mismatch",
+                detail=f"literal counts diverge under faults: {chaos_lc}",
+                eqn=write_eqn(net), fault_plan=spec, fault_seed=fseed,
+            )
+            report.failures.append(failure)
+            say("  " + failure.describe())
 
 
 def _finalize_failure(
@@ -250,7 +368,9 @@ def _finalize_failure(
     if not config.shrink:
         return
     try:
-        small = _shrink_failure(net, path, core, failure.kind, config.vectors)
+        small = _shrink_failure(net, path, core, failure.kind, config.vectors,
+                                faults=failure.fault_plan,
+                                fault_seed=failure.fault_seed)
     except Exception:  # noqa: BLE001 - shrinking must never mask the find
         return
     failure.eqn = write_eqn(small)

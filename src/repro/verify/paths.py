@@ -43,16 +43,38 @@ def rect_core(core: Optional[str]):
 
 @dataclass(frozen=True)
 class FactorPath:
-    """One named way of factoring a network end to end."""
+    """One named way of factoring a network end to end.
+
+    Paths with ``nprocs > 0`` run on the simulated machine and accept a
+    fault plan/injector (:mod:`repro.faults`); the fuzzer's ``--faults``
+    mode re-executes exactly those under random crash+drop schedules.
+    """
 
     name: str
     deterministic: bool
-    _run: Callable[[BooleanNetwork, str], BooleanNetwork]
+    _run: Callable[..., BooleanNetwork]
+    nprocs: int = 0  # simulated processors; 0 = sequential path
 
-    def run(self, network: BooleanNetwork, core: Optional[str] = None) -> BooleanNetwork:
+    @property
+    def supports_faults(self) -> bool:
+        return self.nprocs > 0
+
+    def run(
+        self,
+        network: BooleanNetwork,
+        core: Optional[str] = None,
+        faults=None,
+    ) -> BooleanNetwork:
         """Factor a copy of *network* under *core*; return the result."""
         with rect_core(core) as resolved:
-            return self._run(network, resolved)
+            if faults is None:
+                return self._run(network, resolved)
+            if not self.supports_faults:
+                raise ValueError(
+                    f"path {self.name!r} does not run on the simulated "
+                    f"machine and cannot take a fault plan"
+                )
+            return self._run(network, resolved, faults)
 
 
 def _seq(searcher: str):
@@ -66,22 +88,22 @@ def _seq(searcher: str):
     return run
 
 
-def _replicated(network: BooleanNetwork, core: str) -> BooleanNetwork:
+def _replicated(network: BooleanNetwork, core: str, faults=None) -> BooleanNetwork:
     from repro.parallel.replicated import replicated_kernel_extract
 
-    return replicated_kernel_extract(network, nprocs=3).network
+    return replicated_kernel_extract(network, nprocs=3, faults=faults).network
 
 
-def _independent(network: BooleanNetwork, core: str) -> BooleanNetwork:
+def _independent(network: BooleanNetwork, core: str, faults=None) -> BooleanNetwork:
     from repro.parallel.independent import independent_kernel_extract
 
-    return independent_kernel_extract(network, nprocs=2).network
+    return independent_kernel_extract(network, nprocs=2, faults=faults).network
 
 
-def _lshaped(network: BooleanNetwork, core: str) -> BooleanNetwork:
+def _lshaped(network: BooleanNetwork, core: str, faults=None) -> BooleanNetwork:
     from repro.parallel.lshaped import lshaped_kernel_extract
 
-    return lshaped_kernel_extract(network, nprocs=2).network
+    return lshaped_kernel_extract(network, nprocs=2, faults=faults).network
 
 
 def _lshaped_threaded(network: BooleanNetwork, core: str) -> BooleanNetwork:
@@ -93,9 +115,9 @@ def _lshaped_threaded(network: BooleanNetwork, core: str) -> BooleanNetwork:
 _PATHS: List[FactorPath] = [
     FactorPath("seq-exhaustive", True, _seq("exhaustive")),
     FactorPath("seq-pingpong", True, _seq("pingpong")),
-    FactorPath("replicated", True, _replicated),
-    FactorPath("independent", True, _independent),
-    FactorPath("lshaped", True, _lshaped),
+    FactorPath("replicated", True, _replicated, nprocs=3),
+    FactorPath("independent", True, _independent, nprocs=2),
+    FactorPath("lshaped", True, _lshaped, nprocs=2),
     FactorPath("lshaped-threaded", False, _lshaped_threaded),
 ]
 

@@ -1,0 +1,120 @@
+"""Per-algorithm recovery: crashes, lost messages, and their pairing.
+
+Every test drives a real parallel extraction under an injected plan and
+asserts the three recovery guarantees: the run completes (no hang is
+possible — the machine surfaces failures as values), the result is
+functionally equivalent to the input, and every discrete injected fault
+carries a paired ``recovery:*`` record.
+"""
+
+import pytest
+
+from repro.circuits import load_circuit
+from repro.faults import FaultInjector, FaultPlan
+from repro.network.simulate import exhaustive_equivalence_check
+from repro.parallel.independent import independent_kernel_extract
+from repro.parallel.lshaped import lshaped_kernel_extract
+from repro.parallel.replicated import replicated_kernel_extract
+from repro.verify.generator import random_network
+
+
+def _assert_recovered(inj, net, result):
+    assert [r for r in inj.unrecovered() if r.kind != "slow"] == []
+    assert exhaustive_equivalence_check(net, result.network,
+                                        outputs=net.outputs)
+
+
+def _recovery_kinds(inj):
+    return {r.kind for r in inj.records if r.phase == "recovery"}
+
+
+def test_lshaped_crash_reassigns_block():
+    net = random_network(21, family="shared")
+    inj = FaultInjector(FaultPlan.parse("crash:1@4"))
+    res = lshaped_kernel_extract(net, 3, faults=inj)
+    _assert_recovered(inj, net, res)
+    assert inj.dead == {1}
+    assert {"detect", "reassign"} <= _recovery_kinds(inj)
+
+
+def test_lshaped_permanent_drop_is_replayed_or_resynced():
+    net = random_network(22, family="dense")
+    # Three consecutive failures beat max_retransmits=2: permanent loss.
+    inj = FaultInjector(FaultPlan.parse("drop:2*3,drop:9*3"))
+    res = lshaped_kernel_extract(net, 3, faults=inj)
+    _assert_recovered(inj, net, res)
+    kinds = _recovery_kinds(inj)
+    assert kinds & {"replay", "resync", "rebuild"}
+
+
+def test_lshaped_crash_plus_drop_mixed_plan():
+    net = random_network(23, family="shared")
+    inj = FaultInjector(FaultPlan.parse("crash:2@5,drop:4*3,dup:6,corrupt:8"))
+    res = lshaped_kernel_extract(net, 4, faults=inj)
+    _assert_recovered(inj, net, res)
+
+
+def test_lshaped_never_kills_last_survivor():
+    net = random_network(24, family="dense")
+    inj = FaultInjector(FaultPlan.parse("crash:0@1,crash:1@1,crash:2@1"))
+    res = lshaped_kernel_extract(net, 3, faults=inj)
+    _assert_recovered(inj, net, res)
+    assert len(inj.dead) == 2  # one processor always survives
+
+
+def test_lshaped_quality_near_fault_free_on_circuit():
+    net = load_circuit("dalu", scale=0.25)
+    base = lshaped_kernel_extract(net, 4)
+    inj = FaultInjector(FaultPlan.parse("crash:1@6,drop:12*3"))
+    res = lshaped_kernel_extract(net, 4, faults=inj)
+    assert [r for r in inj.unrecovered() if r.kind != "slow"] == []
+    assert res.final_lc <= base.final_lc * 1.05
+
+
+def test_replicated_crash_redistributes():
+    net = random_network(25, family="dense")
+    inj = FaultInjector(FaultPlan.parse("crash:1@3"))
+    res = replicated_kernel_extract(net, 3, faults=inj)
+    _assert_recovered(inj, net, res)
+    assert "redistribute" in _recovery_kinds(inj)
+
+
+def test_replicated_slowdown_is_absorbed():
+    net = random_network(26, family="shared")
+    inj = FaultInjector(FaultPlan.parse("slow:1x5@1-3"))
+    base = replicated_kernel_extract(net, 3)
+    res = replicated_kernel_extract(net, 3, faults=inj)
+    _assert_recovered(inj, net, res)
+    assert "absorb" in _recovery_kinds(inj)
+    # Slowdowns cost time, never quality.
+    assert res.final_lc == base.final_lc
+    assert res.parallel_time >= base.parallel_time
+
+
+def test_independent_crash_refactors_orphan_block():
+    net = random_network(27, family="sparse")
+    inj = FaultInjector(FaultPlan.parse("crash:1@2"))
+    res = independent_kernel_extract(net, 3, faults=inj)
+    _assert_recovered(inj, net, res)
+    kinds = _recovery_kinds(inj)
+    assert kinds & {"refactor", "retire"}
+
+
+def test_independent_late_crash_retires():
+    net = random_network(28, family="dense")
+    inj = FaultInjector(FaultPlan.parse("crash:2@40"))
+    res = independent_kernel_extract(net, 3, faults=inj)
+    _assert_recovered(inj, net, res)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_single_plans_recover_everywhere(seed):
+    net = random_network(100 + seed, family="shared")
+    for nprocs, runner in (
+        (3, lshaped_kernel_extract),
+        (3, replicated_kernel_extract),
+        (3, independent_kernel_extract),
+    ):
+        inj = FaultInjector(FaultPlan.random_single(seed, nprocs), seed=seed)
+        res = runner(net, nprocs, faults=inj)
+        _assert_recovered(inj, net, res)

@@ -1,0 +1,48 @@
+"""Every fault/recovery record is also a span when tracing is active."""
+
+from repro import obs
+from repro.faults import FaultInjector, FaultPlan
+from repro.parallel.lshaped import lshaped_kernel_extract
+from repro.verify.generator import random_network
+
+
+def _traced_run(plan_spec, nprocs=3, seed=31):
+    net = random_network(seed, family="shared")
+    inj = FaultInjector(FaultPlan.parse(plan_spec))
+    tracer = obs.Tracer(name="chaos-test")
+    with obs.use_tracer(tracer):
+        lshaped_kernel_extract(net, nprocs, faults=inj)
+    return inj, tracer.finished()
+
+
+def test_fault_and_recovery_spans_emitted():
+    inj, spans = _traced_run("crash:1@4,drop:5*3")
+    names = [sp.name for sp in spans]
+    fault_spans = [n for n in names if n.startswith("fault:")]
+    recovery_spans = [n for n in names if n.startswith("recovery:")]
+    fault_records = [r for r in inj.records if r.phase == "fault"]
+    recovery_records = [r for r in inj.records if r.phase == "recovery"]
+    assert len(fault_spans) == len(fault_records)
+    assert len(recovery_spans) == len(recovery_records)
+    assert "fault:crash" in names
+    assert "recovery:detect" in names
+
+
+def test_every_discrete_fault_has_a_matching_recovery_span():
+    inj, spans = _traced_run("crash:2@3,drop:7,corrupt:11")
+    paired = {r.paired_with for r in inj.records
+              if r.phase == "recovery" and r.paired_with >= 0}
+    for rec in inj.records:
+        if rec.phase == "fault" and rec.kind != "slow":
+            assert rec.seq in paired, f"unpaired fault record {rec}"
+    # Each record's span carries its seq counter for cross-referencing.
+    seqs = {sp.counters.get("seq") for sp in spans
+            if sp.name.startswith(("fault:", "recovery:"))}
+    assert {r.seq for r in inj.records} <= seqs
+
+
+def test_no_spans_without_tracer():
+    net = random_network(32, family="dense")
+    inj = FaultInjector(FaultPlan.parse("crash:1@3"))
+    lshaped_kernel_extract(net, 3, faults=inj)  # must not raise
+    assert inj.dead == {1}

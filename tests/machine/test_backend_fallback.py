@@ -1,4 +1,4 @@
-"""ProcessBackend serial-fallback paths (unpicklable fn, broken pool)."""
+"""Backend serial-fallback paths (unpicklable fn, broken/exhausted pools)."""
 
 import concurrent.futures
 import pickle
@@ -6,7 +6,12 @@ import pickle
 import pytest
 
 from repro.machine import backend as backend_mod
-from repro.machine.backend import ProcessBackend
+from repro.machine.backend import (
+    ProcessBackend,
+    ThreadBackend,
+    TransientBackendError,
+    install_backend_fault_hook,
+)
 
 
 class _UnpicklableFn:
@@ -69,6 +74,68 @@ def test_unrelated_errors_still_raise(monkeypatch):
     )
     with pytest.raises(RuntimeError):
         ProcessBackend(2).map(_double, [1])
+
+
+def test_thread_exhaustion_falls_back_to_serial(monkeypatch):
+    class _ExhaustedPool:
+        def __init__(self, *args, **kwargs):
+            pass
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            return False
+
+        def map(self, fn, items):
+            raise RuntimeError("can't start new thread")
+
+    monkeypatch.setattr(
+        backend_mod.concurrent.futures, "ThreadPoolExecutor", _ExhaustedPool
+    )
+    assert ThreadBackend(2).map(_double, [1, 2, 3]) == [2, 4, 6]
+
+
+def test_thread_unrelated_runtime_error_still_raises(monkeypatch):
+    class _ExplodingPool:
+        def __init__(self, *args, **kwargs):
+            pass
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            return False
+
+        def map(self, fn, items):
+            raise RuntimeError("not an exhaustion problem")
+
+    monkeypatch.setattr(
+        backend_mod.concurrent.futures, "ThreadPoolExecutor", _ExplodingPool
+    )
+    with pytest.raises(RuntimeError):
+        ThreadBackend(2).map(_double, [1])
+
+
+def test_backend_fault_hook_degrades_to_serial():
+    seen = []
+
+    def hook(name):
+        seen.append(name)
+        raise TransientBackendError("injected")
+
+    install_backend_fault_hook(hook)
+    try:
+        assert ThreadBackend(2).map(_double, [1, 2]) == [2, 4]
+        assert ProcessBackend(2).map(_double, [3]) == [6]
+    finally:
+        install_backend_fault_hook(None)
+    assert seen == ["thread", "process"]
+
+
+def test_backend_fault_hook_cleared_restores_pool_path():
+    install_backend_fault_hook(None)
+    assert ThreadBackend(2).map(_double, [1, 2, 3]) == [2, 4, 6]
 
 
 def _double(x):

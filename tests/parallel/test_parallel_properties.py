@@ -58,7 +58,7 @@ def test_lshaped_not_worse_than_independent(seed):
     lsh = lshaped_kernel_extract(net, 3).final_lc
     ind = independent_kernel_extract(net, 3).final_lc
     # tiny circuits are noisy; allow a small tolerance on the ordering
-    assert lsh <= ind + max(2, int(0.03 * ind))
+    assert lsh <= ind + max(4, int(0.05 * ind))
 
 
 @settings(max_examples=8, deadline=None)

@@ -1,0 +1,95 @@
+"""CircuitBreaker / BreakerBoard state machine."""
+
+from repro.service.breaker import BreakerBoard, BreakerState, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def test_starts_closed_and_admits():
+    br = CircuitBreaker()
+    assert br.state == BreakerState.CLOSED
+    assert br.allow()
+
+
+def test_opens_after_threshold_consecutive_failures():
+    br = CircuitBreaker(failure_threshold=3)
+    for _ in range(2):
+        br.record_failure()
+        assert br.state == BreakerState.CLOSED
+    br.record_failure()
+    assert br.state == BreakerState.OPEN
+    assert not br.allow()
+
+
+def test_success_resets_the_failure_count():
+    br = CircuitBreaker(failure_threshold=2)
+    br.record_failure()
+    br.record_success()
+    br.record_failure()
+    assert br.state == BreakerState.CLOSED
+
+
+def test_half_open_after_cooldown_admits_one_trial():
+    clock = FakeClock()
+    br = CircuitBreaker(failure_threshold=1, cooldown=10.0, clock=clock)
+    br.record_failure()
+    assert not br.allow()
+    clock.advance(10.1)
+    assert br.state == BreakerState.HALF_OPEN
+    assert br.allow()        # the single trial
+    assert not br.allow()    # a second caller is still rejected
+
+
+def test_half_open_success_closes():
+    clock = FakeClock()
+    br = CircuitBreaker(failure_threshold=1, cooldown=5.0, clock=clock)
+    br.record_failure()
+    clock.advance(6.0)
+    assert br.allow()
+    br.record_success()
+    assert br.state == BreakerState.CLOSED
+    assert br.allow()
+
+
+def test_half_open_failure_reopens():
+    clock = FakeClock()
+    br = CircuitBreaker(failure_threshold=1, cooldown=5.0, clock=clock)
+    br.record_failure()
+    clock.advance(6.0)
+    assert br.allow()
+    br.record_failure()
+    assert br.state == BreakerState.OPEN
+    assert not br.allow()
+    clock.advance(6.0)
+    assert br.allow()  # cooldown restarts from the re-open
+
+
+def test_snapshot_reports_state_and_counts():
+    br = CircuitBreaker(failure_threshold=2)
+    br.record_failure()
+    snap = br.snapshot()
+    assert snap["state"] == BreakerState.CLOSED
+    assert snap["failures"] == 1
+    assert snap["opened_at"] is None
+
+
+def test_board_get_or_create_and_states():
+    clock = FakeClock()
+    board = BreakerBoard(failure_threshold=1, cooldown=5.0, clock=clock)
+    a = board.get("lshaped:dalu")
+    assert board.get("lshaped:dalu") is a
+    a.record_failure()
+    board.get("sequential:des").record_success()
+    states = board.states()
+    assert states["lshaped:dalu"] == BreakerState.OPEN
+    assert states["sequential:des"] == BreakerState.CLOSED
+    assert set(board.snapshot()) == {"lshaped:dalu", "sequential:des"}
