@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""CI smoke test for the serving tier (the serve-smoke job).
+
+Boots a real gateway (2 worker processes, persistent cache in a temp
+dir), then asserts, end to end over HTTP:
+
+- /readyz goes green and /healthz reports every worker ok;
+- a short open-loop loadgen burst completes with ZERO failed requests;
+- K identical concurrent requests coalesce onto exactly one computation;
+- a worker killed with SIGKILL is respawned and the in-flight request
+  still completes;
+- after a full gateway restart on the same cache dir, the answer comes
+  from the persistent disk cache;
+- shutdown leaks no worker processes.
+
+Exit status is non-zero on any failure.  Runtime is a few seconds.
+"""
+
+import asyncio
+import multiprocessing
+import os
+import pathlib
+import signal
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve import Gateway, GatewayConfig, LoadgenConfig, run_loadgen
+from repro.serve.bench import _probe_circuit_eqn
+from repro.serve.httpio import http_json
+
+CHECKS = []
+
+
+def check(name: str, ok: bool, detail: str = "") -> None:
+    CHECKS.append(ok)
+    print(f"  {'ok  ' if ok else 'FAIL'} {name}" + (f" ({detail})" if detail else ""))
+
+
+async def smoke(cache_dir: str) -> None:
+    gw = Gateway(GatewayConfig(port=0, workers=2, cache_dir=cache_dir))
+    await gw.start()
+    try:
+        check("workers ready", await gw.wait_ready(20))
+
+        status, doc = await http_json("GET", gw.url + "/readyz")
+        check("/readyz green", status == 200 and doc.get("ready") is True)
+        status, doc = await http_json("GET", gw.url + "/healthz")
+        check("/healthz ok", status == 200 and doc.get("status") == "ok",
+              f"status={doc.get('status')}")
+
+        print("loadgen burst:")
+        report = await run_loadgen(LoadgenConfig(
+            url=gw.url, rate=25.0, duration=2.0, tenants=2, seed=0,
+        ))
+        check("burst sent requests", report.sent > 0, f"sent={report.sent}")
+        check("zero failed requests", report.failed == 0,
+              f"failed={report.failed}; {report.errors[:3]}")
+        check("all requests answered", report.ok == report.sent)
+
+        print("coalescing probe:")
+        body = {"eqn": _probe_circuit_eqn(21), "algorithm": "sequential"}
+        results = await asyncio.gather(*[
+            http_json("POST", gw.url + "/v1/factor", dict(body))
+            for _ in range(6)
+        ])
+        counters = gw.metrics.snapshot()["counters"]
+        check("all probe requests ok",
+              all(s == 200 for s, _ in results))
+        check("coalescing hit", counters.get("requests_coalesced", 0) >= 1,
+              f"coalesced={counters.get('requests_coalesced', 0)}")
+        check("one answer for all waiters",
+              len({d["result"]["final_lc"] for _, d in results}) == 1)
+
+        print("crash recovery:")
+        body = {"eqn": _probe_circuit_eqn(22), "algorithm": "sequential"}
+        task = asyncio.ensure_future(
+            http_json("POST", gw.url + "/v1/factor", body, timeout=60)
+        )
+        busy = []
+        for _ in range(200):
+            await asyncio.sleep(0.02)
+            busy = [h for h in gw._handles if gw._outstanding[h.worker_id]]
+            if busy:
+                break
+        check("request reached a worker", bool(busy))
+        if busy:
+            os.kill(busy[0].process.pid, signal.SIGKILL)
+        status, doc = await task
+        check("request survived worker crash",
+              status == 200 and doc.get("status") == "done")
+        counters = gw.metrics.snapshot()["counters"]
+        check("crash detected + redispatched",
+              counters.get("worker_crashes", 0) >= 1
+              and counters.get("requests_redispatched", 0) >= 1)
+        check("shard respawned", all(h.alive() for h in gw._handles))
+        status, doc = await http_json("GET", gw.url + "/readyz")
+        check("/readyz green after crash",
+              status == 200 and doc.get("ready") is True)
+    finally:
+        await gw.stop()
+
+    print("persistent cache across restart:")
+    gw = Gateway(GatewayConfig(port=0, workers=2, cache_dir=cache_dir))
+    await gw.start()
+    try:
+        check("workers ready after restart", await gw.wait_ready(20))
+        body = {"circuit": "example", "algorithm": "sequential"}
+        status, doc = await http_json("POST", gw.url + "/v1/factor", body)
+        check("disk-cache hit after restart",
+              status == 200 and doc.get("cache") == "disk",
+              f"cache={doc.get('cache')}")
+    finally:
+        await gw.stop()
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        asyncio.run(smoke(tmp))
+    leaked = multiprocessing.active_children()
+    check("no leaked worker processes", not leaked, f"leaked={leaked}")
+    failed = CHECKS.count(False)
+    print(f"\nserve smoke: {len(CHECKS) - failed}/{len(CHECKS)} checks passed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

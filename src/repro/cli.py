@@ -7,6 +7,8 @@
     python -m repro info CIRCUIT [--scale S]
     python -m repro fuzz [--runs N] [--seed S] [--shrink] [--check] [--faults]
     python -m repro chaos CIRCUIT [--plan SPEC] [--seed S] [--algorithm ALG]
+    python -m repro serve [--workers N] [--port P] [--cache-dir D]
+    python -m repro loadgen URL [--rate R] [--duration S] [--tenants K]
     python -m repro --list
 
 ``CIRCUIT`` is a named stand-in (``dalu``, ``seq``, …), a path to an
@@ -490,6 +492,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a span trace (fault:*/recovery:* spans included)",
     )
     p_chaos.set_defaults(fn=_cmd_chaos)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the sharded HTTP serving tier (asyncio gateway in front "
+             "of N factorization worker processes)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8337,
+                         help="listen port (0 = pick a free one)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="worker processes (content-hash shards)")
+    p_serve.add_argument("--cache-dir",
+                         help="persistent result-cache directory shared by "
+                              "all workers (omit for no persistence)")
+    p_serve.add_argument("--max-inflight", type=int, default=64,
+                         help="distinct in-flight computations before 429")
+    p_serve.add_argument("--rate-limit", type=float,
+                         help="per-tenant sustained requests/second "
+                              "(default: unlimited)")
+    p_serve.add_argument("--burst", type=float,
+                         help="per-tenant burst size (default: 2x rate)")
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadgen",
+        help="open-loop (Poisson) load generator against a running gateway",
+    )
+    p_load.add_argument("url", help="gateway base URL, e.g. http://127.0.0.1:8337")
+    p_load.add_argument("--rate", type=float, default=20.0,
+                        help="mean offered arrivals/second")
+    p_load.add_argument("--duration", type=float, default=5.0,
+                        help="seconds of offered load")
+    p_load.add_argument("--tenants", type=int, default=1,
+                        help="round-robin synthetic tenant count")
+    p_load.add_argument("--seed", type=int, default=0,
+                        help="arrival-process seed (deterministic schedule)")
+    p_load.add_argument("--workload",
+                        help="JSONL file of request bodies (default: a "
+                             "small mixed workload on the example circuit)")
+    p_load.add_argument("--timeout", type=float, default=30.0,
+                        help="per-request client timeout in seconds")
+    p_load.add_argument("--json", help="also dump the report as JSON here")
+    p_load.set_defaults(fn=_cmd_loadgen)
     return parser
 
 
@@ -643,6 +688,85 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     ok = equivalent and within and not unrecovered
     print(f"verdict      : {'ok' if ok else 'FAILED'}")
     return 0 if ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the gateway + workers and serve until interrupted."""
+    import asyncio
+
+    from repro.serve import Gateway, GatewayConfig
+
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    config = GatewayConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        cache_dir=args.cache_dir, max_inflight=args.max_inflight,
+        rate_limit=args.rate_limit, burst=args.burst,
+    )
+
+    async def _serve() -> int:
+        gateway = Gateway(config)
+        await gateway.start()
+        if not await gateway.wait_ready(timeout=15.0):
+            print("error: workers failed to start", file=sys.stderr)
+            await gateway.stop()
+            return 1
+        print(f"repro serve: listening on {gateway.url} "
+              f"({config.workers} worker process(es))")
+        print(f"  POST {gateway.url}/v1/factor")
+        print(f"  GET  {gateway.url}/v1/jobs/<id>[?watch=1]")
+        print(f"  GET  {gateway.url}/healthz | /readyz | /metrics")
+        if config.cache_dir:
+            print(f"  persistent cache: {config.cache_dir}")
+        try:
+            await gateway.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await gateway.stop()
+            print("repro serve: stopped (workers drained)")
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Fire one open-loop run at a gateway; non-zero exit on failures."""
+    import asyncio
+    import json
+
+    from repro.serve import LoadgenConfig, load_workload_file, run_loadgen
+
+    if args.rate <= 0 or args.duration <= 0:
+        print("error: --rate and --duration must be > 0", file=sys.stderr)
+        return 2
+    if args.tenants < 1:
+        print("error: --tenants must be >= 1", file=sys.stderr)
+        return 2
+    config = LoadgenConfig(
+        url=args.url, rate=args.rate, duration=args.duration,
+        tenants=args.tenants, seed=args.seed, timeout=args.timeout,
+    )
+    if args.workload:
+        try:
+            config.workload = load_workload_file(args.workload)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    try:
+        report = asyncio.run(run_loadgen(config))
+    except KeyboardInterrupt:
+        return 1
+    print(report.render())
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0 if report.failed == 0 else 1
 
 
 def main(argv: Optional[list] = None) -> int:

@@ -149,6 +149,8 @@ def health_snapshot(
     breakers: Optional[Dict[str, str]] = None,
     queue_depth: int = 0,
     workers: int = 0,
+    cache: Optional[Dict[str, object]] = None,
+    pool: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """Assemble a health/readiness document from live service state.
 
@@ -158,6 +160,12 @@ def health_snapshot(
     being short-circuited to fallbacks), and ``failing`` when every
     known path is open.  ``ready`` mirrors the usual readiness-probe
     semantics: the service still accepts work unless it is failing.
+
+    *cache* is a :meth:`ResultCache.stats` snapshot (hit rate included)
+    and *pool* a worker-pool liveness dict (size/busy/alive); both are
+    embedded verbatim when given, so the serving tier's ``/healthz``
+    aggregation can show per-worker cache effectiveness and pool state
+    without more plumbing.
     """
     breakers = dict(breakers or {})
     open_paths = sorted(k for k, v in breakers.items() if v == "open")
@@ -167,7 +175,7 @@ def health_snapshot(
         status = "degraded"
     else:
         status = "failing"
-    return {
+    doc: Dict[str, object] = {
         "status": status,
         "ready": status != "failing",
         "workers": workers,
@@ -176,6 +184,11 @@ def health_snapshot(
         "open_paths": open_paths,
         "counters": registry.health_keys(),
     }
+    if cache is not None:
+        doc["cache"] = cache
+    if pool is not None:
+        doc["pool"] = pool
+    return doc
 
 
 class Timer:

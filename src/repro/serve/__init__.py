@@ -1,0 +1,66 @@
+"""``repro.serve`` — the sharded async serving tier.
+
+The batch engine (:mod:`repro.service`) runs many jobs well inside one
+process; this package puts an actual serving stack in front of the same
+substrate, using nothing beyond the stdlib:
+
+- :mod:`~repro.serve.gateway` — asyncio HTTP/JSON gateway: request
+  coalescing, per-tenant token-bucket rate limits, bounded in-flight
+  admission control, job registry with streaming status, crash-detected
+  worker respawn with re-dispatch;
+- :mod:`~repro.serve.worker` — N worker *processes* (one sharded
+  :class:`~repro.service.engine.FactorizationEngine` each — real
+  parallelism, not GIL-shared threads) speaking a small pipe protocol;
+- :mod:`~repro.serve.router` — content-hash shard routing and the
+  token buckets;
+- :mod:`~repro.serve.diskcache` — the versioned persistent result
+  cache every worker shares (atomic-rename writers, warm restart);
+- :mod:`~repro.serve.protocol` — request validation, canonical cache
+  keys (reusing :func:`repro.service.cache.canonical_job_key`), result
+  documents;
+- :mod:`~repro.serve.loadgen` / :mod:`~repro.serve.bench` — the
+  open-loop Poisson load generator and the saturation sweep behind
+  ``benchmarks/results/BENCH_serving.json`` and its perf gate.
+
+Entry points: ``python -m repro serve [--workers N --port P
+--cache-dir D]`` and ``python -m repro loadgen URL [--rate R
+--duration S --tenants K]``.
+"""
+
+from repro.serve.bench import run_serving_bench, validate_serving_report
+from repro.serve.diskcache import CACHE_SCHEMA, DiskCache
+from repro.serve.gateway import Gateway, GatewayConfig, Overloaded, RateLimited
+from repro.serve.loadgen import (
+    LoadgenConfig,
+    LoadReport,
+    load_workload_file,
+    poisson_arrivals,
+    run_loadgen,
+)
+from repro.serve.protocol import BadRequest, job_cache_key, parse_job_request
+from repro.serve.router import TenantRateLimiter, TokenBucket, shard_for
+from repro.serve.worker import WorkerHandle, worker_main
+
+__all__ = [
+    "BadRequest",
+    "CACHE_SCHEMA",
+    "DiskCache",
+    "Gateway",
+    "GatewayConfig",
+    "LoadReport",
+    "LoadgenConfig",
+    "Overloaded",
+    "RateLimited",
+    "TenantRateLimiter",
+    "TokenBucket",
+    "WorkerHandle",
+    "job_cache_key",
+    "load_workload_file",
+    "parse_job_request",
+    "poisson_arrivals",
+    "run_loadgen",
+    "run_serving_bench",
+    "shard_for",
+    "validate_serving_report",
+    "worker_main",
+]

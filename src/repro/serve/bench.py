@@ -1,0 +1,203 @@
+"""The serving benchmark: saturation sweep + coalesce probe + gate.
+
+:func:`run_serving_bench` boots a real gateway (worker processes, HTTP,
+persistent cache in a temp dir), drives an open-loop rate sweep with the
+load generator, runs a coalescing probe (K identical concurrent
+requests on a circuit no cache has seen — they must collapse onto one
+computation), and returns the ``BENCH_serving.json`` payload.
+
+:func:`validate_serving_report` is the perf gate
+(``scripts/perf_check.py --check``): it checks *behavioral* invariants —
+zero failed requests at every offered rate, a working coalescer, sane
+percentile ordering, positive throughput — rather than absolute
+latencies, which would gate on the CI machine instead of the code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import platform
+import tempfile
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.serve.gateway import Gateway, GatewayConfig
+from repro.serve.httpio import http_json
+from repro.serve.loadgen import LoadgenConfig, default_workload, run_loadgen
+
+__all__ = ["SCHEMA", "run_serving_bench", "validate_serving_report"]
+
+#: Schema version of benchmarks/results/BENCH_serving.json.
+SCHEMA = "serving/1"
+
+#: Default offered-load sweep (requests/second).
+DEFAULT_RATES = (10.0, 25.0, 50.0)
+
+
+def _probe_circuit_eqn(seed: int) -> str:
+    """A deterministic, non-trivial circuit no cache has seen before.
+
+    Deliberately sized so one factorization takes tens of milliseconds:
+    long enough that K probe requests all arrive while the first is
+    still computing, which is what makes the coalescing assertion
+    deterministic rather than a race.
+    """
+    from repro.circuits.generators import GeneratorSpec, generate_circuit
+    from repro.network.eqn import write_eqn
+
+    spec = GeneratorSpec(
+        name=f"coalesce-probe-{seed}", seed=seed, n_inputs=12,
+        target_lc=300, two_level=False, pool_size=6,
+    )
+    return write_eqn(generate_circuit(spec))
+
+
+async def _coalesce_probe(
+    url: str, seed: int, requests: int, timeout: float = 60.0
+) -> Dict[str, Any]:
+    eqn = _probe_circuit_eqn(seed)
+    body = {"eqn": eqn, "algorithm": "sequential"}
+    before = await http_json("GET", url + "/metrics", timeout=timeout)
+    counters = before[1]["gateway"]["counters"] if before[0] == 200 else {}
+    coalesced0 = int(counters.get("requests_coalesced", 0))
+    dispatched0 = int(counters.get("requests_dispatched", 0))
+    results = await asyncio.gather(*[
+        http_json("POST", url + "/v1/factor", dict(body), timeout=timeout)
+        for _ in range(requests)
+    ])
+    after = await http_json("GET", url + "/metrics", timeout=timeout)
+    counters = after[1]["gateway"]["counters"] if after[0] == 200 else {}
+    answers = [doc.get("result", {}).get("final_lc")
+               for status, doc in results if status == 200]
+    return {
+        "requests": requests,
+        "ok": sum(1 for status, _ in results if status == 200),
+        "coalesced": int(counters.get("requests_coalesced", 0)) - coalesced0,
+        "computations": int(counters.get("requests_dispatched", 0)) - dispatched0,
+        "distinct_answers": len(set(answers)),
+    }
+
+
+async def _bench(
+    rates: Sequence[float],
+    duration: float,
+    workers: int,
+    tenants: int,
+    seed: int,
+    cache_dir: str,
+    coalesce_requests: int,
+    workload: Optional[List[Dict[str, Any]]],
+) -> Dict[str, Any]:
+    gateway = Gateway(GatewayConfig(
+        port=0, workers=workers, cache_dir=cache_dir, max_inflight=256,
+    ))
+    await gateway.start()
+    try:
+        if not await gateway.wait_ready(timeout=15.0):
+            raise RuntimeError("gateway workers failed to come up")
+        url = gateway.url
+        probe = await _coalesce_probe(url, seed, coalesce_requests)
+        rows = []
+        for i, rate in enumerate(rates):
+            report = await run_loadgen(LoadgenConfig(
+                url=url, rate=rate, duration=duration, tenants=tenants,
+                seed=seed + i,
+                workload=workload or default_workload(),
+            ))
+            rows.append(report.to_dict())
+        metrics = gateway.metrics_document()
+    finally:
+        await gateway.stop()
+    return {
+        "schema": SCHEMA,
+        "python": platform.python_version(),
+        "workers": workers,
+        "duration_s": duration,
+        "tenants": tenants,
+        "seed": seed,
+        "coalesce_probe": probe,
+        "rows": rows,
+        "final_metrics": {
+            "counters": metrics["gateway"]["counters"],
+            "latency": metrics["latency"],
+            "cache": metrics["cache"],
+            "disk_cache": metrics.get("disk_cache"),
+        },
+    }
+
+
+def run_serving_bench(
+    rates: Sequence[float] = DEFAULT_RATES,
+    duration: float = 3.0,
+    workers: int = 2,
+    tenants: int = 2,
+    seed: int = 0,
+    cache_dir: Optional[str] = None,
+    coalesce_requests: int = 8,
+    workload: Optional[List[Dict[str, Any]]] = None,
+) -> Dict[str, Any]:
+    """Run the full serving benchmark; returns the JSON payload."""
+    if cache_dir is not None:
+        return asyncio.run(_bench(
+            rates, duration, workers, tenants, seed, cache_dir,
+            coalesce_requests, workload,
+        ))
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmp:
+        return asyncio.run(_bench(
+            rates, duration, workers, tenants, seed, tmp,
+            coalesce_requests, workload,
+        ))
+
+
+def validate_serving_report(report: Dict[str, Any]) -> List[str]:
+    """Behavioral gate over a BENCH_serving.json payload.
+
+    Returns a list of failure descriptions (empty = pass).
+    """
+    problems: List[str] = []
+    if not isinstance(report, dict):
+        return ["report is not a JSON object"]
+    if report.get("schema") != SCHEMA:
+        problems.append(
+            f"schema is {report.get('schema')!r}, expected {SCHEMA!r}"
+        )
+        return problems
+    if not isinstance(report.get("workers"), int) or report["workers"] < 1:
+        problems.append("workers must be a positive integer")
+    rows = report.get("rows")
+    if not isinstance(rows, list) or not rows:
+        problems.append("rows: expected a non-empty sweep")
+        rows = []
+    for row in rows:
+        name = f"rate={row.get('rate')}"
+        if row.get("failed", 1) != 0:
+            problems.append(f"{name}: {row.get('failed')} failed request(s)")
+        if row.get("ok", 0) <= 0:
+            problems.append(f"{name}: no successful requests")
+        if row.get("throughput_rps", 0) <= 0:
+            problems.append(f"{name}: non-positive throughput")
+        lat = row.get("latency_ms", {})
+        p50, p95, p99 = lat.get("p50"), lat.get("p95"), lat.get("p99")
+        if p50 is None or p95 is None or p99 is None:
+            problems.append(f"{name}: missing latency percentile(s)")
+        elif not (p50 <= p95 <= p99):
+            problems.append(
+                f"{name}: percentiles out of order "
+                f"(p50={p50}, p95={p95}, p99={p99})"
+            )
+    probe = report.get("coalesce_probe", {})
+    if probe.get("requests", 0) < 2:
+        problems.append("coalesce_probe: needs at least 2 requests")
+    if probe.get("ok") != probe.get("requests"):
+        problems.append(
+            f"coalesce_probe: {probe.get('ok')}/{probe.get('requests')} ok"
+        )
+    if probe.get("coalesced", 0) < 1:
+        problems.append("coalesce_probe: no request coalesced")
+    if probe.get("computations") != 1:
+        problems.append(
+            f"coalesce_probe: expected exactly 1 computation, got "
+            f"{probe.get('computations')}"
+        )
+    if probe.get("distinct_answers", 0) > 1:
+        problems.append("coalesce_probe: waiters saw different answers")
+    return problems

@@ -1,0 +1,187 @@
+"""Persistent, versioned, content-addressed result cache shared by workers.
+
+The serving tier runs N worker *processes*; an in-memory
+:class:`~repro.service.cache.ResultCache` dies with its process and is
+invisible to siblings.  :class:`DiskCache` is the durable complement: a
+directory of content-addressed JSON files keyed by the same canonical
+job digests (:func:`repro.service.cache.canonical_job_key`), safe
+against concurrent writers and reusable across restarts.
+
+Layout (all under the configured root)::
+
+    <root>/<schema-dir>/VERSION            # the schema string, informational
+    <root>/<schema-dir>/objects/ab/<key>.json
+
+where ``<schema-dir>`` encodes :data:`CACHE_SCHEMA` — bumping the schema
+namespaces new entries away from old ones instead of misreading them, so
+format evolution never corrupts a warm cache, it just starts cold.
+
+Writer safety is rename-based: every ``put`` writes a private temp file
+in the destination directory and ``os.replace``\\ s it into place, which
+is atomic on POSIX.  Two processes racing to write the same key both
+succeed; the content is identical by construction (the key is a content
+hash of the job), so last-writer-wins is a no-op.
+
+Each process keeps an in-memory index of keys it has seen (warm-started
+by scanning the objects tree at construction).  A ``get`` that misses
+the index still probes the filesystem — that is how a worker observes
+entries written by its siblings after startup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+__all__ = ["CACHE_SCHEMA", "DiskCache"]
+
+#: On-disk format version.  Bump when the entry envelope or the result
+#: document shape changes incompatibly; old entries are then ignored
+#: (they live under the old schema's directory), never misparsed.
+CACHE_SCHEMA = "repro-servecache/1"
+
+
+class DiskCache:
+    """Content-addressed persistent cache of JSON result documents.
+
+    Parameters
+    ----------
+    root:
+        Directory to hold the cache (created if missing).  Several
+        processes may share one root concurrently.
+    schema:
+        Format version string; entries written under a different schema
+        are invisible (see module docstring).
+    """
+
+    def __init__(self, root: os.PathLike, schema: str = CACHE_SCHEMA):
+        self.schema = schema
+        self.root = Path(root)
+        self.dir = self.root / schema.replace("/", "-")
+        self.objects = self.dir / "objects"
+        self.objects.mkdir(parents=True, exist_ok=True)
+        version_file = self.dir / "VERSION"
+        if not version_file.exists():
+            try:
+                version_file.write_text(schema + "\n")
+            except OSError:  # a sibling won the race; harmless
+                pass
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.corrupt = 0
+        #: keys this process knows exist on disk (warm-started by scan).
+        self._index = set()
+        self._warm_entries = 0
+        self._scan()
+
+    # ------------------------------------------------------------------
+    # paths / index
+    # ------------------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.objects / key[:2] / f"{key}.json"
+
+    def _scan(self) -> None:
+        """Warm-start the in-memory index from the objects tree."""
+        for bucket in self.objects.iterdir() if self.objects.exists() else ():
+            if not bucket.is_dir():
+                continue
+            for entry in bucket.iterdir():
+                if entry.suffix == ".json":
+                    self._index.add(entry.stem)
+        self._warm_entries = len(self._index)
+
+    # ------------------------------------------------------------------
+    # get / put
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached document, or None.  Probes disk even on index miss
+        so entries written by sibling processes are found."""
+        path = self._path(key)
+        try:
+            with open(path) as fh:
+                envelope = json.load(fh)
+        except (OSError, ValueError):
+            if path.exists():
+                # Present but unreadable/torn: count it, treat as a miss.
+                with self._lock:
+                    self.corrupt += 1
+            with self._lock:
+                self.misses += 1
+                self._index.discard(key)
+            return None
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("schema") != self.schema
+            or envelope.get("key") != key
+            or "doc" not in envelope
+        ):
+            with self._lock:
+                self.corrupt += 1
+                self.misses += 1
+            return None
+        with self._lock:
+            self.hits += 1
+            self._index.add(key)
+        return envelope["doc"]
+
+    def put(self, key: str, doc: Dict[str, Any]) -> None:
+        """Atomically persist *doc* under *key* (idempotent; concurrent
+        writers of the same key are safe — the content is identical)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {"schema": self.schema, "key": key, "doc": doc}
+        data = json.dumps(envelope, sort_keys=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=f".{key[:8]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        with self._lock:
+            self.writes += 1
+            self._index.add(key)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            if key in self._index:
+                return True
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """One snapshot of everything /metrics wants to show."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "schema": self.schema,
+                "dir": str(self.dir),
+                "size": len(self._index),
+                "warm_entries": self._warm_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "writes": self.writes,
+                "corrupt": self.corrupt,
+                "hit_rate": self.hits / total if total else 0.0,
+            }

@@ -1,0 +1,677 @@
+"""The async HTTP gateway: sharded dispatch, coalescing, admission.
+
+One asyncio event loop fronts N worker *processes*
+(:mod:`repro.serve.worker`).  A factor request is normalized
+(:func:`repro.serve.protocol.parse_job_request`), content-hashed with
+the same canonical digest the engine caches use, and then travels the
+shortest path that can answer it:
+
+1. the gateway's in-memory :class:`~repro.service.cache.ResultCache`
+   of result documents (``cache: "gateway"``),
+2. an identical job already in flight — the request *coalesces* onto it
+   and shares the one computation (``coalesced: true``),
+3. the content-hash shard's worker, which consults the shared
+   persistent :class:`~repro.serve.diskcache.DiskCache` (``"disk"``),
+   its engine's memory cache (``"memory"``), or computes
+   (``"computed"``).
+
+Admission control rejects before work is queued: a per-tenant token
+bucket (429 ``rate_limited``) and a bound on distinct in-flight
+computations (429 ``overloaded``).  Worker death — detected by pipe EOF
+or the liveness monitor — respawns the shard and re-dispatches its
+outstanding requests, so client futures survive a crash (PR 5's chaos
+story, at the serving layer).
+
+Endpoints::
+
+    POST /v1/factor          submit (wait=true blocks for the result)
+    GET  /v1/jobs/<id>       job status; ?watch=1 streams NDJSON to done
+    GET  /healthz            aggregated gateway + per-worker health
+    GET  /readyz             200 once every worker is up, else 503
+    GET  /metrics            counters, latency percentiles, cache stats
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import httpio
+from repro.serve.diskcache import DiskCache
+from repro.serve.protocol import (
+    BadRequest,
+    job_cache_key,
+    parse_job_request,
+)
+from repro.serve.router import TenantRateLimiter, shard_for
+from repro.serve.worker import WorkerHandle
+from repro.service.cache import ResultCache
+
+__all__ = ["GatewayConfig", "Gateway", "RateLimited", "Overloaded"]
+
+
+class RateLimited(Exception):
+    """Tenant token bucket is empty."""
+
+    def __init__(self, tenant: str, retry_after: float):
+        super().__init__(f"tenant {tenant!r} is rate limited")
+        self.tenant = tenant
+        self.retry_after = retry_after
+
+
+class Overloaded(Exception):
+    """The bounded in-flight computation queue is full."""
+
+
+@dataclass
+class GatewayConfig:
+    """Everything ``repro serve`` exposes as flags, plus test knobs."""
+
+    host: str = "127.0.0.1"
+    port: int = 8337
+    workers: int = 2
+    cache_dir: Optional[str] = None
+    #: distinct computations allowed in flight before 429 overloaded.
+    max_inflight: int = 64
+    #: per-tenant sustained requests/second (None disables limiting).
+    rate_limit: Optional[float] = None
+    burst: Optional[float] = None
+    #: capacity of the gateway-level result-document LRU.
+    mem_cache_capacity: int = 512
+    #: seconds a wait=true request blocks before answering 202 pending.
+    request_timeout: float = 120.0
+    #: seconds /healthz waits for a worker's live snapshot.
+    health_timeout: float = 1.0
+    monitor_interval: float = 0.25
+    respawn: bool = True
+    engine_opts: Optional[Dict[str, Any]] = None
+    #: finished jobs kept for /v1/jobs lookups.
+    job_registry_capacity: int = 4096
+
+
+class Job:
+    """One client request's lifecycle entry in the job registry."""
+
+    __slots__ = ("job_id", "key", "tenant", "spec", "status", "result",
+                 "error", "cache", "coalesced", "worker", "created",
+                 "finished", "done")
+
+    def __init__(self, job_id: str, key: str, tenant: str,
+                 spec: Dict[str, Any]):
+        self.job_id = job_id
+        self.key = key
+        self.tenant = tenant
+        self.spec = spec
+        self.status = "pending"
+        self.result: Optional[Dict[str, Any]] = None
+        self.error: Optional[str] = None
+        self.cache: Optional[str] = None
+        self.coalesced = False
+        self.worker: Optional[int] = None
+        self.created = time.monotonic()
+        self.finished: Optional[float] = None
+        self.done = asyncio.Event()
+
+    @property
+    def elapsed(self) -> float:
+        end = self.finished if self.finished is not None else time.monotonic()
+        return end - self.created
+
+    def finish(self, result: Dict[str, Any], cache: str) -> None:
+        self.result = result
+        self.cache = cache
+        self.status = "done"
+        self.finished = time.monotonic()
+        self.done.set()
+
+    def fail(self, error: str) -> None:
+        self.error = error
+        self.status = "failed"
+        self.finished = time.monotonic()
+        self.done.set()
+
+    def to_doc(self, with_result: bool = True) -> Dict[str, Any]:
+        doc = {
+            "job_id": self.job_id,
+            "status": self.status,
+            "tenant": self.tenant,
+            "coalesced": self.coalesced,
+            "cache": self.cache,
+            "elapsed": self.elapsed,
+        }
+        if self.worker is not None:
+            doc["worker"] = self.worker
+        if self.error is not None:
+            doc["error"] = self.error
+        if with_result and self.result is not None:
+            doc["result"] = self.result
+        return doc
+
+
+@dataclass
+class _Inflight:
+    """One dispatched computation and every job waiting on it."""
+
+    req_id: str
+    key: str
+    worker_id: int
+    msg: Dict[str, Any]
+    jobs: List[Job] = field(default_factory=list)
+
+
+class Gateway:
+    """The serving tier's front door.  Use::
+
+        gw = Gateway(GatewayConfig(port=0, workers=2))
+        await gw.start()
+        ...  # gw.port is the bound port
+        await gw.stop()
+    """
+
+    def __init__(self, config: Optional[GatewayConfig] = None):
+        self.config = config or GatewayConfig()
+        if self.config.workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.metrics = MetricsRegistry()
+        self.cache = ResultCache(
+            capacity=self.config.mem_cache_capacity, metrics=self.metrics
+        )
+        self.disk: Optional[DiskCache] = None
+        self.limiter = TenantRateLimiter(
+            self.config.rate_limit, self.config.burst
+        )
+        self._handles: List[WorkerHandle] = []
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._inflight: Dict[str, _Inflight] = {}
+        #: worker_id -> req_id -> _Inflight (for crash re-dispatch).
+        self._outstanding: Dict[int, Dict[str, _Inflight]] = {}
+        self._health_waiters: Dict[str, asyncio.Future] = {}
+        self._network_cache: "OrderedDict[Any, Any]" = OrderedDict()
+        self._seq = itertools.count()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._monitor_task: Optional[asyncio.Task] = None
+        self._stopping = False
+        self._started_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "gateway is not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_event_loop()
+        self._started_at = time.monotonic()
+        if self.config.cache_dir:
+            self.disk = DiskCache(self.config.cache_dir)
+        for worker_id in range(self.config.workers):
+            handle = WorkerHandle(
+                worker_id,
+                self.config.cache_dir,
+                on_message=self._on_worker_message_threadsafe,
+                on_eof=self._on_worker_eof_threadsafe,
+                engine_opts=self.config.engine_opts,
+            )
+            self._handles.append(handle)
+            self._outstanding[worker_id] = {}
+            handle.spawn()
+        # Workers spawn before the listening socket exists so forked
+        # children never inherit (and pin open) the server port.
+        self._server = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port
+        )
+        self._monitor_task = asyncio.ensure_future(self._monitor())
+
+    async def wait_ready(self, timeout: float = 10.0) -> bool:
+        """Block until every worker said hello (or the timeout passes)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if all(h.ready and h.alive() for h in self._handles):
+                return True
+            await asyncio.sleep(0.02)
+        return all(h.ready and h.alive() for h in self._handles)
+
+    async def stop(self) -> None:
+        """Graceful shutdown: close the server, drain workers, fail
+        whatever could not be answered.  Leaks no processes."""
+        self._stopping = True
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+            try:
+                await self._monitor_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        loop = asyncio.get_event_loop()
+        await asyncio.gather(*[
+            loop.run_in_executor(None, handle.shutdown)
+            for handle in self._handles
+        ])
+        for infl in list(self._inflight.values()):
+            for job in infl.jobs:
+                if not job.done.is_set():
+                    job.fail("gateway stopped")
+        self._inflight.clear()
+        for pending in self._outstanding.values():
+            pending.clear()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # worker plumbing (reader-thread -> loop bridge)
+    # ------------------------------------------------------------------
+
+    def _call_threadsafe(self, fn, *args) -> None:
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        try:
+            loop.call_soon_threadsafe(fn, *args)
+        except RuntimeError:  # loop shut down mid-call
+            pass
+
+    def _on_worker_message_threadsafe(self, handle, generation, msg) -> None:
+        self._call_threadsafe(self._on_worker_message, handle, generation, msg)
+
+    def _on_worker_eof_threadsafe(self, handle, generation) -> None:
+        self._call_threadsafe(self._on_worker_dead, handle, generation)
+
+    def _on_worker_message(self, handle: WorkerHandle, generation: int,
+                           msg: Dict[str, Any]) -> None:
+        if generation != handle.generation:
+            return  # a dead incarnation's reader draining its pipe
+        op = msg.get("op")
+        if op == "hello":
+            handle.ready = True
+            handle.pid = msg.get("pid")
+        elif op == "result":
+            pending = self._outstanding[handle.worker_id].pop(
+                msg.get("id"), None
+            )
+            if pending is not None:
+                self._complete(pending, msg)
+        elif op in ("health", "ping"):
+            handle.last_health = msg
+            waiter = self._health_waiters.pop(msg.get("id"), None)
+            if waiter is not None and not waiter.done():
+                waiter.set_result(msg)
+
+    def _on_worker_dead(self, handle: WorkerHandle, generation: int) -> None:
+        """Crash path: respawn the shard, re-dispatch its queue."""
+        if self._stopping or generation != handle.generation:
+            return
+        if handle.alive() and handle.ready:
+            return  # spurious (e.g. pipe hiccup already superseded)
+        handle.crashes += 1
+        self.metrics.inc("worker_crashes")
+        pending = list(self._outstanding[handle.worker_id].values())
+        if not self.config.respawn:
+            self._outstanding[handle.worker_id].clear()
+            for infl in pending:
+                self._inflight.pop(infl.key, None)
+                for job in infl.jobs:
+                    job.fail("worker crashed")
+            return
+        handle.spawn()
+        for infl in pending:
+            handle.send(infl.msg)
+            self.metrics.inc("requests_redispatched")
+
+    async def _monitor(self) -> None:
+        """Liveness sweep: catches deaths whose pipe EOF got lost."""
+        while True:
+            await asyncio.sleep(self.config.monitor_interval)
+            for handle in self._handles:
+                if handle.process is not None and not handle.alive():
+                    self._on_worker_dead(handle, handle.generation)
+
+    def _complete(self, infl: _Inflight, msg: Dict[str, Any]) -> None:
+        self._inflight.pop(infl.key, None)
+        if msg.get("ok"):
+            doc = msg["result"]
+            source = msg.get("cache", "computed")
+            self.cache.put(infl.key, doc)
+            self.metrics.inc("results_ok")
+            self.metrics.inc(f"results_from_{source}")
+            for job in infl.jobs:
+                job.worker = infl.worker_id
+                job.finish(doc, source if not job.coalesced else "coalesced")
+                self.metrics.histogram("request_seconds").observe(job.elapsed)
+        else:
+            error = msg.get("error", "worker error")
+            self.metrics.inc("results_failed")
+            for job in infl.jobs:
+                job.worker = infl.worker_id
+                job.fail(error)
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+
+    def _resolve_network(self, spec: Dict[str, Any]):
+        """The request's network (named circuits memoized per gateway)."""
+        if spec["eqn"]:
+            from repro.network.eqn import read_eqn
+
+            try:
+                return read_eqn(spec["eqn"], name=spec.get("circuit") or "inline")
+            except ValueError as exc:
+                raise BadRequest(f"bad eqn: {exc}") from None
+        cache_key = (spec["circuit"], spec["scale"])
+        network = self._network_cache.get(cache_key)
+        if network is None:
+            from repro.circuits import UnknownCircuitError, load_circuit
+
+            try:
+                network = load_circuit(spec["circuit"], scale=spec["scale"])
+            except UnknownCircuitError as exc:
+                raise BadRequest(str(exc)) from None
+            self._network_cache[cache_key] = network
+            while len(self._network_cache) > 64:
+                self._network_cache.popitem(last=False)
+        return network
+
+    def submit(self, doc: Any) -> Job:
+        """Admit, hash, and route one request; returns its Job entry.
+
+        Raises :class:`~repro.serve.protocol.BadRequest`,
+        :class:`RateLimited`, or :class:`Overloaded` — mapped to HTTP
+        400/429 by the handler, usable directly by in-process callers.
+        """
+        spec = parse_job_request(doc)
+        self.metrics.inc("requests_total")
+        tenant = spec["tenant"]
+        if not self.limiter.allow(tenant):
+            self.metrics.inc("requests_rate_limited")
+            raise RateLimited(tenant, self.limiter.retry_after(tenant))
+        if len(self._inflight) >= self.config.max_inflight:
+            self.metrics.inc("requests_overloaded")
+            raise Overloaded(
+                f"{len(self._inflight)} computations in flight "
+                f"(max {self.config.max_inflight})"
+            )
+        network = self._resolve_network(spec)
+        key = job_cache_key(spec, network)
+        job = Job(f"j{next(self._seq):06d}", key, tenant, spec)
+        self._register(job)
+
+        cached = self.cache.get(key)
+        if cached is not None:
+            job.finish(cached, "gateway")
+            self.metrics.inc("results_ok")
+            self.metrics.inc("results_from_gateway")
+            self.metrics.histogram("request_seconds").observe(job.elapsed)
+            return job
+
+        infl = self._inflight.get(key)
+        if infl is not None:
+            job.coalesced = True
+            infl.jobs.append(job)
+            self.metrics.inc("requests_coalesced")
+            return job
+
+        worker_id = shard_for(key, len(self._handles))
+        wire_spec = {k: spec[k] for k in (
+            "circuit", "eqn", "algorithm", "procs", "searcher", "scale",
+            "node_budget", "params", "include_network",
+        )}
+        infl = _Inflight(
+            req_id=job.job_id, key=key, worker_id=worker_id,
+            msg={"op": "factor", "id": job.job_id, "key": key,
+                 "job": wire_spec},
+            jobs=[job],
+        )
+        self._inflight[key] = infl
+        self._outstanding[worker_id][job.job_id] = infl
+        self.metrics.inc("requests_dispatched")
+        # A send on a just-crashed pipe is fine: the request stays in
+        # _outstanding and the respawn path re-dispatches it.
+        self._handles[worker_id].send(infl.msg)
+        return job
+
+    def _register(self, job: Job) -> None:
+        self._jobs[job.job_id] = job
+        while len(self._jobs) > self.config.job_registry_capacity:
+            oldest_id = next(iter(self._jobs))
+            if not self._jobs[oldest_id].done.is_set():
+                break  # never evict live jobs; max_inflight bounds them
+            self._jobs.pop(oldest_id)
+
+    # ------------------------------------------------------------------
+    # health aggregation
+    # ------------------------------------------------------------------
+
+    async def _worker_health(self, handle: WorkerHandle) -> Optional[Dict]:
+        """One live health snapshot, or None if the worker is too busy."""
+        assert self._loop is not None
+        hid = f"h{next(self._seq):06d}"
+        future: asyncio.Future = self._loop.create_future()
+        self._health_waiters[hid] = future
+        if not handle.send({"op": "health", "id": hid}):
+            self._health_waiters.pop(hid, None)
+            return None
+        try:
+            return await asyncio.wait_for(future, self.config.health_timeout)
+        except asyncio.TimeoutError:
+            self._health_waiters.pop(hid, None)
+            return None
+
+    async def health(self) -> Dict[str, Any]:
+        """The /healthz document: gateway stats + per-worker snapshots."""
+        workers: Dict[str, Any] = {}
+        statuses = []
+        for handle in self._handles:
+            snap = handle.snapshot()
+            reply = None
+            if handle.alive() and handle.ready:
+                reply = await self._worker_health(handle)
+            if reply is None and handle.last_health is not None:
+                reply = handle.last_health
+                snap["stale"] = True
+            elif reply is not None:
+                snap["stale"] = False
+            if reply is not None:
+                snap["jobs_done"] = reply.get("jobs_done")
+                snap["engine"] = reply.get("engine")
+                if "disk_cache" in reply:
+                    snap["disk_cache"] = reply["disk_cache"]
+            if not snap["alive"]:
+                statuses.append("dead")
+            else:
+                engine = snap.get("engine") or {}
+                statuses.append(engine.get("status", "ok"))
+            workers[str(handle.worker_id)] = snap
+        alive = sum(1 for h in self._handles if h.alive())
+        if alive == 0:
+            status = "failing"
+        elif all(s == "ok" for s in statuses):
+            status = "ok"
+        else:
+            status = "degraded"
+        return {
+            "status": status,
+            "ready": self.is_ready(),
+            "gateway": {
+                "inflight": len(self._inflight),
+                "jobs_tracked": len(self._jobs),
+                "workers_alive": alive,
+                "workers": len(self._handles),
+                "uptime_s": (
+                    time.monotonic() - self._started_at
+                    if self._started_at else 0.0
+                ),
+                "cache": self.cache.stats(),
+            },
+            "workers": workers,
+        }
+
+    def is_ready(self) -> bool:
+        return (
+            not self._stopping
+            and self._server is not None
+            and all(h.ready and h.alive() for h in self._handles)
+        )
+
+    def metrics_document(self) -> Dict[str, Any]:
+        """The /metrics document (also used by the load generator)."""
+        latency = self.metrics.histogram("request_seconds")
+        doc: Dict[str, Any] = {
+            "gateway": self.metrics.snapshot(),
+            "latency": {
+                "p50": latency.percentile(50),
+                "p95": latency.percentile(95),
+                "p99": latency.percentile(99),
+            },
+            "cache": self.cache.stats(),
+            "tenants": self.limiter.stats(),
+            "workers": {
+                str(h.worker_id): h.snapshot() for h in self._handles
+            },
+        }
+        if self.disk is not None:
+            doc["disk_cache"] = self.disk.stats()
+        return doc
+
+    # ------------------------------------------------------------------
+    # HTTP layer
+    # ------------------------------------------------------------------
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                request = await httpio.read_http_request(reader)
+                if request is None:
+                    break
+                if request.error is not None:
+                    status, message = request.error
+                    await httpio.send_json(
+                        writer, status, {"error": message}, keep_alive=False
+                    )
+                    break
+                keep = await self._route(request, writer)
+                if not keep or not request.keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _route(self, request: httpio.HTTPRequest,
+                     writer: asyncio.StreamWriter) -> bool:
+        method, path = request.method, request.path
+        if path == "/v1/factor":
+            if method != "POST":
+                await httpio.send_json(
+                    writer, 405, {"error": "POST required"})
+                return True
+            return await self._http_factor(request, writer)
+        if path.startswith("/v1/jobs/"):
+            if method != "GET":
+                await httpio.send_json(writer, 405, {"error": "GET required"})
+                return True
+            return await self._http_job(request, writer)
+        if path == "/healthz" and method == "GET":
+            doc = await self.health()
+            await httpio.send_json(
+                writer, 200 if doc["status"] != "failing" else 503, doc
+            )
+            return True
+        if path == "/readyz" and method == "GET":
+            ready = self.is_ready()
+            await httpio.send_json(
+                writer, 200 if ready else 503,
+                {"ready": ready,
+                 "workers_alive": sum(1 for h in self._handles if h.alive()),
+                 "workers": len(self._handles)},
+            )
+            return True
+        if path == "/metrics" and method == "GET":
+            await httpio.send_json(writer, 200, self.metrics_document())
+            return True
+        await httpio.send_json(writer, 404, {"error": f"no route {path!r}"})
+        return True
+
+    async def _http_factor(self, request: httpio.HTTPRequest,
+                           writer: asyncio.StreamWriter) -> bool:
+        try:
+            body = request.json()
+        except ValueError:
+            await httpio.send_json(
+                writer, 400, {"error": "request body is not valid JSON"})
+            return True
+        try:
+            job = self.submit(body)
+        except BadRequest as exc:
+            await httpio.send_json(writer, 400, {"error": str(exc)})
+            return True
+        except RateLimited as exc:
+            await httpio.send_json(
+                writer, 429,
+                {"error": "rate_limited", "tenant": exc.tenant,
+                 "retry_after": exc.retry_after},
+                extra_headers={"Retry-After": f"{exc.retry_after:.3f}"},
+            )
+            return True
+        except Overloaded as exc:
+            await httpio.send_json(
+                writer, 429, {"error": "overloaded", "detail": str(exc)})
+            return True
+        wait = job.spec["wait"] and request.query.get("wait") != "0"
+        if not wait:
+            await httpio.send_json(writer, 202, job.to_doc(with_result=False))
+            return True
+        try:
+            await asyncio.wait_for(
+                job.done.wait(), self.config.request_timeout
+            )
+        except asyncio.TimeoutError:
+            await httpio.send_json(writer, 202, job.to_doc(with_result=False))
+            return True
+        status = 200 if job.status == "done" else 500
+        await httpio.send_json(writer, status, job.to_doc())
+        return True
+
+    async def _http_job(self, request: httpio.HTTPRequest,
+                        writer: asyncio.StreamWriter) -> bool:
+        job_id = request.path[len("/v1/jobs/"):]
+        job = self._jobs.get(job_id)
+        if job is None:
+            await httpio.send_json(
+                writer, 404, {"error": f"unknown job {job_id!r}"})
+            return True
+        if request.query.get("watch") not in (None, "", "0"):
+            await httpio.start_ndjson(writer)
+            await httpio.send_ndjson_line(writer, job.to_doc(with_result=False))
+            if not job.done.is_set():
+                try:
+                    await asyncio.wait_for(
+                        job.done.wait(), self.config.request_timeout
+                    )
+                except asyncio.TimeoutError:
+                    pass
+            await httpio.send_ndjson_line(writer, job.to_doc())
+            return False  # streamed responses close the connection
+        await httpio.send_json(writer, 200, job.to_doc())
+        return True

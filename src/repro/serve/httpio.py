@@ -1,0 +1,240 @@
+"""Minimal HTTP/1.1 framing over asyncio streams — zero dependencies.
+
+Just enough of the protocol for a JSON API on localhost-class links:
+request-line + headers + ``Content-Length`` bodies, keep-alive
+connections, and NDJSON streaming responses (used by the job-watch
+endpoint).  Chunked transfer encoding, multipart, TLS and proxies are
+deliberately out of scope; the serving tier fronts trusted clients or a
+real edge proxy.
+
+The client half (:func:`http_json`, :func:`http_json_lines`) exists so
+the load generator and the tests need nothing outside the stdlib.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import urllib.parse
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "HTTPRequest",
+    "read_http_request",
+    "send_json",
+    "send_ndjson_line",
+    "start_ndjson",
+    "http_json",
+    "http_json_lines",
+]
+
+#: Upper bound on accepted request bodies (the inline-eqn ceiling plus
+#: envelope headroom) — a malformed Content-Length cannot OOM the
+#: gateway.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+@dataclass
+class HTTPRequest:
+    """One parsed request: method, split path/query, headers, raw body."""
+
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes = b""
+    #: protocol errors found while parsing (status, message) — the
+    #: server answers them instead of routing.
+    error: Optional[Tuple[int, str]] = field(default=None)
+
+    def json(self) -> Any:
+        return json.loads(self.body.decode("utf-8"))
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+
+async def read_http_request(
+    reader: asyncio.StreamReader,
+) -> Optional[HTTPRequest]:
+    """Parse one request off *reader*; None at EOF before any bytes."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not request_line:
+        return None
+    try:
+        method, target, _version = request_line.decode("latin-1").split()
+    except ValueError:
+        return HTTPRequest("?", "?", {}, {},
+                           error=(400, "malformed request line"))
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        if b":" in line:
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+    parsed = urllib.parse.urlsplit(target)
+    query = {k: v[-1] for k, v in
+             urllib.parse.parse_qs(parsed.query, keep_blank_values=True).items()}
+    request = HTTPRequest(method.upper(), parsed.path, query, headers)
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            n = int(length)
+        except ValueError:
+            request.error = (400, "bad Content-Length")
+            return request
+        if n > MAX_BODY_BYTES:
+            request.error = (413, "request body too large")
+            return request
+        if n:
+            try:
+                request.body = await reader.readexactly(n)
+            except asyncio.IncompleteReadError:
+                return None
+    return request
+
+
+def _head(status: int, content_type: str, length: Optional[int],
+          keep_alive: bool, extra: Optional[Dict[str, str]] = None) -> bytes:
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    if length is not None:
+        lines.append(f"Content-Length: {length}")
+    for name, value in (extra or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def send_json(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: Any,
+    keep_alive: bool = True,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> None:
+    body = (json.dumps(payload) + "\n").encode("utf-8")
+    writer.write(_head(status, "application/json", len(body),
+                       keep_alive, extra_headers))
+    writer.write(body)
+    await writer.drain()
+
+
+async def start_ndjson(writer: asyncio.StreamWriter, status: int = 200) -> None:
+    """Begin an NDJSON streaming response (no length; close delimits)."""
+    writer.write(_head(status, "application/x-ndjson", None, False))
+    await writer.drain()
+
+
+async def send_ndjson_line(writer: asyncio.StreamWriter, payload: Any) -> None:
+    writer.write((json.dumps(payload) + "\n").encode("utf-8"))
+    await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# client
+# ----------------------------------------------------------------------
+
+
+def _split_url(url: str) -> Tuple[str, int, str]:
+    parsed = urllib.parse.urlsplit(url)
+    if parsed.scheme not in ("http", ""):
+        raise ValueError(f"only http:// URLs are supported, got {url!r}")
+    host = parsed.hostname or "127.0.0.1"
+    port = parsed.port or 80
+    path = parsed.path or "/"
+    if parsed.query:
+        path += "?" + parsed.query
+    return host, port, path
+
+
+async def _request(
+    method: str, url: str, body: Optional[Any], timeout: float
+) -> Tuple[int, Dict[str, str], bytes]:
+    host, port, path = _split_url(url)
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout
+    )
+    try:
+        payload = b""
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+        head = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {host}:{port}",
+            "Connection: close",
+        ]
+        if payload:
+            head.append("Content-Type: application/json")
+        head.append(f"Content-Length: {len(payload)}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        writer.write(payload)
+        await writer.drain()
+
+        status_line = await asyncio.wait_for(reader.readline(), timeout)
+        if not status_line:
+            raise ConnectionError("empty response")
+        status = int(status_line.split()[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = await asyncio.wait_for(reader.readline(), timeout)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if b":" in line:
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+        length = headers.get("content-length")
+        if length is not None:
+            data = await asyncio.wait_for(reader.readexactly(int(length)), timeout)
+        else:
+            data = await asyncio.wait_for(reader.read(), timeout)
+        return status, headers, data
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+
+
+async def http_json(
+    method: str, url: str, body: Optional[Any] = None, timeout: float = 30.0
+) -> Tuple[int, Any]:
+    """One HTTP exchange; returns ``(status, parsed-JSON-or-None)``."""
+    status, _headers, data = await _request(method, url, body, timeout)
+    doc = None
+    if data:
+        try:
+            doc = json.loads(data.decode("utf-8"))
+        except ValueError:
+            doc = None
+    return status, doc
+
+
+async def http_json_lines(
+    method: str, url: str, body: Optional[Any] = None, timeout: float = 30.0
+) -> Tuple[int, List[Any]]:
+    """Like :func:`http_json` for NDJSON streams: every line, parsed."""
+    status, _headers, data = await _request(method, url, body, timeout)
+    lines = []
+    for raw in data.decode("utf-8").splitlines():
+        raw = raw.strip()
+        if raw:
+            lines.append(json.loads(raw))
+    return status, lines

@@ -121,6 +121,14 @@ class BatchReport:
             f"{self.done}/{len(self.results)} done ({self.failed} failed, "
             f"{self.cache_hits} cache hits) in {self.wall_time:.3f}s"
         )
+        if self.cache_stats:
+            s = self.cache_stats
+            lines.append(
+                f"cache: {s['hits']} hits / {s['misses']} misses "
+                f"({100 * s['hit_rate']:.0f}% hit rate), "
+                f"size {s['size']}/{s['capacity']}, "
+                f"{s['evictions']} evictions"
+            )
         if any(r.degraded for r in self.results):
             lines.append("* = degraded to the ping-pong heuristic (budget/deadline)")
         return "\n".join(lines)
@@ -177,6 +185,9 @@ class FactorizationEngine:
         )
         self._id_lock = threading.Lock()
         self._next_id = 0
+        self._busy_lock = threading.Lock()
+        #: jobs currently executing on the pool (worker-pool liveness).
+        self._busy = 0
         #: requested-key -> degraded job fields, so re-submissions of a
         #: configuration that already proved infeasible skip the timeout.
         self._degrade_memo: Dict[str, Dict[str, Any]] = {}
@@ -225,16 +236,25 @@ class FactorizationEngine:
     # ------------------------------------------------------------------
 
     def health(self) -> Dict[str, Any]:
-        """Live health document: breaker states, queue depth, counters.
+        """Live health document: breaker states, queue depth, counters,
+        cache effectiveness, and worker-pool liveness.
 
         ``status`` is ``ok`` / ``degraded`` (some paths short-circuited)
-        / ``failing`` (every known path's breaker open).
+        / ``failing`` (every known path's breaker open).  ``cache`` is
+        the result cache's :meth:`~repro.service.cache.ResultCache.stats`
+        snapshot (hit rate included) and ``pool`` reports how many of
+        the engine's workers are currently executing a job — the fields
+        the serving tier's ``/healthz`` aggregates per worker process.
         """
+        with self._busy_lock:
+            busy = self._busy
         return health_snapshot(
             self.metrics,
             breakers=self.breakers.states(),
             queue_depth=len(self.queue),
             workers=self.workers,
+            cache=self.cache.stats() if self.use_cache else None,
+            pool={"size": self.workers, "busy": busy, "alive": True},
         )
 
     def ready(self) -> bool:
@@ -273,14 +293,20 @@ class FactorizationEngine:
         # phases, rectangle-search counters, retries — carries the job id
         # and lands on the job's track, so a batch trace separates jobs
         # end-to-end even across the worker pool.
-        with _obs.context(
-            track=f"job:{job.job_id}",
-            job_id=job.job_id,
-            circuit=job.circuit or (job.network.name if job.network else "?"),
-            algorithm=job.algorithm,
-        ):
-            with _obs.span("job", cat="service"):
-                return self._run_job_traced(job)
+        with self._busy_lock:
+            self._busy += 1
+        try:
+            with _obs.context(
+                track=f"job:{job.job_id}",
+                job_id=job.job_id,
+                circuit=job.circuit or (job.network.name if job.network else "?"),
+                algorithm=job.algorithm,
+            ):
+                with _obs.span("job", cat="service"):
+                    return self._run_job_traced(job)
+        finally:
+            with self._busy_lock:
+                self._busy -= 1
 
     def _path_key(self, job: FactorizationJob) -> str:
         circuit = job.circuit or (job.network.name if job.network else "?")

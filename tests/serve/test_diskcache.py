@@ -1,0 +1,100 @@
+"""DiskCache: persistence, schema versioning, concurrent-writer safety."""
+
+import json
+import threading
+
+import pytest
+
+from repro.serve.diskcache import CACHE_SCHEMA, DiskCache
+
+KEY = "ab" + "0" * 62  # a plausible 64-hex-char digest
+DOC = {"final_lc": 21, "status": "done"}
+
+
+def test_roundtrip(tmp_path):
+    cache = DiskCache(tmp_path)
+    assert cache.get(KEY) is None
+    cache.put(KEY, DOC)
+    assert cache.get(KEY) == DOC
+    assert KEY in cache
+    assert len(cache) == 1
+
+
+def test_entries_survive_restart(tmp_path):
+    DiskCache(tmp_path).put(KEY, DOC)
+    warm = DiskCache(tmp_path)
+    assert warm.stats()["warm_entries"] == 1
+    assert warm.get(KEY) == DOC
+
+
+def test_sibling_writes_visible_without_restart(tmp_path):
+    # Both instances exist before the write: reader's warm index is
+    # empty, so only the disk probe can find the sibling's entry.
+    reader = DiskCache(tmp_path)
+    writer = DiskCache(tmp_path)
+    writer.put(KEY, DOC)
+    assert reader.get(KEY) == DOC
+
+
+def test_schema_bump_starts_cold(tmp_path):
+    DiskCache(tmp_path, schema="repro-servecache/1").put(KEY, DOC)
+    v2 = DiskCache(tmp_path, schema="repro-servecache/2")
+    assert v2.get(KEY) is None
+    assert v2.stats()["warm_entries"] == 0
+    # and the old namespace is untouched
+    assert DiskCache(tmp_path, schema="repro-servecache/1").get(KEY) == DOC
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    cache = DiskCache(tmp_path)
+    cache.put(KEY, DOC)
+    cache._path(KEY).write_text("{ not json")
+    assert cache.get(KEY) is None
+    assert cache.stats()["corrupt"] == 1
+
+
+def test_wrong_envelope_is_a_miss(tmp_path):
+    cache = DiskCache(tmp_path)
+    path = cache._path(KEY)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps({"schema": "other/9", "key": KEY, "doc": DOC}))
+    assert cache.get(KEY) is None
+    assert cache.stats()["corrupt"] == 1
+
+
+def test_stats_shape_and_hit_rate(tmp_path):
+    cache = DiskCache(tmp_path)
+    cache.put(KEY, DOC)
+    cache.get(KEY)
+    cache.get("cd" + "0" * 62)
+    stats = cache.stats()
+    for field in ("schema", "dir", "size", "warm_entries", "hits",
+                  "misses", "writes", "corrupt", "hit_rate"):
+        assert field in stats
+    assert stats["schema"] == CACHE_SCHEMA
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    assert stats["writes"] == 1
+    assert stats["hit_rate"] == pytest.approx(0.5)
+
+
+def test_concurrent_writers_same_key(tmp_path):
+    cache = DiskCache(tmp_path)
+    errors = []
+
+    def write(n):
+        try:
+            for _ in range(20):
+                cache.put(KEY, DOC)
+        except Exception as exc:  # pragma: no cover - the assertion
+            errors.append(exc)
+
+    threads = [threading.Thread(target=write, args=(i,)) for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert cache.get(KEY) == DOC
+    # no temp files left behind by the rename dance
+    leftovers = [p for p in cache.objects.rglob("*") if p.suffix == ".tmp"]
+    assert not leftovers

@@ -1,0 +1,111 @@
+"""Load generator: deterministic arrivals, percentiles, one live burst."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve import Gateway, GatewayConfig
+from repro.serve.loadgen import (
+    LoadgenConfig,
+    load_workload_file,
+    percentile,
+    poisson_arrivals,
+    run_loadgen,
+)
+
+
+class TestPoissonArrivals:
+    def test_deterministic_for_a_seed(self):
+        assert poisson_arrivals(20, 2, seed=7) == poisson_arrivals(20, 2, seed=7)
+        assert poisson_arrivals(20, 2, seed=7) != poisson_arrivals(20, 2, seed=8)
+
+    def test_sorted_and_within_duration(self):
+        arrivals = poisson_arrivals(50, 3, seed=0)
+        assert arrivals == sorted(arrivals)
+        assert all(0 < t < 3 for t in arrivals)
+
+    def test_mean_rate_is_close(self):
+        arrivals = poisson_arrivals(100, 20, seed=1)
+        assert len(arrivals) == pytest.approx(2000, rel=0.1)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0, 1, seed=0)
+        with pytest.raises(ValueError):
+            poisson_arrivals(1, 0, seed=0)
+
+
+class TestPercentile:
+    def test_empty_is_none(self):
+        assert percentile([], 50) is None
+
+    def test_single_value(self):
+        assert percentile([4.0], 0) == 4.0
+        assert percentile([4.0], 100) == 4.0
+
+    def test_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 50) == 3.0
+        assert percentile(values, 100) == 5.0
+        assert percentile(values, 99) == 5.0
+
+
+class TestWorkloadFile:
+    def test_reads_jsonl_skipping_comments(self, tmp_path):
+        path = tmp_path / "w.jsonl"
+        path.write_text(
+            '# a comment\n{"circuit": "example"}\n\n'
+            '{"circuit": "example", "algorithm": "lshaped", "procs": 2}\n'
+        )
+        bodies = load_workload_file(str(path))
+        assert len(bodies) == 2
+        assert bodies[1]["algorithm"] == "lshaped"
+
+    def test_bad_json_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "w.jsonl"
+        path.write_text('{"ok": 1}\n{broken\n')
+        with pytest.raises(ValueError, match=":2:"):
+            load_workload_file(str(path))
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "w.jsonl"
+        path.write_text("# nothing here\n")
+        with pytest.raises(ValueError, match="no request bodies"):
+            load_workload_file(str(path))
+
+    def test_non_object_line_raises(self, tmp_path):
+        path = tmp_path / "w.jsonl"
+        path.write_text(json.dumps(["not", "an", "object"]) + "\n")
+        with pytest.raises(ValueError, match="JSON object"):
+            load_workload_file(str(path))
+
+
+def test_live_burst_has_zero_failures_and_ordered_percentiles():
+    async def main():
+        gw = Gateway(GatewayConfig(port=0, workers=2))
+        await gw.start()
+        assert await gw.wait_ready(15)
+        try:
+            report = await run_loadgen(LoadgenConfig(
+                url=gw.url, rate=30.0, duration=1.0, tenants=2, seed=3,
+            ))
+        finally:
+            await gw.stop()
+        return report
+
+    report = asyncio.run(main())
+    assert report.sent > 0
+    assert report.failed == 0
+    assert report.ok == report.sent  # no limiter configured: all accepted
+    assert report.throughput_rps > 0
+    lat = report.latencies_ms
+    assert lat["p50"] is not None
+    assert lat["p50"] <= lat["p95"] <= lat["p99"]
+    # the tiny example workload repeats: later requests hit caches
+    assert sum(report.cache_mix.values()) == report.ok
+    assert report.cache_mix.get("gateway", 0) > 0
+    doc = report.to_dict()
+    assert doc["failed"] == 0 and doc["latency_ms"]["p50"] is not None
+    assert "open-loop load" in report.render()

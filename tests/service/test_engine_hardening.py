@@ -123,6 +123,27 @@ class TestHealth:
         assert counters["jobs_timeouts"] == 1
         assert counters["breaker_opened"] == 1
 
+    def test_health_embeds_cache_stats(self):
+        engine = make_engine()
+        engine.execute(FactorizationJob(circuit="example"))
+        engine.execute(FactorizationJob(circuit="example"))  # cache hit
+        cache = engine.health()["cache"]
+        assert cache["hits"] == 1
+        assert cache["misses"] == 1
+        assert cache["size"] == 1
+        assert 0.0 < cache["hit_rate"] <= 1.0
+
+    def test_health_omits_cache_when_disabled(self):
+        engine = make_engine(use_cache=False)
+        assert "cache" not in engine.health()
+
+    def test_health_reports_pool_liveness(self):
+        engine = make_engine()
+        pool = engine.health()["pool"]
+        assert pool == {"size": 2, "busy": 0, "alive": True}
+        engine.execute(FactorizationJob(circuit="example"))
+        assert engine.health()["pool"]["busy"] == 0  # back to idle
+
 
 class TestDeadlineUnwinding:
     def test_timed_out_attempt_is_cancelled_not_leaked(self):
