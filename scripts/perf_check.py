@@ -12,7 +12,9 @@ Usage:
 
 ``--check`` fails (exit 1) when the bitmask core is slower than the
 legacy core in geomean, when any workload's two cores disagree on the
-search result, when disabled tracing or the disabled fault-injection
+search result, when the v2 branch-and-bound core's geomean speedup over
+the v1 bitview core falls below ``--min-v2-speedup`` (default 1.4) or
+its results are not equal-or-better on any exhaustive workload, when disabled tracing or the disabled fault-injection
 gates are estimated to cost more than their budgets (2% each), or when
 ``benchmarks/results/BENCH_serving.json`` is missing or violates the
 serving-tier behavioral gate (failed requests, broken coalescing,
@@ -38,7 +40,12 @@ import sys
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.harness.perfcheck import render_report, run_perf_check, write_report
+from repro.harness.perfcheck import (
+    MIN_V2_SPEEDUP,
+    render_report,
+    run_perf_check,
+    write_report,
+)
 
 
 def main(argv=None) -> int:
@@ -54,6 +61,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--min-speedup", type=float, default=1.0,
         help="geomean speedup the --check gate requires (default 1.0)",
+    )
+    parser.add_argument(
+        "--min-v2-speedup", type=float, default=MIN_V2_SPEEDUP,
+        help="geomean speedup the v2 pruned core must show over the v1 "
+             f"bitview core under --check (default {MIN_V2_SPEEDUP})",
     )
     parser.add_argument(
         "--out", type=pathlib.Path,
@@ -162,6 +174,21 @@ def main(argv=None) -> int:
             print(
                 f"FAIL: geomean speedup {report['geomean_speedup']:.2f}x "
                 f"< required {args.min_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+        if not report["all_v2_match"]:
+            print(
+                "FAIL: v2 pruned core is not equal-or-better on at least "
+                "one exhaustive workload",
+                file=sys.stderr,
+            )
+            return 1
+        if report["geomean_speedup_v2"] < args.min_v2_speedup:
+            print(
+                f"FAIL: v2 geomean speedup "
+                f"{report['geomean_speedup_v2']:.2f}x < required "
+                f"{args.min_v2_speedup:.2f}x",
                 file=sys.stderr,
             )
             return 1

@@ -44,7 +44,11 @@ from repro.rectangles.search import (
 )
 
 #: JSON schema version for BENCH_rectsearch.json.
-SCHEMA = "rectsearch/2"
+SCHEMA = "rectsearch/3"
+
+#: The --check floor for the v2 pruned core's geomean speedup over the
+#: v1 bitview core on the suite's exhaustive workloads.
+MIN_V2_SPEEDUP = 1.4
 
 #: Ceiling on the estimated fraction of a workload's wall time spent in
 #: disabled tracing gates — the price of observability when it is off.
@@ -125,14 +129,21 @@ def _build_network(wl: Workload) -> BooleanNetwork:
 
 
 def _run_searcher(
-    wl: Workload, matrix: KCMatrix, core: str, meter: Optional[CostMeter] = None
+    wl: Workload, matrix: KCMatrix, core: str,
+    meter: Optional[CostMeter] = None, prune: bool = False,
 ):
-    """One full search under *core*; returns a comparable result object."""
+    """One full search under *core*; returns a comparable result object.
+
+    *prune* selects the v2 branch-and-bound/dominance search for
+    exhaustive workloads (the memo is always off here: a timing repeat
+    must measure the search, not a table hit).
+    """
     if wl.searcher == "exhaustive":
         budget = SearchBudget(wl.budget) if wl.budget is not None else None
         try:
             return ("done", best_rectangle_exhaustive(
-                matrix, budget=budget, meter=meter, core=core
+                matrix, budget=budget, meter=meter, core=core,
+                prune=prune, memo=False,
             ))
         except BudgetExceeded:
             return ("dnf", budget.used)
@@ -147,7 +158,9 @@ def _run_searcher(
     raise ValueError(f"unknown searcher {wl.searcher!r}")
 
 
-def _time_core(wl: Workload, matrix: KCMatrix, core: str) -> Tuple[float, object, float]:
+def _time_core(
+    wl: Workload, matrix: KCMatrix, core: str, prune: bool = False,
+) -> Tuple[float, object, float]:
     """Best-of-repeats wall time; returns (seconds, result, search_nodes).
 
     The bitset view is dropped before every repeat so each timing pays
@@ -156,7 +169,7 @@ def _time_core(wl: Workload, matrix: KCMatrix, core: str) -> Tuple[float, object
     the matrix (and hence the view) every iteration.
     """
     meter = CostMeter()
-    result = _run_searcher(wl, matrix, core, meter=meter)
+    result = _run_searcher(wl, matrix, core, meter=meter, prune=prune)
     nodes = meter.counts.get("search_node", 0.0) or meter.counts.get(
         "pingpong_round", 0.0
     )
@@ -164,7 +177,7 @@ def _time_core(wl: Workload, matrix: KCMatrix, core: str) -> Tuple[float, object
     for _ in range(wl.repeats):
         matrix._touch()  # drop any cached view: time compile + search
         t0 = time.perf_counter()
-        _run_searcher(wl, matrix, core)
+        _run_searcher(wl, matrix, core, prune=prune)
         best = min(best, time.perf_counter() - t0)
     return best, result, nodes
 
@@ -207,6 +220,24 @@ def run_workload(wl: Workload) -> Dict:
         "speedup": t_set / t_bit if t_bit else None,
         "results_match": res_set == res_bit,
     }
+    if wl.searcher == "exhaustive":
+        # Third timing lane: the v2 branch-and-bound + dominance core
+        # against the v1 bitview baseline it replaced as the default.
+        # "Equal or better" here means: identical best rectangle, or v1
+        # hit the node budget (DNF) where v2 either also hit it or —
+        # strictly better — finished inside it.
+        t_v2, res_v2, nodes_v2 = _time_core(wl, matrix, "bit", prune=True)
+        v2_ok = (
+            res_v2 == res_bit
+            or (res_bit[0] == "dnf" and res_v2[0] in ("dnf", "done"))
+        )
+        row.update({
+            "t_v2_s": t_v2,
+            "speedup_v2": t_bit / t_v2 if t_v2 else None,
+            "nodes_v2": nodes_v2,
+            "node_reduction": nodes / nodes_v2 if nodes_v2 else None,
+            "v2_results_ok": v2_ok,
+        })
     if phases is not None:
         row["phases"] = phases
         row["counters"] = counters
@@ -338,6 +369,10 @@ def run_perf_check(quick: bool = False) -> Dict:
         "workloads": rows,
         "geomean_speedup": geomean([r["speedup"] for r in rows]),
         "all_results_match": all(r["results_match"] for r in rows),
+        "geomean_speedup_v2": geomean(
+            [r["speedup_v2"] for r in rows if r.get("speedup_v2")]
+        ),
+        "all_v2_match": all(r.get("v2_results_ok", True) for r in rows),
         "trace_overhead": measure_trace_overhead(),
         "fault_overhead": measure_fault_overhead(),
     }
@@ -350,15 +385,31 @@ def render_report(report: Dict) -> str:
         "rectangle-search perf check "
         f"({report['suite']} suite, python {report['python']})",
         f"{'workload':<28} {'RxC':>11} {'entries':>8} "
-        f"{'t_set':>9} {'t_bit':>9} {'speedup':>8} {'match':>6}",
+        f"{'t_set':>9} {'t_bit':>9} {'speedup':>8} {'match':>6} "
+        f"{'t_v2':>9} {'v2 spd':>7} {'node red':>8}",
     ]
     for r in report["workloads"]:
+        if r.get("t_v2_s") is not None:
+            red = r.get("node_reduction")
+            v2_cols = (
+                f" {r['t_v2_s']:>8.4f}s {r['speedup_v2']:>6.2f}x "
+                f"{(f'{red:.2f}x' if red else '-'):>8}"
+            )
+        else:
+            v2_cols = f" {'-':>9} {'-':>7} {'-':>8}"
         lines.append(
             f"{r['name']:<28} {r['rows']:>5}x{r['cols']:<5} {r['entries']:>8} "
             f"{r['t_set_s']:>8.4f}s {r['t_bit_s']:>8.4f}s "
             f"{r['speedup']:>7.2f}x {str(r['results_match']):>6}"
+            + v2_cols
         )
     lines.append(f"geomean speedup: {report['geomean_speedup']:.2f}x")
+    if report.get("geomean_speedup_v2"):
+        lines.append(
+            f"geomean v2 speedup (exhaustive rows, vs bitview): "
+            f"{report['geomean_speedup_v2']:.2f}x "
+            f"(results {'OK' if report.get('all_v2_match') else 'MISMATCH'})"
+        )
     oh = report.get("trace_overhead")
     if oh:
         lines.append(

@@ -148,7 +148,30 @@ class ProfileResult:
             "busy = span virtual time minus tagged stalls; final clock "
             "matches SimulatedMachine PhaseReport/elapsed() exactly."
         )
-        return phases.render() + "\n\n" + procs.render()
+        counters = Table(
+            title="Hot-loop counters",
+            columns=["counter", "total"],
+        )
+        for name, total in self.counter_rows():
+            counters.add_row(name, int(total))
+        counters.add_note(
+            "search pruning (rect_search_*) and canonical-memo "
+            "(rect_memo_*) counters are per-search span attachments; "
+            "zero rows mean the feature never fired on this run."
+        )
+        return (
+            phases.render() + "\n\n" + procs.render()
+            + "\n\n" + counters.render()
+        )
+
+    def counter_rows(self) -> List[tuple]:
+        """Counter totals, with the v2 search/memo counters always
+        present (zero-filled) so profiles are comparable across runs."""
+        from repro.rectangles.memo import COUNTER_NAMES
+
+        totals = dict.fromkeys(COUNTER_NAMES, 0.0)
+        totals.update(self.tracer.counter_totals())
+        return sorted(totals.items())
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON payload (what the benchmark integration persists)."""

@@ -109,6 +109,10 @@ class BitKCView:
         "_default_values",
         "_neg_above",
         "_dup_rows",
+        "_clean_rows",
+        "_dominated_anchors",
+        "_suffix_pot",
+        "_signature",
     )
 
     def __init__(self, matrix) -> None:
@@ -163,6 +167,10 @@ class BitKCView:
         self._default_values: Optional[List[int]] = None
         self._neg_above: Optional[List[int]] = None
         self._dup_rows: Optional[Set[int]] = None
+        self._clean_rows: Optional[int] = None
+        self._dominated_anchors: Optional[int] = None
+        self._suffix_pot: Optional[Tuple[List[List[int]], List[List[int]]]] = None
+        self._signature: Optional[str] = None
 
     # ------------------------------------------------------------------
     @property
@@ -225,6 +233,145 @@ class BitKCView:
             table = [-(1 << (p + 1)) for p in range(len(self.col_labels))]
             self._neg_above = table
         return table
+
+    def clean_rows_mask(self) -> int:
+        """Bitmask of rows belonging to *clean* nodes.
+
+        A node is clean when no two of its cells (across all of its
+        rows, including within one row) name the same original cube —
+        the distinct-cube gain correction can never fire for it, so
+        adding a column to a rectangle made of clean rows contributes
+        its full cell values.  The v2 dominance prune is only sound for
+        columns whose rows are all clean (see
+        :func:`repro.rectangles.search.best_rectangle_exhaustive`).
+        """
+        got = self._clean_rows
+        if got is None:
+            cubes = self.entry_cubes
+            node_rows: Dict[int, List[int]] = {}
+            for rpos, nid in enumerate(self.row_node):
+                node_rows.setdefault(nid, []).append(rpos)
+            got = 0
+            for nid, rows in node_rows.items():
+                seen: Set = set()
+                clean = True
+                for rpos in rows:
+                    for eid in self.cells[rpos].values():
+                        cube = cubes[eid]
+                        if cube in seen:
+                            clean = False
+                            break
+                        seen.add(cube)
+                    if not clean:
+                        break
+                if clean:
+                    for rpos in rows:
+                        got |= 1 << rpos
+            self._clean_rows = got
+        return got
+
+    def dominated_anchors(self) -> int:
+        """Bitmask of columns the v2 search never anchors a subtree at.
+
+        Column *c* is dominated when an earlier column *c2* covers a
+        superset of its rows (``col_rows[c] ⊆ col_rows[c2]``,
+        ``c2 < c``) and every row of *c* belongs to a clean node.  Under
+        the default value function any rectangle anchored at *c* is then
+        matched or beaten (gain, then lexicographic tie-break) by one in
+        *c2*'s earlier subtree — adding *c2* costs ``|kernel_cube(c2)|``
+        but contributes ``|cokernel_r| + |kernel_cube(c2)| + 1`` per row,
+        and cleanliness guarantees the distinct-cube correction cannot
+        claw that back — so skipping *c* as an anchor is exact.  *c*
+        still participates as a forced or branched column inside other
+        anchors' subtrees.
+        """
+        got = self._dominated_anchors
+        if got is None:
+            clean = self.clean_rows_mask()
+            col_rows = self.col_rows
+            got = 0
+            for cpos in range(len(self.col_labels)):
+                rows = col_rows[cpos]
+                if not rows or rows & ~clean:
+                    continue
+                # Any dominator shares every row of c; scanning one
+                # incident row's column set finds them all.
+                r0 = (rows & -rows).bit_length() - 1
+                m = self.row_cols[r0] & ((1 << cpos) - 1)
+                while m:
+                    low = m & -m
+                    c2 = low.bit_length() - 1
+                    m ^= low
+                    if not (rows & ~col_rows[c2]):
+                        got |= 1 << cpos
+                        break
+            self._dominated_anchors = got
+        return got
+
+    def suffix_potentials(self) -> Tuple[List[List[int]], List[List[int]]]:
+        """Per-row ``(sorted column positions, value suffix sums)``.
+
+        ``sums[r][i]`` is the total default value of row *r*'s cells at
+        column positions ``cols[r][i:]`` — the most the row can still
+        gain from columns strictly above a position, found by bisecting
+        ``cols[r]``.  This is the admissible remaining-gain table the v2
+        branch-and-bound cut evaluates at every node.
+        """
+        got = self._suffix_pot
+        if got is None:
+            values = self.value_table(default_value)
+            cols_tbl: List[List[int]] = []
+            sums_tbl: List[List[int]] = []
+            for rcells in self.cells:
+                cs = sorted(rcells)
+                suf = [0] * (len(cs) + 1)
+                for i in range(len(cs) - 1, -1, -1):
+                    suf[i] = suf[i + 1] + values[rcells[cs[i]]]
+                cols_tbl.append(cs)
+                sums_tbl.append(suf)
+            got = (cols_tbl, sums_tbl)
+            self._suffix_pot = got
+        return got
+
+    def signature(self) -> str:
+        """Canonical content hash of this matrix snapshot.
+
+        Two matrices whose sorted-label compilations are structurally
+        identical — same shape, same incidence, same row/column costs,
+        same node partition of the rows and same cube-identity pattern
+        among cells (captured as dense first-occurrence ids per
+        ``(node, cube)``) — hash equally, regardless of what offset
+        labels the jobs used.  Everything the exhaustive search's result
+        depends on is in the payload, so the hash is a sound memo key
+        for :mod:`repro.rectangles.memo`.  Cached with the view: any
+        matrix mutation drops the view and hence the signature.
+        """
+        got = self._signature
+        if got is None:
+            import hashlib
+
+            values = self.value_table(default_value)
+            cube_ids: Dict[Tuple[int, Cube], int] = {}
+            items: List[Tuple[int, int, int, int]] = []
+            for rpos, rcells in enumerate(self.cells):
+                nid = self.row_node[rpos]
+                for cpos in sorted(rcells):
+                    eid = rcells[cpos]
+                    key = (nid, self.entry_cubes[eid])
+                    cid = cube_ids.setdefault(key, len(cube_ids))
+                    items.append((rpos, cpos, cid, values[eid]))
+            payload = repr((
+                "rectsig/1",
+                len(self.row_labels),
+                len(self.col_labels),
+                tuple(self.row_cost),
+                tuple(self.col_cost),
+                tuple(self.row_node),
+                tuple(items),
+            )).encode()
+            got = hashlib.sha256(payload).hexdigest()
+            self._signature = got
+        return got
 
     def value_table(self, value_fn: ValueFn = default_value) -> List[int]:
         """Per-entry-id values under *value_fn*.

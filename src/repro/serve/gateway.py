@@ -473,6 +473,13 @@ class Gateway:
             self._health_waiters.pop(hid, None)
             return None
 
+    async def _refresh_worker_health(self) -> None:
+        """Pull a live health snapshot from every ready worker so the
+        handles' ``last_health`` (which /metrics aggregates) is fresh."""
+        for handle in self._handles:
+            if handle.alive() and handle.ready:
+                await self._worker_health(handle)
+
     async def health(self) -> Dict[str, Any]:
         """The /healthz document: gateway stats + per-worker snapshots."""
         workers: Dict[str, Any] = {}
@@ -547,6 +554,21 @@ class Gateway:
         }
         if self.disk is not None:
             doc["disk_cache"] = self.disk.stats()
+        # Rectangle-search v2 counters (pruning + canonical memo),
+        # summed over the workers' latest health reports.
+        rect: Dict[str, int] = {
+            "rect_search_pruned_subtrees": 0,
+            "rect_search_dominance_skips": 0,
+            "rect_memo_hits": 0,
+            "rect_memo_misses": 0,
+            "rect_memo_evictions": 0,
+        }
+        for handle in self._handles:
+            engine = (handle.last_health or {}).get("engine") or {}
+            for name, value in (engine.get("rect_search") or {}).items():
+                if name in rect:
+                    rect[name] += int(value)
+        doc["rect_search"] = rect
         return doc
 
     # ------------------------------------------------------------------
@@ -608,6 +630,7 @@ class Gateway:
             )
             return True
         if path == "/metrics" and method == "GET":
+            await self._refresh_worker_health()
             await httpio.send_json(writer, 200, self.metrics_document())
             return True
         await httpio.send_json(writer, 404, {"error": f"no route {path!r}"})

@@ -64,6 +64,20 @@ def worker_main(
     from repro.service.jobs import FactorizationJob
 
     disk = DiskCache(cache_dir) if cache_dir else None
+    if cache_dir:
+        # Persist best-rectangle memo entries next to the result cache
+        # (own schema namespace), shared by every worker generation.
+        from repro.rectangles.memo import (
+            MEMO_SCHEMA,
+            RectMemo,
+            install_default_memo,
+            memo_enabled,
+        )
+
+        if memo_enabled():
+            install_default_memo(
+                RectMemo(backing=DiskCache(cache_dir, schema=MEMO_SCHEMA))
+            )
     engine = FactorizationEngine(workers=1, **(engine_opts or {}))
     send_lock = threading.Lock()
     jobs_done = 0

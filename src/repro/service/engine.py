@@ -246,9 +246,11 @@ class FactorizationEngine:
         the engine's workers are currently executing a job — the fields
         the serving tier's ``/healthz`` aggregates per worker process.
         """
+        from repro.rectangles.memo import rect_search_snapshot
+
         with self._busy_lock:
             busy = self._busy
-        return health_snapshot(
+        doc = health_snapshot(
             self.metrics,
             breakers=self.breakers.states(),
             queue_depth=len(self.queue),
@@ -256,6 +258,10 @@ class FactorizationEngine:
             cache=self.cache.stats() if self.use_cache else None,
             pool={"size": self.workers, "busy": busy, "alive": True},
         )
+        # Hot-path effectiveness: the process-wide v2 search pruning and
+        # canonical-memo counters (PR 7), aggregated into /metrics.
+        doc["rect_search"] = rect_search_snapshot()
+        return doc
 
     def ready(self) -> bool:
         """Readiness probe: can this engine still produce answers?"""
