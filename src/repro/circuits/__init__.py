@@ -44,6 +44,14 @@ def load_circuit(spec: str, scale: float = 1.0):
         return paper_example_network()
     if spec in MCNC_SUITE:
         return make_circuit(spec, scale=scale)
+    if spec.endswith((".eqn", ".pla", ".blif")) and scale != 1.0:
+        # Netlist files cannot be rescaled — only the synthetic suite
+        # generators honour scale.  Silently returning the unscaled
+        # network misled batch manifests, so this is a hard error.
+        raise ValueError(
+            f"scale={scale:g} is not supported for netlist file "
+            f"{spec!r}: file-path circuits always load at scale 1.0"
+        )
     if spec.endswith(".eqn"):
         from repro.network.eqn import load_eqn
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.network.boolean_network import BooleanNetwork
+from repro.network.boolean_network import BooleanNetwork, cube_is_null
 
 
 def read_blif(text: str) -> BooleanNetwork:
@@ -97,7 +97,11 @@ def write_blif(network: BooleanNetwork) -> str:
     lines.append(".inputs " + " ".join(network.inputs))
     lines.append(".outputs " + " ".join(network.outputs))
     for node in network.topological_order():
-        f = network.nodes[node]
+        # A cube containing both x and x' is the null product (identically
+        # 0): rendering it last-literal-wins would turn it satisfiable and
+        # change the function, so it is dropped here.
+        f = [c for c in network.nodes[node]
+             if not cube_is_null(network.table, c)]
         fanin_names = sorted(
             {network.table.name_of(l).rstrip("'") for c in f for l in c}
         )

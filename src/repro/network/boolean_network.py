@@ -22,6 +22,25 @@ def base_signal(name: str) -> str:
     return name.rstrip("'")
 
 
+def cube_is_null(table: LiteralTable, cube: Sequence[int]) -> bool:
+    """True iff *cube* contains a literal and its complement (``x·x' = 0``).
+
+    The algebraic model treats ``x`` and ``x'`` as independent variables,
+    so such cubes survive factorization untouched; but as a Boolean
+    product they are identically 0, and the netlist writers must not
+    render them as satisfiable rows.
+    """
+    polarity: Dict[str, bool] = {}
+    for lit in cube:
+        name = table.name_of(lit)
+        comp = name.endswith("'")
+        base = base_signal(name)
+        if base in polarity and polarity[base] != comp:
+            return True
+        polarity[base] = comp
+    return False
+
+
 class BooleanNetwork:
     """A multi-level logic network of SOP nodes.
 

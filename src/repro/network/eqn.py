@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.algebra.sop import format_sop
-from repro.network.boolean_network import BooleanNetwork
+from repro.network.boolean_network import BooleanNetwork, cube_is_null
 
 
 def write_eqn(network: BooleanNetwork) -> str:
@@ -31,7 +31,11 @@ def write_eqn(network: BooleanNetwork) -> str:
     lines.append("OUTORDER = " + " ".join(network.outputs) + ";")
     names = [network.table.name_of(i) for i in range(len(network.table))]
     for node in network.topological_order():
-        f = network.nodes[node]
+        # Null products (x·x') are identically 0 and contribute nothing to
+        # the sum; dropping them keeps the writers' Boolean semantics in
+        # sync with the BLIF/PLA emitters.
+        f = [c for c in network.nodes[node]
+             if not cube_is_null(network.table, c)]
         if not f:
             rhs = "0"
         else:
@@ -74,6 +78,17 @@ def read_eqn(text: str, name: str = "network") -> BooleanNetwork:
                 parts = [p for chunk in term.split("*") for p in chunk.split()]
                 if not parts:
                     raise ValueError(f"empty product term in {stmt!r}")
+                if "0" in parts:
+                    if len(parts) == 1:
+                        # A lone 0 term is the additive identity.
+                        continue
+                    raise ValueError(
+                        f"constant 0 inside product {term!r} in {stmt!r}: "
+                        "write the term as 0 on its own or drop it"
+                    )
+                # Constant-1 factors are the multiplicative identity, not
+                # literals; a term of only 1s is the constant-1 cube.
+                parts = [p for p in parts if p != "1"]
                 cubes.append([net.table.id_of(p) for p in parts])
             net.add_node(lhs, cubes)
     net.validate()

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.network.boolean_network import BooleanNetwork
+from repro.network.boolean_network import BooleanNetwork, cube_is_null
 
 
 def read_pla(text: str, name: str = "pla") -> BooleanNetwork:
@@ -118,6 +118,10 @@ def write_pla(network: BooleanNetwork) -> str:
     rows: List[str] = []
     for oi, o in enumerate(outs):
         for cube in network.nodes[o]:
+            if cube_is_null(network.table, cube):
+                # x·x' is the null product: dropping it preserves the
+                # function, while rendering it last-literal-wins would not.
+                continue
             in_field = ["-"] * ni
             for lit in cube:
                 nm = network.table.name_of(lit)

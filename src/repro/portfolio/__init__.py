@@ -1,0 +1,79 @@
+"""Strategy portfolio with adaptive scheduling.
+
+Races heterogeneous factorization strategies — sequential exhaustive,
+DNF-truncated, ping-pong, and the three simulated-machine parallel
+algorithms at several processor counts — per job under one shared node
+budget.  Latency-class requests take the first finisher (near-ties
+inside a short settle window resolve by catalogue order, so repeat
+races are deterministic); quality-class requests take the best final
+literal count.  Losers are cancelled
+through :mod:`repro.machine.cancel`, and a feature-keyed selector memo
+(persistable via the serve tier's ``DiskCache``) skips the race once a
+circuit family is recognized.
+"""
+
+from repro.portfolio.features import (
+    CircuitFeatures,
+    circuit_features,
+    family_key,
+)
+from repro.portfolio.lanes import (
+    DNF_TRUNCATE_NODES,
+    Lane,
+    LaneOutcome,
+    default_lanes,
+    lane_names,
+)
+from repro.portfolio.runner import (
+    COUNTER_NAMES,
+    DEFAULT_NODE_BUDGET,
+    GLOBAL_PORTFOLIO_STATS,
+    LATENCY_SETTLE_FRACTION,
+    LaneBudget,
+    LaneReport,
+    PortfolioError,
+    PortfolioResult,
+    PortfolioStats,
+    PortfolioTimeout,
+    SharedSearchBudget,
+    portfolio_snapshot,
+    run_portfolio,
+)
+from repro.portfolio.selector import (
+    SELECTOR_SCHEMA,
+    StrategySelector,
+    default_selector,
+    install_default_selector,
+    resolve_selector,
+    selector_enabled,
+)
+
+__all__ = [
+    "CircuitFeatures",
+    "circuit_features",
+    "family_key",
+    "DNF_TRUNCATE_NODES",
+    "Lane",
+    "LaneOutcome",
+    "default_lanes",
+    "lane_names",
+    "COUNTER_NAMES",
+    "DEFAULT_NODE_BUDGET",
+    "GLOBAL_PORTFOLIO_STATS",
+    "LATENCY_SETTLE_FRACTION",
+    "LaneBudget",
+    "LaneReport",
+    "PortfolioError",
+    "PortfolioResult",
+    "PortfolioStats",
+    "PortfolioTimeout",
+    "SharedSearchBudget",
+    "portfolio_snapshot",
+    "run_portfolio",
+    "SELECTOR_SCHEMA",
+    "StrategySelector",
+    "default_selector",
+    "install_default_selector",
+    "resolve_selector",
+    "selector_enabled",
+]

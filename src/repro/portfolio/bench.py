@@ -1,0 +1,237 @@
+"""The portfolio benchmark: race sweep + behavioral gate.
+
+:func:`run_portfolio_bench` races the full lane catalogue over a small
+circuit sweep — both scheduling classes, several repeats per workload,
+the selector disabled so every repeat really races — and returns the
+``BENCH_portfolio.json`` payload.
+
+:func:`validate_portfolio_report` is the perf gate
+(``scripts/perf_check.py --check``): like the serving gate it checks
+*behavioral* invariants rather than absolute times —
+
+- every repeat's winning network is equivalent to the input circuit;
+- winners are deterministic across repeats of one workload (quality by
+  construction, latency because the winning lane's margin is wide);
+- lane accounting closes: every started lane is reported exactly once
+  as won/completed/cancelled/budget/failed, with exactly one winner;
+- the latency races cancel losers (gated across a row's repeats, since
+  a lane that beats the settle window needs no cancelling);
+- a quality winner's literal count equals the minimum over every lane
+  that finished — the portfolio is never worse than its best member.
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.portfolio.lanes import lane_names
+from repro.portfolio.runner import (
+    DEFAULT_NODE_BUDGET,
+    PortfolioStats,
+    run_portfolio,
+)
+
+__all__ = ["SCHEMA", "run_portfolio_bench", "validate_portfolio_report"]
+
+#: Schema version of benchmarks/results/BENCH_portfolio.json.
+SCHEMA = "portfolio/1"
+
+#: Full sweep: (circuit, scale) pairs, each raced in both classes.
+#: Sized so the fast heuristic lane's margin over the exhaustive lanes
+#: exceeds the latency settle window — losers are reliably cancelled
+#: and the winner is reliably deterministic.
+DEFAULT_WORKLOADS: Tuple[Tuple[str, float], ...] = (
+    ("dalu", 0.6),
+    ("des", 0.2),
+)
+
+#: CI smoke sweep — one circuit, still both classes.
+QUICK_WORKLOADS: Tuple[Tuple[str, float], ...] = (
+    ("dalu", 0.6),
+)
+
+#: Lane statuses a report may contain (mirrors LaneReport.status).
+LANE_STATUSES = ("won", "completed", "cancelled", "budget", "failed")
+
+
+def _race_once(
+    network, klass: str, procs: Sequence[int], node_budget: int,
+    vectors: int,
+) -> Dict[str, Any]:
+    from repro.network.simulate import random_equivalence_check
+
+    res = run_portfolio(
+        network, klass=klass, procs=procs, node_budget=node_budget,
+        selector=False, stats=PortfolioStats(),
+    )
+    statuses: Dict[str, int] = {}
+    for rep in res.lanes:
+        statuses[rep.status] = statuses.get(rep.status, 0) + 1
+    eq = random_equivalence_check(
+        network, res.network, vectors=vectors, outputs=network.outputs
+    )
+    return {
+        "winner": res.winner,
+        "initial_lc": res.initial_lc,
+        "final_lc": res.final_lc,
+        "host_ms": round(res.host_ms, 3),
+        "cancelled": res.cancelled,
+        "budget_used": res.budget_used,
+        "lanes_total": len(res.lanes),
+        "statuses": statuses,
+        "equivalent": bool(eq),
+        "lanes": [rep.as_dict() for rep in res.lanes],
+    }
+
+
+def run_portfolio_bench(
+    workloads: Optional[Sequence[Tuple[str, float]]] = None,
+    repeats: int = 3,
+    quick: bool = False,
+    procs: Sequence[int] = (2, 4),
+    node_budget: int = DEFAULT_NODE_BUDGET,
+    vectors: int = 64,
+) -> Dict[str, Any]:
+    """Run the portfolio race sweep; returns the JSON payload.
+
+    Every repeat runs with the selector disabled and a private stats
+    object, so repeats measure the *race* (winner determinism, lane
+    accounting), never a memoized fast path.
+    """
+    from repro.circuits import load_circuit
+
+    if workloads is None:
+        workloads = QUICK_WORKLOADS if quick else DEFAULT_WORKLOADS
+    if quick:
+        repeats = min(repeats, 2)
+    rows: List[Dict[str, Any]] = []
+    t0 = time.perf_counter()
+    for circuit, scale in workloads:
+        network = load_circuit(circuit, scale=scale)
+        for klass in ("latency", "quality"):
+            runs = [
+                _race_once(network, klass, procs, node_budget, vectors)
+                for _ in range(repeats)
+            ]
+            rows.append({
+                "circuit": circuit,
+                "scale": scale,
+                "klass": klass,
+                "repeats": repeats,
+                "winners": [r["winner"] for r in runs],
+                "runs": runs,
+            })
+    return {
+        "schema": SCHEMA,
+        "python": platform.python_version(),
+        "procs": list(procs),
+        "node_budget": node_budget,
+        "lanes": lane_names(procs),
+        "vectors": vectors,
+        "host_seconds": round(time.perf_counter() - t0, 3),
+        "rows": rows,
+    }
+
+
+def _validate_run(name: str, klass: str, run: Dict[str, Any],
+                  problems: List[str]) -> None:
+    lanes = run.get("lanes")
+    if not isinstance(lanes, list) or not lanes:
+        problems.append(f"{name}: run has no lane reports")
+        return
+    if not run.get("equivalent"):
+        problems.append(f"{name}: winning network is not equivalent")
+    statuses = [rep.get("status") for rep in lanes]
+    for status in statuses:
+        if status not in LANE_STATUSES:
+            problems.append(f"{name}: unknown lane status {status!r}")
+    if statuses.count("won") != 1:
+        problems.append(
+            f"{name}: expected exactly 1 winning lane, got "
+            f"{statuses.count('won')}"
+        )
+    counted = run.get("statuses", {})
+    if sum(counted.values()) != run.get("lanes_total") or \
+            run.get("lanes_total") != len(lanes):
+        problems.append(
+            f"{name}: lane accounting does not close "
+            f"({counted} vs {len(lanes)} report(s))"
+        )
+    if statuses.count("cancelled") != run.get("cancelled"):
+        problems.append(
+            f"{name}: cancelled count {run.get('cancelled')} disagrees "
+            f"with {statuses.count('cancelled')} cancelled report(s)"
+        )
+    winner = next((rep for rep in lanes if rep.get("status") == "won"), None)
+    if winner is not None and winner.get("final_lc") != run.get("final_lc"):
+        problems.append(
+            f"{name}: winner lane LC {winner.get('final_lc')} != "
+            f"result LC {run.get('final_lc')}"
+        )
+    if klass == "quality":
+        finished = [
+            rep.get("final_lc") for rep in lanes
+            if rep.get("status") in ("won", "completed")
+            and rep.get("final_lc") is not None
+        ]
+        if finished and run.get("final_lc") != min(finished):
+            problems.append(
+                f"{name}: quality winner LC {run.get('final_lc')} worse "
+                f"than best lane LC {min(finished)}"
+            )
+
+
+def validate_portfolio_report(report: Dict[str, Any]) -> List[str]:
+    """Behavioral gate over a BENCH_portfolio.json payload.
+
+    Returns a list of failure descriptions (empty = pass).
+    """
+    problems: List[str] = []
+    if not isinstance(report, dict):
+        return ["report is not a JSON object"]
+    if report.get("schema") != SCHEMA:
+        problems.append(
+            f"schema is {report.get('schema')!r}, expected {SCHEMA!r}"
+        )
+        return problems
+    rows = report.get("rows")
+    if not isinstance(rows, list) or not rows:
+        problems.append("rows: expected a non-empty sweep")
+        rows = []
+    seen_classes = set()
+    for row in rows:
+        klass = row.get("klass")
+        seen_classes.add(klass)
+        name = f"{row.get('circuit')}@{row.get('scale')}/{klass}"
+        runs = row.get("runs")
+        if not isinstance(runs, list) or not runs:
+            problems.append(f"{name}: no runs recorded")
+            continue
+        winners = row.get("winners") or [r.get("winner") for r in runs]
+        if len(set(winners)) != 1:
+            problems.append(
+                f"{name}: winner not deterministic across repeats "
+                f"({winners})"
+            )
+        lcs = {r.get("final_lc") for r in runs}
+        if klass == "quality" and len(lcs) != 1:
+            problems.append(
+                f"{name}: quality LC not deterministic across repeats "
+                f"({sorted(lcs)})"
+            )
+        if klass == "latency" and \
+                sum(r.get("cancelled", 0) for r in runs) < 1:
+            # Cancellation is opportunistic (a lane finishing inside the
+            # settle window needs no cancelling), so the mechanism is
+            # gated across the row's repeats rather than per run.
+            problems.append(f"{name}: latency races cancelled no losers")
+        for i, run in enumerate(runs):
+            _validate_run(f"{name}#{i}", klass, run, problems)
+    missing = {"latency", "quality"} - seen_classes
+    if rows and missing:
+        problems.append(
+            f"sweep never exercised class(es): {', '.join(sorted(missing))}"
+        )
+    return problems

@@ -1,0 +1,93 @@
+"""Circuit features for the portfolio's strategy selector.
+
+The selector cannot afford to run the race to find out which strategy a
+circuit favours — the whole point is to stop paying for the race — so it
+keys its memo on cheap structural features of the kernel-cube matrix:
+row/column counts, density, kernel-cube totals and the duplicate-row
+share (the paper's replicated search degrades exactly when the KC matrix
+is large and sparse, while partitioned approaches shrug it off).
+
+Features are quantized into logarithmic buckets to form a *family key*:
+two circuits from the same generator family (or the same circuit
+resubmitted at the same scale) land in the same bucket, while the
+exact-valued features stay available for the heuristic fallback.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+from typing import Dict
+
+from repro.network.boolean_network import BooleanNetwork
+from repro.rectangles.kcmatrix import build_kc_matrix
+
+
+@dataclass(frozen=True)
+class CircuitFeatures:
+    """Structural profile of a circuit's kernel-cube matrix."""
+
+    nodes: int
+    literals: int
+    kc_rows: int
+    kc_cols: int
+    kc_entries: int
+    kc_density: float
+    kernel_cubes: int
+    dup_row_share: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return asdict(self)
+
+
+def circuit_features(network: BooleanNetwork) -> CircuitFeatures:
+    """Compute selector features from one KC-matrix build.
+
+    This is the same matrix the first greedy iteration of every lane
+    builds, so the cost is one extra build — small next to any race.
+    """
+    mat = build_kc_matrix(network)
+    rows = mat.num_rows
+    cols = mat.num_cols
+    entries = mat.num_entries
+    density = entries / (rows * cols) if rows and cols else 0.0
+    seen = set()
+    dups = 0
+    for r in mat.rows:
+        key = frozenset(mat.by_row.get(r, ()))
+        if key in seen:
+            dups += 1
+        else:
+            seen.add(key)
+    return CircuitFeatures(
+        nodes=len(network.nodes),
+        literals=network.literal_count(),
+        kc_rows=rows,
+        kc_cols=cols,
+        kc_entries=entries,
+        kc_density=density,
+        kernel_cubes=cols,
+        dup_row_share=dups / rows if rows else 0.0,
+    )
+
+
+def _bucket(x: float) -> int:
+    """Logarithmic size bucket: 0, 1, 2, ... for 0, 1-2, 3-6, 7-14, ..."""
+    return int(math.log2(x + 1))
+
+
+def family_key(features: CircuitFeatures) -> str:
+    """Quantized family signature used as the selector-memo key.
+
+    Buckets are coarse on purpose: resubmissions of the same circuit hit
+    exactly, same-generator siblings usually hit, and a collision merely
+    reuses a lane choice that the quality gates would have picked anyway.
+    """
+    return (
+        f"r{_bucket(features.kc_rows)}"
+        f"c{_bucket(features.kc_cols)}"
+        f"e{_bucket(features.kc_entries)}"
+        f"d{int(round(features.kc_density * 8))}"
+        f"l{_bucket(features.literals)}"
+        f"u{int(round(features.dup_row_share * 8))}"
+    )

@@ -1,0 +1,150 @@
+"""The portfolio's lane catalogue.
+
+A *lane* is one self-contained factorization strategy the portfolio can
+race: the two sequential searchers, a deliberately truncated exhaustive
+run (the paper's DNF rows turned into an anytime strategy), and the three
+simulated-machine parallel algorithms at one or more processor counts.
+
+Every lane runs on its own copy of the input network, calls
+:func:`repro.machine.cancel.check_cancelled` at its step boundaries (via
+the extraction loops), and draws search-tree nodes from the budget object
+the runner hands it — which is how one shared node pool is raced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.network.boolean_network import BooleanNetwork
+from repro.rectangles.search import BudgetExceeded, SearchBudget
+
+#: Node cap for the DNF-truncated lane: small enough to finish fast on
+#: circuits where full exhaustive search blows up, large enough to find
+#: the big early rectangles.
+DNF_TRUNCATE_NODES = 50_000
+
+
+@dataclass
+class LaneOutcome:
+    """What a lane produced: an optimized copy and its quality."""
+
+    network: BooleanNetwork
+    final_lc: int
+    details: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Lane:
+    """One strategy in the portfolio.
+
+    *uses_budget* marks lanes whose searches spend shared node budget
+    (the exhaustive-search ones); *truncate* caps the lane's own spend so
+    it returns a partial result instead of raising.
+    """
+
+    name: str
+    kind: str  # "sequential" | "machine"
+    run: Callable[[BooleanNetwork, Optional[SearchBudget]], LaneOutcome]
+    uses_budget: bool = False
+    truncate: Optional[int] = None
+    #: Expected-latency rank (lower = expected faster).  Latency-class
+    #: ties inside the settle window resolve by this rank (then
+    #: catalogue order), so scheduling noise between two near-tied lanes
+    #: cannot flip the winner between runs.
+    latency_rank: int = 0
+
+
+def _seq_lane(name: str, searcher: str, max_seeds: Optional[int],
+              uses_budget: bool, truncate: Optional[int] = None,
+              latency_rank: int = 0) -> Lane:
+    def run(network: BooleanNetwork,
+            budget: Optional[SearchBudget]) -> LaneOutcome:
+        from repro.rectangles.cover import kernel_extract
+
+        work = network.copy()
+        truncated = False
+        try:
+            kernel_extract(work, searcher=searcher, budget=budget,
+                           max_seeds=max_seeds)
+        except BudgetExceeded:
+            if truncate is None:
+                raise
+            # The truncated lane's contract: a partial factorization is
+            # the result, not a failure (the greedy loop leaves the
+            # network valid between extractions).
+            truncated = True
+        return LaneOutcome(
+            network=work,
+            final_lc=work.literal_count(),
+            details={"truncated": truncated},
+        )
+
+    return Lane(name=name, kind="sequential", run=run,
+                uses_budget=uses_budget, truncate=truncate,
+                latency_rank=latency_rank)
+
+
+def _machine_lane(name: str, algorithm: str, nprocs: int,
+                  max_seeds: Optional[int], latency_rank: int = 1) -> Lane:
+    def run(network: BooleanNetwork,
+            budget: Optional[SearchBudget]) -> LaneOutcome:
+        if algorithm == "replicated":
+            from repro.parallel.replicated import replicated_kernel_extract
+
+            res = replicated_kernel_extract(network, nprocs,
+                                            search_budget=budget)
+        elif algorithm == "independent":
+            from repro.parallel.independent import independent_kernel_extract
+
+            res = independent_kernel_extract(network, nprocs,
+                                             max_seeds=max_seeds)
+        elif algorithm == "lshaped":
+            from repro.parallel.lshaped import lshaped_kernel_extract
+
+            res = lshaped_kernel_extract(network, nprocs,
+                                         max_seeds=max_seeds)
+        else:  # pragma: no cover - catalogue bug
+            raise ValueError(f"unknown machine lane algorithm {algorithm!r}")
+        return LaneOutcome(
+            network=res.network,
+            final_lc=res.final_lc,
+            details={
+                "parallel_time": res.parallel_time,
+                "speedup": res.speedup,
+                "nprocs": nprocs,
+            },
+        )
+
+    return Lane(name=name, kind="machine", run=run,
+                uses_budget=algorithm == "replicated",
+                latency_rank=latency_rank)
+
+
+def default_lanes(procs: Sequence[int] = (2, 4),
+                  max_seeds: Optional[int] = 64,
+                  truncate_nodes: int = DNF_TRUNCATE_NODES) -> List[Lane]:
+    """The standard portfolio: three sequential lanes plus the three
+    parallel algorithms at each processor count in *procs*."""
+    lanes: List[Lane] = [
+        _seq_lane("seq-exhaustive", "exhaustive", max_seeds,
+                  uses_budget=True, latency_rank=3),
+        _seq_lane("dnf-truncated", "exhaustive", max_seeds,
+                  uses_budget=True, truncate=truncate_nodes,
+                  latency_rank=2),
+        _seq_lane("seq-pingpong", "pingpong", max_seeds, uses_budget=False,
+                  latency_rank=0),
+    ]
+    for p in procs:
+        lanes.append(_machine_lane(f"replicated@{p}", "replicated", p,
+                                   max_seeds, latency_rank=2))
+        lanes.append(_machine_lane(f"independent@{p}", "independent", p,
+                                   max_seeds, latency_rank=1))
+        lanes.append(_machine_lane(f"lshaped@{p}", "lshaped", p, max_seeds,
+                                   latency_rank=1))
+    return lanes
+
+
+def lane_names(procs: Sequence[int] = (2, 4)) -> Tuple[str, ...]:
+    """The names :func:`default_lanes` would produce for *procs*."""
+    return tuple(l.name for l in default_lanes(procs=procs))

@@ -1,0 +1,533 @@
+"""The portfolio racer: heterogeneous strategies under one budget.
+
+No single approach in the paper wins everywhere — replicated search dies
+on large circuits, partitioned approaches trade quality for latency — so
+:func:`run_portfolio` races a catalogue of lanes
+(:mod:`repro.portfolio.lanes`) on copies of one network:
+
+- **latency class** — the first successfully finishing lane opens a
+  short *settle window* (a fraction of its own finish time); every lane
+  that also completes inside the window is a tie, broken by catalogue
+  order, and every other lane's
+  :class:`~repro.machine.cancel.CancelToken` is cancelled so the losers
+  unwind at their next extraction step.  The window makes the winner
+  deterministic when two fast lanes are within scheduling noise of each
+  other, at a bounded cost over the raw first finisher;
+- **quality class** — all lanes run (up to an optional deadline, at
+  which stragglers are cancelled) and the best final literal count wins,
+  ties broken by catalogue order so repeat runs are deterministic.
+
+All exhaustive-search lanes draw nodes from one shared, thread-safe
+:class:`SharedSearchBudget`: the job pays for one pool, however many
+lanes race over it.  Results feed the strategy selector
+(:mod:`repro.portfolio.selector`), which skips the race entirely once a
+circuit family is recognized.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.machine.cancel import (
+    CancelToken,
+    JobCancelled,
+    cancel_scope,
+    check_cancelled,
+)
+from repro.network.boolean_network import BooleanNetwork
+from repro.obs.tracer import active_tracer
+from repro.portfolio.features import CircuitFeatures, circuit_features, family_key
+from repro.portfolio.lanes import Lane, LaneOutcome, default_lanes
+from repro.portfolio.selector import resolve_selector
+from repro.rectangles.search import BudgetExceeded, SearchBudget
+
+#: Default shared node pool per race (matches replicated's default).
+DEFAULT_NODE_BUDGET = 5_000_000
+
+#: Latency settle window as a fraction of the first finisher's own race
+#: time (with a small absolute floor): lanes completing inside it tie,
+#: and the tie is broken by catalogue order for deterministic winners.
+LATENCY_SETTLE_FRACTION = 1.0
+LATENCY_SETTLE_FLOOR_S = 0.1
+
+#: Portfolio counter names exposed in ``repro profile`` and /metrics
+#: (per-lane win counts ride along as a nested document).
+COUNTER_NAMES = (
+    "portfolio_races",
+    "portfolio_cancelled_lanes",
+    "selector_hits",
+)
+
+
+class PortfolioError(Exception):
+    """Every lane failed — no result to return."""
+
+
+class PortfolioTimeout(PortfolioError):
+    """The race deadline expired before any lane finished."""
+
+
+class SharedSearchBudget(SearchBudget):
+    """A thread-safe :class:`SearchBudget`: one node pool, many lanes."""
+
+    def __init__(self, max_nodes: int) -> None:
+        super().__init__(max_nodes=max_nodes)
+        self._lock = threading.Lock()
+
+    def spend(self, n: int = 1) -> None:
+        with self._lock:
+            self.used += n
+            over = self.used > self.max_nodes
+        if over:
+            raise BudgetExceeded(
+                f"portfolio race exceeded shared budget of "
+                f"{self.max_nodes} nodes"
+            )
+
+
+class LaneBudget(SearchBudget):
+    """Per-lane budget view: tallies the lane's own spend while charging
+    the shared pool, optionally capped for the truncated lane."""
+
+    def __init__(self, shared: Optional[SharedSearchBudget] = None,
+                 cap: Optional[int] = None) -> None:
+        limit = cap if cap is not None else (
+            shared.max_nodes if shared is not None else 0
+        )
+        super().__init__(max_nodes=limit)
+        self._shared = shared
+        self._cap = cap
+
+    def spend(self, n: int = 1) -> None:
+        self.used += n
+        if self._shared is not None:
+            self._shared.spend(n)
+        if self._cap is not None and self.used > self._cap:
+            raise BudgetExceeded(
+                f"lane truncation cap of {self._cap} nodes reached"
+            )
+
+
+def _budget_for(lane: Lane,
+                shared: Optional[SharedSearchBudget]) -> Optional[SearchBudget]:
+    if not lane.uses_budget:
+        return None
+    if shared is None and lane.truncate is None:
+        return None
+    return LaneBudget(shared=shared, cap=lane.truncate)
+
+
+# ----------------------------------------------------------------------
+# process-wide counters (mirrors repro.rectangles.memo's GLOBAL stats)
+# ----------------------------------------------------------------------
+
+
+class PortfolioStats:
+    """Process-wide tally of races, wins per lane, and selector skips."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.races = 0
+        self.cancelled_lanes = 0
+        self.selector_hits = 0
+        self.lane_wins: Dict[str, int] = {}
+
+    def record_race(self, winner: str, cancelled: int) -> None:
+        with self._lock:
+            self.races += 1
+            self.cancelled_lanes += cancelled
+            self.lane_wins[winner] = self.lane_wins.get(winner, 0) + 1
+
+    def record_selector_hit(self, lane: str) -> None:
+        with self._lock:
+            self.selector_hits += 1
+            self.lane_wins[lane] = self.lane_wins.get(lane, 0) + 1
+
+    def reset(self) -> None:
+        with self._lock:
+            self.races = 0
+            self.cancelled_lanes = 0
+            self.selector_hits = 0
+            self.lane_wins = {}
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "portfolio_races": self.races,
+                "portfolio_cancelled_lanes": self.cancelled_lanes,
+                "selector_hits": self.selector_hits,
+                "portfolio_lane_wins": dict(self.lane_wins),
+            }
+
+
+GLOBAL_PORTFOLIO_STATS = PortfolioStats()
+
+
+def portfolio_snapshot() -> Dict[str, Any]:
+    """The counter document engine health and /metrics expose."""
+    return GLOBAL_PORTFOLIO_STATS.snapshot()
+
+
+# ----------------------------------------------------------------------
+# race bookkeeping
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class LaneReport:
+    """One lane's fate in a race."""
+
+    lane: str
+    kind: str
+    status: str  # "won" | "completed" | "cancelled" | "budget" | "failed"
+    final_lc: Optional[int] = None
+    host_ms: float = 0.0
+    nodes_spent: int = 0
+    error: Optional[str] = None
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "lane": self.lane,
+            "kind": self.kind,
+            "status": self.status,
+            "final_lc": self.final_lc,
+            "host_ms": round(self.host_ms, 3),
+            "nodes_spent": self.nodes_spent,
+            "error": self.error,
+        }
+
+
+@dataclass
+class PortfolioResult:
+    """Outcome of one portfolio request (race or memoized single lane).
+
+    Exposes ``network`` / ``initial_lc`` / ``final_lc`` like every other
+    engine payload so the service and serve tiers need no special cases.
+    """
+
+    klass: str
+    winner: str
+    network: BooleanNetwork
+    initial_lc: int
+    final_lc: int
+    host_ms: float
+    lanes: List[LaneReport]
+    memoized: bool
+    cancelled: int
+    budget_used: int
+    budget_max: Optional[int]
+    family: str
+    features: Dict[str, Any]
+
+    @property
+    def improvement(self) -> int:
+        return self.initial_lc - self.final_lc
+
+
+@dataclass
+class _LaneDone:
+    lane: Lane
+    index: int
+    status: str
+    outcome: Optional[LaneOutcome]
+    error: Optional[str]
+    host_ms: float
+    nodes: int
+    t_done: float = 0.0  # perf_counter() at completion
+
+
+def _lane_main(lane: Lane, index: int, network: BooleanNetwork,
+               budget: Optional[SearchBudget], token: CancelToken,
+               out_q: "queue.Queue[_LaneDone]") -> None:
+    t0 = time.perf_counter()
+    status, outcome, err = "completed", None, None
+    try:
+        with cancel_scope(token):
+            tracer = active_tracer()
+            if tracer is not None:
+                with tracer.span(
+                    f"lane:{lane.name}", cat="portfolio",
+                    track=f"lane:{lane.name}",
+                    attrs={"lane": lane.name, "kind": lane.kind},
+                ):
+                    outcome = lane.run(network, budget)
+            else:
+                outcome = lane.run(network, budget)
+    except JobCancelled:
+        status = "cancelled"
+    except BudgetExceeded as exc:
+        status, err = "budget", str(exc)
+    except Exception as exc:  # noqa: BLE001 - lane isolation boundary
+        status, err = "failed", f"{type(exc).__name__}: {exc}"
+    t1 = time.perf_counter()
+    out_q.put(_LaneDone(
+        lane=lane, index=index, status=status, outcome=outcome, error=err,
+        host_ms=(t1 - t0) * 1000.0,
+        nodes=getattr(budget, "used", 0) or 0,
+        t_done=t1,
+    ))
+
+
+def _report_for(done: _LaneDone) -> LaneReport:
+    return LaneReport(
+        lane=done.lane.name,
+        kind=done.lane.kind,
+        status=done.status,
+        final_lc=done.outcome.final_lc if done.outcome is not None else None,
+        host_ms=done.host_ms,
+        nodes_spent=done.nodes,
+        error=done.error,
+        details=dict(done.outcome.details) if done.outcome is not None else {},
+    )
+
+
+# ----------------------------------------------------------------------
+# the racer
+# ----------------------------------------------------------------------
+
+
+def run_portfolio(
+    network: BooleanNetwork,
+    klass: str = "latency",
+    procs: Sequence[int] = (2, 4),
+    node_budget: Optional[int] = DEFAULT_NODE_BUDGET,
+    deadline: Optional[float] = None,
+    lanes: Optional[Sequence[Lane]] = None,
+    selector=None,
+    metrics=None,
+    max_seeds: Optional[int] = 64,
+    stats: Optional[PortfolioStats] = None,
+    latency_settle: float = LATENCY_SETTLE_FRACTION,
+) -> PortfolioResult:
+    """Race the portfolio over *network* and return the winning result.
+
+    *selector* follows the memo convention: ``None`` uses the process
+    default, ``False`` disables memoization (always race), an explicit
+    :class:`~repro.portfolio.selector.StrategySelector` is used as-is.
+    *metrics* is an optional :class:`~repro.obs.metrics.MetricsRegistry`
+    mirroring the counters the process-wide stats record.
+    *latency_settle* is the latency-class settle window as a fraction of
+    the first finisher's race time: lanes completing inside it tie, the
+    tie breaking by catalogue order so repeat races pick one winner.
+    """
+    if klass not in ("latency", "quality"):
+        raise ValueError(
+            f"unknown portfolio class {klass!r}: expected latency or quality"
+        )
+    lane_list = list(lanes) if lanes is not None else default_lanes(
+        procs=procs, max_seeds=max_seeds
+    )
+    if not lane_list:
+        raise ValueError("portfolio needs at least one lane")
+    stats = stats if stats is not None else GLOBAL_PORTFOLIO_STATS
+    initial_lc = network.literal_count()
+    feats = circuit_features(network)
+    family = family_key(feats)
+    sel = resolve_selector(selector)
+
+    tracer = active_tracer()
+    t_race = time.perf_counter()
+
+    # -- memoized fast path: run the remembered lane, skip the race -----
+    if sel is not None:
+        pick = sel.choose(feats, klass)
+        lane = next((l for l in lane_list if l.name == pick), None)
+        if lane is not None:
+            done = _run_single(lane, network, node_budget)
+            if done.status == "completed" and done.outcome is not None:
+                stats.record_selector_hit(lane.name)
+                if metrics is not None:
+                    metrics.inc("selector_hits")
+                    metrics.inc(f"portfolio_lane_wins_{lane.name}")
+                report = _report_for(done)
+                report.status = "won"
+                host_ms = (time.perf_counter() - t_race) * 1000.0
+                if tracer is not None:
+                    with tracer.span("portfolio-memoized", cat="portfolio",
+                                     attrs={"class": klass, "lane": lane.name,
+                                            "family": family}) as sp:
+                        sp.add_counters(selector_hits=1)
+                return PortfolioResult(
+                    klass=klass, winner=lane.name,
+                    network=done.outcome.network,
+                    initial_lc=initial_lc,
+                    final_lc=done.outcome.final_lc,
+                    host_ms=host_ms, lanes=[report], memoized=True,
+                    cancelled=0, budget_used=done.nodes,
+                    budget_max=node_budget, family=family,
+                    features=feats.as_dict(),
+                )
+            # The remembered lane failed this time: forget it and race.
+            sel.forget(feats, klass)
+
+    # -- full race ------------------------------------------------------
+    shared = (
+        SharedSearchBudget(node_budget) if node_budget is not None else None
+    )
+    out_q: "queue.Queue[_LaneDone]" = queue.Queue()
+    tokens: Dict[str, CancelToken] = {}
+    threads: List[threading.Thread] = []
+    span = (
+        tracer.span("portfolio-race", cat="portfolio",
+                    attrs={"class": klass, "family": family,
+                           "lanes": len(lane_list)})
+        if tracer is not None else None
+    )
+    if span is not None:
+        span.__enter__()
+    try:
+        race_start = time.perf_counter()
+        for idx, lane in enumerate(lane_list):
+            token = CancelToken()
+            tokens[lane.name] = token
+            budget = _budget_for(lane, shared)
+            th = threading.Thread(
+                target=_lane_main,
+                args=(lane, idx, network, budget, token, out_q),
+                daemon=True, name=f"portfolio-{lane.name}",
+            )
+            threads.append(th)
+            th.start()
+
+        deadline_at = (
+            time.perf_counter() + deadline if deadline is not None else None
+        )
+        deadline_fired = False
+        finished: List[_LaneDone] = []
+        first_winner: Optional[_LaneDone] = None
+        settle_deadline: Optional[float] = None
+        settle_fired = False
+        try:
+            while len(finished) < len(lane_list):
+                check_cancelled()  # honour the engine's outer deadline
+                try:
+                    item = out_q.get(timeout=0.02)
+                except queue.Empty:
+                    item = None
+                if item is not None:
+                    finished.append(item)
+                    if (item.status == "completed" and klass == "latency"
+                            and first_winner is None):
+                        # Open the settle window: near-ties that finish
+                        # inside it are broken by catalogue order, so
+                        # scheduling noise can't flip the winner.
+                        first_winner = item
+                        settle_deadline = item.t_done + max(
+                            LATENCY_SETTLE_FLOOR_S,
+                            latency_settle * (item.t_done - race_start),
+                        )
+                if (settle_deadline is not None and not settle_fired
+                        and time.perf_counter() >= settle_deadline):
+                    settle_fired = True
+                    for tok in tokens.values():
+                        tok.cancel()
+                if (deadline_at is not None and not deadline_fired
+                        and time.perf_counter() >= deadline_at):
+                    # Quality: keep the best finished so far.  Latency
+                    # without a winner yet: the race has timed out.
+                    deadline_fired = True
+                    deadline_at = None
+                    if klass == "quality" or first_winner is None:
+                        for tok in tokens.values():
+                            tok.cancel()
+        except JobCancelled:
+            for tok in tokens.values():
+                tok.cancel()
+            for th in threads:
+                th.join(timeout=10.0)
+            raise
+        for th in threads:
+            th.join(timeout=10.0)
+    finally:
+        if span is not None:
+            span.__exit__(None, None, None)
+
+    finished.sort(key=lambda d: d.index)
+    successes = [d for d in finished if d.status == "completed"]
+    cancelled = sum(1 for d in finished if d.status == "cancelled")
+    if klass == "latency":
+        winner = min(
+            (d for d in successes
+             if settle_deadline is None or d.t_done <= settle_deadline),
+            key=lambda d: (d.lane.latency_rank, d.index),
+            default=None,
+        )
+    else:
+        winner = min(
+            successes, key=lambda d: (d.outcome.final_lc, d.index),
+            default=None,
+        )
+    if winner is None or winner.outcome is None:
+        errors = "; ".join(
+            f"{d.lane.name}: {d.error}" for d in finished if d.error
+        ) or "no lane produced a result"
+        if deadline_fired:
+            raise PortfolioTimeout(
+                f"portfolio race hit the {deadline}s deadline with no "
+                f"finished lane ({errors})"
+            )
+        raise PortfolioError(f"every portfolio lane failed ({errors})")
+
+    host_ms = (time.perf_counter() - t_race) * 1000.0
+    reports = []
+    for d in finished:
+        rep = _report_for(d)
+        if d is winner:
+            rep.status = "won"
+        reports.append(rep)
+
+    stats.record_race(winner.lane.name, cancelled)
+    if metrics is not None:
+        metrics.inc("portfolio_races")
+        metrics.inc(f"portfolio_lane_wins_{winner.lane.name}")
+        if cancelled:
+            metrics.inc("portfolio_cancelled_lanes", cancelled)
+        metrics.histogram("portfolio_race_ms").observe(host_ms)
+    if tracer is not None:
+        with tracer.span("portfolio-verdict", cat="portfolio",
+                         attrs={"class": klass, "winner": winner.lane.name,
+                                "family": family}) as sp:
+            sp.add_counters(portfolio_races=1,
+                            portfolio_cancelled_lanes=cancelled)
+    if sel is not None:
+        sel.record(feats, klass, winner.lane.name,
+                   final_lc=winner.outcome.final_lc)
+
+    return PortfolioResult(
+        klass=klass, winner=winner.lane.name,
+        network=winner.outcome.network, initial_lc=initial_lc,
+        final_lc=winner.outcome.final_lc, host_ms=host_ms,
+        lanes=reports, memoized=False, cancelled=cancelled,
+        budget_used=shared.used if shared is not None else
+        sum(d.nodes for d in finished),
+        budget_max=node_budget, family=family, features=feats.as_dict(),
+    )
+
+
+def _run_single(lane: Lane, network: BooleanNetwork,
+                node_budget: Optional[int]) -> _LaneDone:
+    """Run one lane without a race (the selector's memoized path)."""
+    shared = (
+        SharedSearchBudget(node_budget) if node_budget is not None else None
+    )
+    budget = _budget_for(lane, shared)
+    t0 = time.perf_counter()
+    status, outcome, err = "completed", None, None
+    try:
+        outcome = lane.run(network, budget)
+    except JobCancelled:
+        raise
+    except BudgetExceeded as exc:
+        status, err = "budget", str(exc)
+    except Exception as exc:  # noqa: BLE001 - lane isolation boundary
+        status, err = "failed", f"{type(exc).__name__}: {exc}"
+    return _LaneDone(
+        lane=lane, index=0, status=status, outcome=outcome, error=err,
+        host_ms=(time.perf_counter() - t0) * 1000.0,
+        nodes=getattr(budget, "used", 0) or 0,
+    )

@@ -1,0 +1,150 @@
+"""Adaptive strategy selector with a persisted per-family decision memo.
+
+The first portfolio request for a circuit family pays for the full race;
+the winner is recorded against the family's quantized feature key
+(:func:`repro.portfolio.features.family_key`).  The next request for a
+recognized family skips the race and runs the remembered lane directly —
+``selector_hits`` in engine health and the gateway ``/metrics`` counts
+exactly those skips.
+
+Mirrors the :class:`repro.rectangles.memo.RectMemo` conventions: a
+process-wide default selector (``REPRO_PORTFOLIO_MEMO`` disables), an
+optional *backing* store speaking the PR 6 ``DiskCache`` ``get``/``put``
+protocol under the :data:`SELECTOR_SCHEMA` namespace (``repro serve``
+workers wire the shared cache directory in), and a flat ``stats()``
+document for observability.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from typing import Any, Dict, Optional
+
+from repro.portfolio.features import CircuitFeatures, family_key
+
+#: Environment toggle for the process-default selector ("0" disables).
+ENV_VAR = "REPRO_PORTFOLIO_MEMO"
+
+#: DiskCache schema namespace for persisted lane decisions.
+SELECTOR_SCHEMA = "repro-portfolio/1"
+
+
+def decision_key(family: str, klass: str) -> str:
+    """Backing-store key for one (family, request-class) decision."""
+    payload = f"{family}|{klass}|v1"
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class StrategySelector:
+    """Feature-keyed memo of winning lanes, write-through to *backing*."""
+
+    def __init__(self, backing=None) -> None:
+        self.backing = backing
+        self._lock = threading.Lock()
+        self._table: Dict[str, Dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.records = 0
+
+    # -- decisions -----------------------------------------------------
+    def choose(self, features: CircuitFeatures, klass: str) -> Optional[str]:
+        """The remembered winning lane for this family/class, or None.
+
+        A return value of None means "run the race"; only genuine memo
+        hits are counted as hits.
+        """
+        family = family_key(features)
+        key = decision_key(family, klass)
+        with self._lock:
+            entry = self._table.get(key)
+        if entry is None and self.backing is not None:
+            doc = self.backing.get(key)
+            if doc is not None and isinstance(doc.get("lane"), str):
+                entry = doc
+                with self._lock:
+                    self._table[key] = doc
+        with self._lock:
+            if entry is not None:
+                self.hits += 1
+                return entry["lane"]
+            self.misses += 1
+        return None
+
+    def record(self, features: CircuitFeatures, klass: str, lane: str,
+               final_lc: Optional[int] = None) -> None:
+        """Remember *lane* as the winner for this family/class."""
+        family = family_key(features)
+        key = decision_key(family, klass)
+        entry = {
+            "lane": lane,
+            "family": family,
+            "class": klass,
+            "final_lc": final_lc,
+            "features": features.as_dict(),
+        }
+        with self._lock:
+            self._table[key] = entry
+            self.records += 1
+        if self.backing is not None:
+            self.backing.put(key, entry)
+
+    def forget(self, features: CircuitFeatures, klass: str) -> None:
+        """Drop the in-memory decision (e.g. after the lane failed)."""
+        key = decision_key(family_key(features), klass)
+        with self._lock:
+            self._table.pop(key, None)
+
+    # -- observability -------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "size": len(self._table),
+                "hits": self.hits,
+                "misses": self.misses,
+                "records": self.records,
+                "persistent": self.backing is not None,
+            }
+
+
+_default_selector: Optional[StrategySelector] = None
+_default_lock = threading.Lock()
+
+
+def selector_enabled() -> bool:
+    """Whether the process-default selector is on."""
+    return os.environ.get(ENV_VAR, "1") not in ("0", "off", "false")
+
+
+def default_selector() -> Optional[StrategySelector]:
+    """The process-wide selector (created lazily), or None when disabled."""
+    if not selector_enabled():
+        return None
+    global _default_selector
+    with _default_lock:
+        if _default_selector is None:
+            _default_selector = StrategySelector()
+        return _default_selector
+
+
+def install_default_selector(
+    selector: Optional[StrategySelector],
+) -> Optional[StrategySelector]:
+    """Replace the process-default selector (e.g. with a disk-backed
+    one); returns the previous one."""
+    global _default_selector
+    with _default_lock:
+        previous = _default_selector
+        _default_selector = selector
+        return previous
+
+
+def resolve_selector(selector) -> Optional[StrategySelector]:
+    """Resolve a ``selector=`` argument: ``None`` → the process default,
+    ``False`` → disabled, anything else is used as-is."""
+    if selector is None:
+        return default_selector()
+    if selector is False:
+        return None
+    return selector

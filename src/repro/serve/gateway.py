@@ -377,11 +377,13 @@ class Gateway:
         cache_key = (spec["circuit"], spec["scale"])
         network = self._network_cache.get(cache_key)
         if network is None:
-            from repro.circuits import UnknownCircuitError, load_circuit
+            from repro.circuits import load_circuit
 
             try:
                 network = load_circuit(spec["circuit"], scale=spec["scale"])
-            except UnknownCircuitError as exc:
+            except ValueError as exc:
+                # Unknown name, scale combined with a netlist path, or a
+                # netlist parse error — all client errors.
                 raise BadRequest(str(exc)) from None
             self._network_cache[cache_key] = network
             while len(self._network_cache) > 64:
@@ -569,6 +571,25 @@ class Gateway:
                 if name in rect:
                     rect[name] += int(value)
         doc["rect_search"] = rect
+        # Portfolio race counters, summed the same way; per-lane win
+        # counts merge as a nested document keyed by lane name.
+        portfolio: Dict[str, Any] = {
+            "portfolio_races": 0,
+            "portfolio_cancelled_lanes": 0,
+            "selector_hits": 0,
+            "portfolio_lane_wins": {},
+        }
+        for handle in self._handles:
+            engine = (handle.last_health or {}).get("engine") or {}
+            snap = engine.get("portfolio") or {}
+            for name in ("portfolio_races", "portfolio_cancelled_lanes",
+                         "selector_hits"):
+                portfolio[name] += int(snap.get(name, 0))
+            for lane, wins in (snap.get("portfolio_lane_wins") or {}).items():
+                portfolio["portfolio_lane_wins"][lane] = (
+                    portfolio["portfolio_lane_wins"].get(lane, 0) + int(wins)
+                )
+        doc["portfolio"] = portfolio
         return doc
 
     # ------------------------------------------------------------------

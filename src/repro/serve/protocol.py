@@ -82,6 +82,21 @@ def parse_job_request(doc: Any) -> Dict[str, Any]:
                 f"'eqn' exceeds the {MAX_EQN_BYTES // (1024 * 1024)} MiB limit"
             )
     algorithm = doc.get("algorithm", "sequential")
+    klass = doc.get("class")
+    if klass is not None:
+        # 'class' is SLO sugar for the portfolio algorithms: latency
+        # races for the first finisher, quality for the best literal
+        # count.  It may restate — but not contradict — 'algorithm'.
+        if klass not in ("latency", "quality"):
+            raise BadRequest(
+                f"unknown class {klass!r}; expected latency or quality"
+            )
+        if "algorithm" in doc and algorithm != f"portfolio:{klass}":
+            raise BadRequest(
+                f"'class': {klass!r} conflicts with explicit "
+                f"algorithm {algorithm!r}"
+            )
+        algorithm = f"portfolio:{klass}"
     if algorithm not in ALGORITHMS:
         raise BadRequest(
             f"unknown algorithm {algorithm!r}; expected one of "

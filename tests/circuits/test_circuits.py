@@ -127,3 +127,49 @@ class TestMcncSuite:
         a = make_circuit("misex3", scale=0.2)
         b = make_circuit("misex3", scale=0.2)
         assert a.nodes == b.nodes
+
+
+class TestLoadCircuitScale:
+    """File-path circuits must reject scale != 1.0 loudly (the silent
+    unscaled-load regression)."""
+
+    def _eqn_file(self, tmp_path):
+        p = tmp_path / "tiny.eqn"
+        p.write_text("INORDER = a b;\nOUTORDER = f;\nf = a * b;\n")
+        return p
+
+    def test_file_path_at_unit_scale_loads(self, tmp_path):
+        from repro.circuits import load_circuit
+
+        net = load_circuit(str(self._eqn_file(tmp_path)), scale=1.0)
+        assert net.literal_count() == 2
+
+    @pytest.mark.parametrize("suffix", [".eqn", ".pla", ".blif"])
+    def test_file_path_rejects_other_scales(self, tmp_path, suffix):
+        from repro.circuits import load_circuit
+
+        path = tmp_path / f"tiny{suffix}"
+        path.write_text("placeholder — must error before parsing")
+        with pytest.raises(ValueError, match="scale=0.5"):
+            load_circuit(str(path), scale=0.5)
+        try:
+            load_circuit(str(path), scale=2.0)
+        except ValueError as exc:
+            assert str(path) in str(exc)
+        else:  # pragma: no cover - regression guard
+            raise AssertionError("scale=2.0 on a netlist path must raise")
+
+    def test_named_circuits_still_scale(self):
+        from repro.circuits import load_circuit
+
+        assert (load_circuit("dalu", scale=0.1).literal_count()
+                < load_circuit("dalu", scale=0.3).literal_count())
+
+    def test_cli_factor_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        p = self._eqn_file(tmp_path)
+        with pytest.raises(SystemExit) as exc:
+            main(["factor", str(p), "--scale", "0.5"])
+        assert exc.value.code == 2
+        assert "scale=0.5" in capsys.readouterr().err

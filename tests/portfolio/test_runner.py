@@ -1,0 +1,303 @@
+"""The portfolio racer, driven by synthetic lanes with known timing.
+
+Synthetic lanes make every race deterministic: delays, literal counts,
+failures and budget spends are scripted, so the scheduling-class
+semantics (first-finisher-with-settle vs. best-quality), cancellation,
+the shared budget pool and the selector fast path are each pinned
+without depending on real search timings.  One integration test races
+the real catalogue on the paper's example network.
+"""
+
+import time
+
+import pytest
+
+from repro.circuits import paper_example_network
+from repro.machine.cancel import check_cancelled
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer, use_tracer
+from repro.portfolio import (
+    Lane,
+    LaneBudget,
+    LaneOutcome,
+    PortfolioError,
+    PortfolioStats,
+    PortfolioTimeout,
+    SharedSearchBudget,
+    StrategySelector,
+    default_lanes,
+    lane_names,
+    run_portfolio,
+)
+from repro.rectangles.search import BudgetExceeded
+
+
+def lane(name, delay=0.0, lc=10, rank=0, fail=False, spend=0,
+         fail_after_first=None):
+    """A scripted lane: sleep cooperatively, optionally spend budget,
+    then succeed with *lc* or raise."""
+    calls = {"n": 0}
+
+    def run(network, budget):
+        calls["n"] += 1
+        if spend and budget is not None:
+            budget.spend(spend)
+        end = time.perf_counter() + delay
+        while time.perf_counter() < end:
+            check_cancelled()
+            time.sleep(0.002)
+        if fail or (fail_after_first is not None
+                    and calls["n"] > fail_after_first):
+            raise RuntimeError("scripted lane failure")
+        return LaneOutcome(network=network.copy(), final_lc=lc)
+
+    return Lane(name=name, kind="synthetic", run=run,
+                uses_budget=bool(spend), latency_rank=rank)
+
+
+@pytest.fixture
+def net():
+    return paper_example_network()
+
+
+class TestLatencyClass:
+    def test_fast_lane_wins_and_slow_is_cancelled(self, net):
+        res = run_portfolio(net, klass="latency", selector=False,
+                            stats=PortfolioStats(), lanes=[
+                                lane("slow", delay=2.0, lc=1),
+                                lane("fast", delay=0.01, lc=20),
+                            ])
+        assert res.winner == "fast"
+        assert res.final_lc == 20
+        assert res.cancelled == 1
+        by_name = {r.lane: r.status for r in res.lanes}
+        assert by_name == {"fast": "won", "slow": "cancelled"}
+        assert not res.memoized
+
+    def test_settle_window_breaks_ties_by_rank(self, net):
+        # The rank-1 lane finishes first, but the rank-0 lane lands
+        # inside the settle window (0.1s floor) and takes the win.
+        res = run_portfolio(net, klass="latency", selector=False,
+                            stats=PortfolioStats(), lanes=[
+                                lane("eager", delay=0.01, lc=1, rank=1),
+                                lane("ranked", delay=0.04, lc=2, rank=0),
+                            ])
+        assert res.winner == "ranked"
+        assert res.final_lc == 2
+
+    def test_equal_ranks_fall_back_to_catalogue_order(self, net):
+        res = run_portfolio(net, klass="latency", selector=False,
+                            stats=PortfolioStats(), lanes=[
+                                lane("first", delay=0.03, lc=1, rank=0),
+                                lane("second", delay=0.01, lc=2, rank=0),
+                            ])
+        assert res.winner == "first"
+
+    def test_failed_fast_lane_does_not_win(self, net):
+        res = run_portfolio(net, klass="latency", selector=False,
+                            stats=PortfolioStats(), lanes=[
+                                lane("crashy", delay=0.0, fail=True),
+                                lane("steady", delay=0.05, lc=7),
+                            ])
+        assert res.winner == "steady"
+        statuses = {r.lane: r.status for r in res.lanes}
+        assert statuses["crashy"] == "failed"
+        assert "scripted lane failure" in [
+            r.error for r in res.lanes if r.lane == "crashy"
+        ][0]
+
+    def test_deadline_with_no_finisher_times_out(self, net):
+        t0 = time.perf_counter()
+        with pytest.raises(PortfolioTimeout):
+            run_portfolio(net, klass="latency", selector=False,
+                          stats=PortfolioStats(), deadline=0.15,
+                          lanes=[lane("glacial", delay=10.0)])
+        assert time.perf_counter() - t0 < 5.0
+
+    def test_all_lanes_failing_raises(self, net):
+        with pytest.raises(PortfolioError, match="scripted lane failure"):
+            run_portfolio(net, klass="latency", selector=False,
+                          stats=PortfolioStats(), lanes=[
+                              lane("a", fail=True), lane("b", fail=True),
+                          ])
+
+
+class TestQualityClass:
+    def test_best_literal_count_wins(self, net):
+        res = run_portfolio(net, klass="quality", selector=False,
+                            stats=PortfolioStats(), lanes=[
+                                lane("ok", delay=0.01, lc=30),
+                                lane("best", delay=0.03, lc=20),
+                                lane("meh", delay=0.02, lc=25),
+                            ])
+        assert res.winner == "best"
+        assert res.final_lc == 20
+        assert res.cancelled == 0
+        assert [r.status for r in res.lanes] == [
+            "completed", "won", "completed"
+        ]
+
+    def test_lc_ties_break_by_catalogue_order(self, net):
+        res = run_portfolio(net, klass="quality", selector=False,
+                            stats=PortfolioStats(), lanes=[
+                                lane("left", delay=0.02, lc=20),
+                                lane("right", delay=0.01, lc=20),
+                            ])
+        assert res.winner == "left"
+
+    def test_deadline_keeps_best_so_far(self, net):
+        res = run_portfolio(net, klass="quality", selector=False,
+                            stats=PortfolioStats(), deadline=0.2,
+                            lanes=[
+                                lane("quick", delay=0.01, lc=50),
+                                lane("glacial", delay=10.0, lc=1),
+                            ])
+        assert res.winner == "quick"
+        assert res.final_lc == 50
+        assert {r.lane: r.status for r in res.lanes}["glacial"] == \
+            "cancelled"
+
+
+class TestSharedBudget:
+    def test_shared_budget_spend_and_overflow(self):
+        shared = SharedSearchBudget(100)
+        shared.spend(60)
+        with pytest.raises(BudgetExceeded):
+            shared.spend(60)
+        assert shared.used == 120  # the overflowing spend is recorded
+
+    def test_lane_budget_charges_shared_pool(self):
+        shared = SharedSearchBudget(1000)
+        a, b = LaneBudget(shared=shared), LaneBudget(shared=shared)
+        a.spend(300)
+        b.spend(200)
+        assert (a.used, b.used, shared.used) == (300, 200, 500)
+
+    def test_lane_budget_cap_is_local(self):
+        shared = SharedSearchBudget(10_000)
+        capped = LaneBudget(shared=shared, cap=50)
+        with pytest.raises(BudgetExceeded, match="truncation cap"):
+            capped.spend(60)
+        shared.spend(1)  # the pool itself is far from exhausted
+
+    def test_race_charges_one_shared_pool(self, net):
+        res = run_portfolio(net, klass="quality", selector=False,
+                            stats=PortfolioStats(), node_budget=1000,
+                            lanes=[
+                                lane("s1", lc=5, spend=100),
+                                lane("s2", lc=6, spend=200),
+                            ])
+        assert res.budget_used == 300
+        assert res.budget_max == 1000
+
+    def test_budget_exhaustion_is_a_lane_status_not_a_race_failure(
+            self, net):
+        res = run_portfolio(net, klass="quality", selector=False,
+                            stats=PortfolioStats(), node_budget=150,
+                            lanes=[
+                                lane("hungry", lc=1, spend=500),
+                                lane("frugal", delay=0.02, lc=9),
+                            ])
+        assert res.winner == "frugal"
+        assert {r.lane: r.status for r in res.lanes}["hungry"] == "budget"
+
+
+class TestSelectorFastPath:
+    def test_second_race_is_memoized(self, net):
+        sel = StrategySelector()
+        stats = PortfolioStats()
+        lanes = [lane("slow", delay=0.5, lc=1), lane("fast", lc=20)]
+        first = run_portfolio(net, klass="latency", selector=sel,
+                              stats=stats, lanes=lanes)
+        second = run_portfolio(net, klass="latency", selector=sel,
+                               stats=stats, lanes=lanes)
+        assert not first.memoized and second.memoized
+        assert second.winner == first.winner == "fast"
+        assert len(second.lanes) == 1
+        assert second.lanes[0].status == "won"
+        assert stats.snapshot()["selector_hits"] == 1
+
+    def test_classes_memoize_independently(self, net):
+        sel = StrategySelector()
+        lanes = [lane("fast", lc=30), lane("thorough", delay=0.05, lc=10)]
+        run_portfolio(net, klass="latency", selector=sel,
+                      stats=PortfolioStats(), lanes=lanes)
+        quality = run_portfolio(net, klass="quality", selector=sel,
+                                stats=PortfolioStats(), lanes=lanes)
+        assert not quality.memoized  # latency's memo must not apply
+        assert quality.winner == "thorough"
+
+    def test_failing_remembered_lane_falls_back_to_race(self, net):
+        sel = StrategySelector()
+        stats = PortfolioStats()
+        lanes = [
+            lane("flaky", lc=5, fail_after_first=1),
+            lane("backup", delay=0.05, lc=40),
+        ]
+        first = run_portfolio(net, klass="latency", selector=sel,
+                              stats=stats, lanes=lanes)
+        assert first.winner == "flaky"
+        second = run_portfolio(net, klass="latency", selector=sel,
+                               stats=stats, lanes=lanes)
+        assert not second.memoized
+        assert second.winner == "backup"
+        assert stats.snapshot()["selector_hits"] == 0
+
+
+class TestObservability:
+    def test_metrics_and_stats_counters(self, net):
+        metrics = MetricsRegistry()
+        stats = PortfolioStats()
+        run_portfolio(net, klass="latency", selector=False, stats=stats,
+                      metrics=metrics, lanes=[
+                          lane("fast", lc=3), lane("slow", delay=1.0),
+                      ])
+        snap = stats.snapshot()
+        assert snap["portfolio_races"] == 1
+        assert snap["portfolio_cancelled_lanes"] == 1
+        assert snap["portfolio_lane_wins"] == {"fast": 1}
+        counters = metrics.snapshot()["counters"]
+        assert counters["portfolio_races"] == 1
+        assert counters["portfolio_lane_wins_fast"] == 1
+        assert counters["portfolio_cancelled_lanes"] == 1
+
+    def test_traced_race_emits_lane_and_verdict_spans(self, net):
+        tracer = Tracer(name="portfolio-test")
+        with use_tracer(tracer):
+            run_portfolio(net, klass="latency", selector=False,
+                          stats=PortfolioStats(), lanes=[
+                              lane("fast", lc=3),
+                              lane("slow", delay=0.5),
+                          ])
+        names = [sp.name for sp in tracer.finished()]
+        assert "lane:fast" in names and "lane:slow" in names
+        assert "portfolio-race" in names
+        assert "portfolio-verdict" in names
+
+
+class TestRealCatalogue:
+    def test_default_lane_names(self):
+        assert lane_names((2,)) == (
+            "seq-exhaustive", "dnf-truncated", "seq-pingpong",
+            "replicated@2", "independent@2", "lshaped@2",
+        )
+        assert len(default_lanes(procs=(2, 4))) == 9
+
+    @pytest.mark.parametrize("klass", ["latency", "quality"])
+    def test_paper_example_race_is_equivalent(self, net, klass):
+        from repro.network.simulate import exhaustive_equivalence_check
+
+        res = run_portfolio(net, klass=klass, procs=(2,), selector=False,
+                            stats=PortfolioStats())
+        assert res.final_lc <= res.initial_lc
+        assert res.final_lc == res.network.literal_count()
+        assert exhaustive_equivalence_check(net, res.network,
+                                            outputs=net.outputs)
+        assert sum(1 for r in res.lanes if r.status == "won") == 1
+
+    def test_quality_never_worse_than_any_single_lane(self, net):
+        res = run_portfolio(net, klass="quality", procs=(2,),
+                            selector=False, stats=PortfolioStats())
+        finished = [r.final_lc for r in res.lanes
+                    if r.final_lc is not None]
+        assert res.final_lc == min(finished)

@@ -1,0 +1,132 @@
+"""Circuit features, family keys, and the strategy-selector memo."""
+
+import pytest
+
+from repro.circuits import load_circuit, paper_example_network
+from repro.portfolio import (
+    SELECTOR_SCHEMA,
+    StrategySelector,
+    circuit_features,
+    default_selector,
+    family_key,
+    install_default_selector,
+    resolve_selector,
+    selector_enabled,
+)
+from repro.portfolio.selector import decision_key
+from repro.serve.diskcache import DiskCache
+
+
+@pytest.fixture
+def net():
+    return paper_example_network()
+
+
+@pytest.fixture
+def feats(net):
+    return circuit_features(net)
+
+
+class TestCircuitFeatures:
+    def test_deterministic(self, net):
+        assert circuit_features(net) == circuit_features(net)
+
+    def test_as_dict_fields(self, feats):
+        doc = feats.as_dict()
+        assert set(doc) == {
+            "nodes", "literals", "kc_rows", "kc_cols", "kc_entries",
+            "kc_density", "kernel_cubes", "dup_row_share",
+        }
+        assert doc["literals"] > 0
+        assert 0.0 <= doc["kc_density"] <= 1.0
+        assert 0.0 <= doc["dup_row_share"] <= 1.0
+
+    def test_family_key_shape_and_stability(self, net, feats):
+        key = family_key(feats)
+        assert key == family_key(circuit_features(net))
+        # r<rows>c<cols>e<entries>d<density>l<lits>u<dupshare>
+        import re
+        assert re.fullmatch(r"r\d+c\d+e\d+d\d+l\d+u\d+", key)
+
+    def test_family_key_separates_very_different_circuits(self, feats):
+        big = circuit_features(load_circuit("dalu", scale=0.4))
+        assert family_key(big) != family_key(feats)
+
+
+class TestStrategySelector:
+    def test_choose_miss_then_record_then_hit(self, feats):
+        sel = StrategySelector()
+        assert sel.choose(feats, "latency") is None
+        sel.record(feats, "latency", "seq-pingpong", final_lc=42)
+        assert sel.choose(feats, "latency") == "seq-pingpong"
+        # Classes are independent keys.
+        assert sel.choose(feats, "quality") is None
+        st = sel.stats()
+        assert st["size"] == 1
+        assert st["hits"] == 1
+        assert st["misses"] == 2
+        assert st["records"] == 1
+        assert st["persistent"] is False
+
+    def test_forget_drops_the_decision(self, feats):
+        sel = StrategySelector()
+        sel.record(feats, "latency", "seq-pingpong")
+        sel.forget(feats, "latency")
+        assert sel.choose(feats, "latency") is None
+
+    def test_decision_key_is_stable_and_class_scoped(self, feats):
+        fam = family_key(feats)
+        assert decision_key(fam, "latency") == decision_key(fam, "latency")
+        assert decision_key(fam, "latency") != decision_key(fam, "quality")
+
+
+class TestDiskBackedSelector:
+    def test_decisions_survive_selector_restart(self, tmp_path, feats):
+        cache = DiskCache(tmp_path, schema=SELECTOR_SCHEMA)
+        first = StrategySelector(backing=cache)
+        first.record(feats, "quality", "seq-exhaustive", final_lc=17)
+
+        fresh = StrategySelector(
+            backing=DiskCache(tmp_path, schema=SELECTOR_SCHEMA)
+        )
+        assert fresh.choose(feats, "quality") == "seq-exhaustive"
+        assert fresh.stats()["persistent"] is True
+
+    def test_forget_is_in_memory_only(self, tmp_path, feats):
+        cache = DiskCache(tmp_path, schema=SELECTOR_SCHEMA)
+        sel = StrategySelector(backing=cache)
+        sel.record(feats, "latency", "seq-pingpong")
+        sel.forget(feats, "latency")
+        # The backing copy survives, so the next choose re-adopts it —
+        # forget only protects the current process from a bad decision.
+        assert sel.choose(feats, "latency") == "seq-pingpong"
+
+
+class TestDefaultSelectorPlumbing:
+    def test_resolve_selector_conventions(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PORTFOLIO_MEMO", raising=False)
+        mine = StrategySelector()
+        previous = install_default_selector(mine)
+        try:
+            assert resolve_selector(None) is mine
+            assert resolve_selector(False) is None
+            other = StrategySelector()
+            assert resolve_selector(other) is other
+        finally:
+            install_default_selector(previous)
+
+    def test_env_toggle_disables_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PORTFOLIO_MEMO", "0")
+        assert not selector_enabled()
+        assert default_selector() is None
+        assert resolve_selector(None) is None
+        monkeypatch.setenv("REPRO_PORTFOLIO_MEMO", "1")
+        assert selector_enabled()
+
+    def test_install_returns_previous(self):
+        a, b = StrategySelector(), StrategySelector()
+        orig = install_default_selector(a)
+        try:
+            assert install_default_selector(b) is a
+        finally:
+            install_default_selector(orig)

@@ -1,0 +1,80 @@
+"""Portfolio scheduling classes over HTTP: one gateway boot covers the
+happy path, the file-path/scale client error, and /metrics aggregation.
+"""
+
+import asyncio
+
+from repro.serve import Gateway, GatewayConfig
+from repro.serve.httpio import http_json
+
+EQN = "INORDER = a b c;\nOUTORDER = f;\nf = a * b + a * c;\n"
+
+
+async def _started(**kw):
+    kw.setdefault("port", 0)
+    kw.setdefault("workers", 1)
+    gw = Gateway(GatewayConfig(**kw))
+    await gw.start()
+    assert await gw.wait_ready(15), "workers never became ready"
+    return gw
+
+
+def test_portfolio_classes_over_http(tmp_path):
+    netlist = tmp_path / "tiny.eqn"
+    netlist.write_text(EQN)
+
+    async def main():
+        gw = await _started(cache_dir=str(tmp_path / "cache"))
+        try:
+            # -- class sugar routes to the portfolio racer -------------
+            status, doc = await http_json(
+                "POST", gw.url + "/v1/factor",
+                {"circuit": "example", "class": "latency"},
+            )
+            assert status == 200, doc
+            assert doc["status"] == "done"
+            assert doc["result"]["algorithm"] == "portfolio:latency"
+            assert doc["result"]["final_lc"] <= doc["result"]["initial_lc"]
+
+            status, doc = await http_json(
+                "POST", gw.url + "/v1/factor",
+                {"circuit": "example", "class": "quality"},
+            )
+            assert status == 200, doc
+            assert doc["result"]["algorithm"] == "portfolio:quality"
+
+            # -- conflicting class/algorithm is a client error ---------
+            status, doc = await http_json(
+                "POST", gw.url + "/v1/factor",
+                {"circuit": "example", "class": "latency",
+                 "algorithm": "lshaped"},
+            )
+            assert status == 400
+            assert "conflicts" in doc["error"]
+
+            # -- file-path circuits reject non-unit scale up front -----
+            status, doc = await http_json(
+                "POST", gw.url + "/v1/factor",
+                {"circuit": str(netlist), "scale": 0.5, "class": "latency"},
+            )
+            assert status == 400
+            assert "scale=0.5" in doc["error"]
+
+            status, doc = await http_json(
+                "POST", gw.url + "/v1/factor",
+                {"circuit": str(netlist), "class": "latency"},
+            )
+            assert status == 200, doc
+            assert doc["result"]["algorithm"] == "portfolio:latency"
+
+            # -- /metrics aggregates the workers' portfolio counters ---
+            status, doc = await http_json("GET", gw.url + "/metrics")
+            assert status == 200
+            portfolio = doc["portfolio"]
+            assert portfolio["portfolio_races"] >= 1
+            assert sum(portfolio["portfolio_lane_wins"].values()) >= \
+                portfolio["portfolio_races"]
+        finally:
+            await gw.stop()
+
+    asyncio.run(main())

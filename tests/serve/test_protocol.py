@@ -72,3 +72,38 @@ def test_job_cache_key_ignores_serving_only_fields():
          "include_network": True}
     )
     assert job_cache_key(base, network) == job_cache_key(noisy, network)
+
+
+class TestClassField:
+    """'class' is SLO sugar for the portfolio algorithms."""
+
+    @pytest.mark.parametrize("klass", ["latency", "quality"])
+    def test_class_selects_portfolio_algorithm(self, klass):
+        spec = parse_job_request({"circuit": "example", "class": klass})
+        assert spec["algorithm"] == f"portfolio:{klass}"
+
+    def test_consistent_restatement_is_allowed(self):
+        spec = parse_job_request({
+            "circuit": "example",
+            "class": "latency",
+            "algorithm": "portfolio:latency",
+        })
+        assert spec["algorithm"] == "portfolio:latency"
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(BadRequest, match="unknown class 'cheapest'"):
+            parse_job_request({"circuit": "example", "class": "cheapest"})
+
+    def test_conflicting_algorithm_rejected(self):
+        with pytest.raises(BadRequest, match="conflicts with explicit"):
+            parse_job_request({
+                "circuit": "example",
+                "class": "quality",
+                "algorithm": "lshaped",
+            })
+
+    def test_explicit_portfolio_algorithm_without_class(self):
+        spec = parse_job_request({
+            "circuit": "example", "algorithm": "portfolio:quality",
+        })
+        assert spec["algorithm"] == "portfolio:quality"

@@ -1,0 +1,107 @@
+"""Portfolio scheduling classes through the FactorizationEngine.
+
+Each test installs a fresh process-default selector (and restores the
+previous one) so memo state never leaks between tests or into the rest
+of the suite.  Jobs vary ``node_budget`` when they must reach the
+selector: the engine's result cache answers byte-identical repeats
+before the selector ever sees them.
+"""
+
+import pytest
+
+from repro.circuits import paper_example_network
+from repro.portfolio import (
+    GLOBAL_PORTFOLIO_STATS,
+    StrategySelector,
+    install_default_selector,
+)
+from repro.service import FactorizationEngine, FactorizationJob, JobStatus
+from repro.service.jobs import ALGORITHMS
+
+
+@pytest.fixture
+def fresh_selector():
+    sel = StrategySelector()
+    previous = install_default_selector(sel)
+    yield sel
+    install_default_selector(previous)
+
+
+def make_engine(**kw):
+    kw.setdefault("workers", 2)
+    kw.setdefault("backoff", 0.001)
+    return FactorizationEngine(**kw)
+
+
+def portfolio_job(klass="latency", **kw):
+    kw.setdefault("network", paper_example_network())
+    kw.setdefault("procs", 2)
+    return FactorizationJob(algorithm=f"portfolio:{klass}", **kw)
+
+
+class TestAlgorithmRegistration:
+    def test_portfolio_classes_are_registered(self):
+        assert "portfolio:latency" in ALGORITHMS
+        assert "portfolio:quality" in ALGORITHMS
+
+    def test_unknown_class_rejected_at_job_construction(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            FactorizationJob(algorithm="portfolio:cheapest")
+
+
+class TestPortfolioExecution:
+    def test_latency_job_runs_to_done(self, fresh_selector):
+        engine = make_engine()
+        res = engine.execute(portfolio_job("latency"))
+        assert res.ok
+        assert res.status is JobStatus.DONE
+        assert res.payload.klass == "latency"
+        assert res.payload.winner
+        assert res.final_lc is not None
+        assert res.final_lc <= res.initial_lc
+        assert not res.payload.memoized
+
+    def test_quality_job_runs_to_done(self, fresh_selector):
+        engine = make_engine()
+        res = engine.execute(portfolio_job("quality"))
+        assert res.ok
+        assert res.payload.klass == "quality"
+        finished = [r.final_lc for r in res.payload.lanes
+                    if r.final_lc is not None]
+        assert res.final_lc == min(finished)
+
+    def test_second_job_takes_selector_fast_path(self, fresh_selector):
+        engine = make_engine()
+        first = engine.execute(portfolio_job("latency", node_budget=90000))
+        # A different node_budget misses the result cache but lands in
+        # the same circuit family, so the selector answers.
+        second = engine.execute(portfolio_job("latency", node_budget=80000))
+        assert not first.cache_hit and not second.cache_hit
+        assert not first.payload.memoized
+        assert second.payload.memoized
+        assert second.payload.winner == first.payload.winner
+        assert len(second.payload.lanes) == 1
+        counters = engine.metrics.snapshot()["counters"]
+        assert counters["selector_hits"] == 1
+        assert counters["portfolio_races"] == 1
+
+    def test_health_exposes_portfolio_counters(self, fresh_selector):
+        engine = make_engine()
+        before = GLOBAL_PORTFOLIO_STATS.snapshot()["portfolio_races"]
+        engine.execute(portfolio_job("latency"))
+        doc = engine.health()
+        assert "portfolio" in doc
+        assert doc["portfolio"]["portfolio_races"] == before + 1
+        assert set(doc["portfolio"]) >= {
+            "portfolio_races", "portfolio_cancelled_lanes",
+            "selector_hits", "portfolio_lane_wins",
+        }
+
+    def test_result_cache_still_wins_over_selector(self, fresh_selector):
+        engine = make_engine()
+        first = engine.execute(portfolio_job("latency"))
+        repeat = engine.execute(portfolio_job("latency"))
+        assert not first.cache_hit and repeat.cache_hit
+        assert repeat.final_lc == first.final_lc
+        # The cached repeat never re-raced, so the selector saw one race.
+        assert fresh_selector.stats()["records"] == 1
