@@ -14,8 +14,10 @@ Usage:
 legacy core in geomean, when any workload's two cores disagree on the
 search result, when the v2 branch-and-bound core's geomean speedup over
 the v1 bitview core falls below ``--min-v2-speedup`` (default 1.4) or
-its results are not equal-or-better on any exhaustive workload, when disabled tracing or the disabled fault-injection
-gates are estimated to cost more than their budgets (2% each), or when
+its results are not equal-or-better on any exhaustive workload, when
+disabled tracing, the disabled fault-injection gates, or the always-on
+flight recorder are estimated to cost more than their budgets (2%
+each), or when
 ``benchmarks/results/BENCH_serving.json`` is missing or violates the
 serving-tier behavioral gate (failed requests, broken coalescing,
 malformed percentiles — see
@@ -275,6 +277,15 @@ def main(argv=None) -> int:
                 f"FAIL: disabled-faults overhead "
                 f"{100 * faults['estimated_overhead']:.3f}% exceeds "
                 f"{100 * faults['max_overhead']:.0f}%",
+                file=sys.stderr,
+            )
+            return 1
+        flight = report["flight_overhead"]
+        if not flight["ok"]:
+            print(
+                f"FAIL: flight-recorder overhead "
+                f"{100 * flight['estimated_overhead']:.3f}% exceeds "
+                f"{100 * flight['max_overhead']:.0f}%",
                 file=sys.stderr,
             )
             return 1

@@ -9,6 +9,11 @@ dir), then asserts, end to end over HTTP:
 - K identical concurrent requests coalesce onto exactly one computation;
 - a worker killed with SIGKILL is respawned and the in-flight request
   still completes;
+- every completed request has a fetchable merged trace whose spans
+  span the gateway and worker processes under one trace_id;
+- the worker crash leaves a flight-recorder artifact under the cache
+  dir that parses back;
+- /metrics?format=prom passes the text-format 0.0.4 validator;
 - after a full gateway restart on the same cache dir, the answer comes
   from the persistent disk cache;
 - shutdown leaks no worker processes.
@@ -27,9 +32,12 @@ import tempfile
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.obs.export import TRACE_SCHEMA
+from repro.obs.flight import load_flight
+from repro.obs.prom import validate_prometheus_text
 from repro.serve import Gateway, GatewayConfig, LoadgenConfig, run_loadgen
 from repro.serve.bench import _probe_circuit_eqn
-from repro.serve.httpio import http_json
+from repro.serve.httpio import http_json, http_text
 
 CHECKS = []
 
@@ -74,6 +82,31 @@ async def smoke(cache_dir: str) -> None:
         check("one answer for all waiters",
               len({d["result"]["final_lc"] for _, d in results}) == 1)
 
+        print("distributed trace:")
+        leader = next(d for _, d in results if not d.get("coalesced"))
+        status, trace = await http_json(
+            "GET", gw.url + f"/v1/jobs/{leader['job_id']}/trace"
+        )
+        check("merged trace fetchable",
+              status == 200 and trace.get("schema") == TRACE_SCHEMA,
+              f"status={status} schema={(trace or {}).get('schema')}")
+        if status == 200:
+            check("trace id spans both processes",
+                  trace["trace_id"] == leader.get("trace_id")
+                  and "gateway" in trace["procs"]
+                  and any(p.startswith("worker:") for p in trace["procs"]),
+                  f"procs={trace.get('procs')}")
+            by_name = {sp["name"]: sp for sp in trace["spans"]}
+            check("worker span nests under gateway dispatch",
+                  by_name.get("worker-factor", {}).get("parent")
+                  == by_name.get("dispatch", {}).get("id"))
+
+        print("prometheus exposition:")
+        status, text = await http_text("GET", gw.url + "/metrics?format=prom")
+        problems = validate_prometheus_text(text) if status == 200 else ["no response"]
+        check("/metrics?format=prom validates",
+              status == 200 and not problems, "; ".join(problems[:3]))
+
         print("crash recovery:")
         body = {"eqn": _probe_circuit_eqn(22), "algorithm": "sequential"}
         task = asyncio.ensure_future(
@@ -99,6 +132,21 @@ async def smoke(cache_dir: str) -> None:
         status, doc = await http_json("GET", gw.url + "/readyz")
         check("/readyz green after crash",
               status == 200 and doc.get("ready") is True)
+
+        import glob
+
+        dumps = glob.glob(os.path.join(
+            cache_dir, "flight", "*crash*.flight.jsonl"
+        ))
+        check("crash left a flight dump", bool(dumps),
+              f"flight dir={os.path.join(cache_dir, 'flight')}")
+        if dumps:
+            flight = load_flight(dumps[0])
+            check("flight dump parses with events",
+                  flight["header"]["proc"] == "gateway"
+                  and any("dead" in e.get("name", "")
+                          for e in flight["events"]),
+                  f"events={len(flight['events'])}")
     finally:
         await gw.stop()
 

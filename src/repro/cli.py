@@ -549,6 +549,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: unlimited)")
     p_serve.add_argument("--burst", type=float,
                          help="per-tenant burst size (default: 2x rate)")
+    p_serve.add_argument("--flight-dir",
+                         help="flight-recorder dump directory (default: "
+                              "<cache-dir>/flight when --cache-dir is set)")
+    p_serve.add_argument("--no-trace", action="store_true",
+                         help="disable per-request distributed tracing")
     p_serve.set_defaults(fn=_cmd_serve)
 
     p_load = sub.add_parser(
@@ -571,6 +576,44 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-request client timeout in seconds")
     p_load.add_argument("--json", help="also dump the report as JSON here")
     p_load.set_defaults(fn=_cmd_loadgen)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a gateway's /metrics",
+    )
+    p_top.add_argument("url", help="gateway base URL, e.g. http://127.0.0.1:8337")
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between polls")
+    p_top.add_argument("--once", action="store_true",
+                       help="render a single frame and exit")
+    p_top.set_defaults(fn=_cmd_top)
+
+    p_flight = sub.add_parser(
+        "flight",
+        help="inspect flight-recorder dump artifacts (.flight.jsonl)",
+    )
+    flight_sub = p_flight.add_subparsers(dest="flight_command", required=True)
+    p_flight_show = flight_sub.add_parser(
+        "show", help="render one dump as a timeline")
+    p_flight_show.add_argument("file", help="path to a .flight.jsonl dump")
+    p_flight_show.set_defaults(fn=_cmd_flight_show)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="work with distributed request traces from a gateway",
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_trace_fetch = trace_sub.add_parser(
+        "fetch", help="fetch one job's merged cross-process trace")
+    p_trace_fetch.add_argument("url", help="gateway base URL")
+    p_trace_fetch.add_argument("job_id", help="job id (from a factor response)")
+    p_trace_fetch.add_argument("--chrome", action="store_true",
+                               help="fetch Chrome-trace format "
+                                    "(load in Perfetto)")
+    p_trace_fetch.add_argument("-o", "--out",
+                               help="write JSON here instead of a summary "
+                                    "to stdout")
+    p_trace_fetch.set_defaults(fn=_cmd_trace_fetch)
     return parser
 
 
@@ -819,6 +862,7 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Boot the gateway + workers and serve until interrupted."""
     import asyncio
+    import signal
 
     from repro.serve import Gateway, GatewayConfig
 
@@ -829,6 +873,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host=args.host, port=args.port, workers=args.workers,
         cache_dir=args.cache_dir, max_inflight=args.max_inflight,
         rate_limit=args.rate_limit, burst=args.burst,
+        flight_dir=args.flight_dir,
+        trace_requests=not args.no_trace,
     )
 
     async def _serve() -> int:
@@ -842,14 +888,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"({config.workers} worker process(es))")
         print(f"  POST {gateway.url}/v1/factor")
         print(f"  GET  {gateway.url}/v1/jobs/<id>[?watch=1]")
-        print(f"  GET  {gateway.url}/healthz | /readyz | /metrics")
+        if config.trace_requests:
+            print(f"  GET  {gateway.url}/v1/jobs/<id>/trace[?format=chrome]")
+        print(f"  GET  {gateway.url}/healthz | /readyz | "
+              "/metrics[?format=prom]")
         if config.cache_dir:
             print(f"  persistent cache: {config.cache_dir}")
+        if gateway.flight_dir:
+            print(f"  flight dumps: {gateway.flight_dir}")
+        # Explicit handlers instead of relying on KeyboardInterrupt: a
+        # process started as a background job of a non-interactive shell
+        # (CI scripts) inherits SIGINT ignored, which Python honors — so
+        # Ctrl-C semantics alone would make `kill -INT` a silent no-op
+        # there.  This also gives SIGTERM the same graceful drain.
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, OSError, RuntimeError):
+                pass  # loop without POSIX signal support
+        serving = asyncio.ensure_future(gateway.serve_forever())
+        stopper = asyncio.ensure_future(stop.wait())
         try:
-            await gateway.serve_forever()
-        except asyncio.CancelledError:
-            pass
+            await asyncio.wait(
+                {serving, stopper}, return_when=asyncio.FIRST_COMPLETED
+            )
         finally:
+            for task in (serving, stopper):
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
             await gateway.stop()
             print("repro serve: stopped (workers drained)")
         return 0
@@ -893,6 +964,78 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             json.dump(report.to_dict(), fh, indent=2)
         print(f"wrote {args.json}")
     return 0 if report.failed == 0 else 1
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Poll a gateway's /metrics and render the live dashboard."""
+    import asyncio
+
+    from repro.serve.top import run_top
+
+    if args.interval <= 0:
+        print("error: --interval must be > 0", file=sys.stderr)
+        return 2
+    try:
+        return asyncio.run(run_top(
+            args.url, interval=args.interval,
+            iterations=1 if args.once else None,
+        ))
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_flight_show(args: argparse.Namespace) -> int:
+    """Render one flight-recorder dump as a human-readable timeline."""
+    from repro.obs.flight import load_flight, render_flight
+
+    try:
+        doc = load_flight(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_flight(doc))
+    return 0
+
+
+def _cmd_trace_fetch(args: argparse.Namespace) -> int:
+    """Fetch a job's merged cross-process trace from a gateway."""
+    import asyncio
+    import json
+
+    from repro.serve.httpio import http_json
+
+    url = (args.url.rstrip("/") + f"/v1/jobs/{args.job_id}/trace"
+           + ("?format=chrome" if args.chrome else ""))
+    try:
+        status, doc = asyncio.run(http_json("GET", url))
+    except (OSError, ConnectionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if status != 200 or doc is None:
+        detail = (doc or {}).get("error", f"HTTP {status}")
+        print(f"error: {detail}", file=sys.stderr)
+        return 1
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=2)
+        print(f"wrote {args.out}")
+        return 0
+    if args.chrome:
+        print(json.dumps(doc))
+        return 0
+    print(f"trace {doc['trace_id']}  job {doc['job_id']}  "
+          f"{doc['duration_s'] * 1000.0:.1f}ms  "
+          f"procs: {', '.join(doc['procs'])}")
+    depth_of = {}
+    for sp in doc["spans"]:
+        depth_of[sp["id"]] = depth_of.get(sp.get("parent"), -1) + 1
+    for sp in doc["spans"]:
+        indent = "  " * depth_of[sp["id"]]
+        width = (sp["t1"] - sp["t0"]) * 1000.0
+        mark = " !" if sp.get("error") else ""
+        print(f"  {sp['t0'] * 1000.0:9.3f}ms {width:9.3f}ms  "
+              f"{indent}{sp['name']} [{sp['proc']}]{mark}")
+    return 0
 
 
 def main(argv: Optional[list] = None) -> int:

@@ -59,6 +59,11 @@ MAX_TRACE_OVERHEAD = 0.02
 #: be free when no plan is attached.
 MAX_FAULT_OVERHEAD = 0.02
 
+#: Ceiling for the *enabled* flight recorder: unlike tracing and fault
+#: injection it is always on in the serving tier, so the budget prices
+#: the live ``record()`` ring append, not a disabled gate.
+MAX_FLIGHT_OVERHEAD = 0.02
+
 
 @dataclass(frozen=True)
 class Workload:
@@ -348,6 +353,53 @@ def measure_fault_overhead() -> Dict:
     }
 
 
+def measure_flight_overhead(wl: Optional[Workload] = None) -> Dict:
+    """Bound what the always-on flight recorder costs, empirically.
+
+    The flight recorder is *enabled* in production (that is its point:
+    the ring must already hold history when something crashes), so this
+    prices the live ``record()`` append — dict build, two clock reads,
+    deque push — over many reps.  One workload is then run traced to
+    count how many span/counter events it emits; the estimated overhead
+    assumes every one of those events were also flight-recorded, priced
+    at the measured per-call cost, over the workload's plain wall time.
+    Pessimistic on purpose: the serving tier records a handful of flight
+    events per request, nowhere near one per engine span.
+    """
+    from repro import obs
+    from repro.obs.flight import FlightRecorder
+
+    wl = wl or QUICK_SUITE[-1]
+    recorder = FlightRecorder(proc="perfcheck")
+    reps = 200_000
+    t0 = time.perf_counter()
+    for i in range(reps):
+        recorder.record("probe", "overhead-probe", i=i)
+    record_ns = (time.perf_counter() - t0) / reps * 1e9
+
+    net = _build_network(wl)
+    matrix = build_kc_matrix(net)
+    with obs.use_tracer(None):
+        t_plain, _, _ = _time_core(wl, matrix, "bit")
+
+    tracer = obs.Tracer(name="flight-overhead")
+    with obs.use_tracer(tracer), obs.span(wl.name, cat="perfcheck"):
+        matrix._touch()
+        _run_searcher(wl, matrix, "bit")
+    spans = tracer.finished()
+    events = len(spans) + sum(len(sp.counters) for sp in spans)
+    overhead = (events * record_ns) / (t_plain * 1e9) if t_plain else 0.0
+    return {
+        "workload": wl.name,
+        "record_ns_per_call": record_ns,
+        "flight_events": events,
+        "t_plain_s": t_plain,
+        "estimated_overhead": overhead,
+        "max_overhead": MAX_FLIGHT_OVERHEAD,
+        "ok": overhead <= MAX_FLIGHT_OVERHEAD,
+    }
+
+
 def geomean(values: List[float]) -> float:
     vals = [v for v in values if v and v > 0]
     if not vals:
@@ -375,6 +427,7 @@ def run_perf_check(quick: bool = False) -> Dict:
         "all_v2_match": all(r.get("v2_results_ok", True) for r in rows),
         "trace_overhead": measure_trace_overhead(),
         "fault_overhead": measure_fault_overhead(),
+        "flight_overhead": measure_flight_overhead(),
     }
     return report
 
@@ -427,6 +480,15 @@ def render_report(report: Dict) -> str:
             f"{fo['gate_ns_per_call']:.0f} ns; limit "
             f"{100 * fo['max_overhead']:.0f}%) "
             f"{'OK' if fo['ok'] else 'FAIL'}"
+        )
+    fl = report.get("flight_overhead")
+    if fl:
+        lines.append(
+            f"flight-recorder overhead: {100 * fl['estimated_overhead']:.3f}% "
+            f"of {fl['workload']} ({fl['flight_events']} events x "
+            f"{fl['record_ns_per_call']:.0f} ns; limit "
+            f"{100 * fl['max_overhead']:.0f}%) "
+            f"{'OK' if fl['ok'] else 'FAIL'}"
         )
     if report.get("tracing_enabled"):
         lines.append("tracing: enabled — workload rows carry phase breakdowns")

@@ -25,7 +25,11 @@ from typing import Any, Dict, Iterable, List, Union
 from .tracer import Span, Tracer
 
 __all__ = ["to_chrome_trace", "chrome_trace_json", "to_jsonl",
-           "write_chrome_trace", "write_jsonl"]
+           "write_chrome_trace", "write_jsonl",
+           "TRACE_SCHEMA", "assemble_request_trace", "trace_to_chrome"]
+
+#: Schema tag for merged per-request traces (``/v1/jobs/<id>/trace``).
+TRACE_SCHEMA = "repro.trace/1"
 
 _SpanSource = Union[Tracer, Iterable[Span]]
 
@@ -117,3 +121,145 @@ def write_chrome_trace(source: _SpanSource, path: str, clock: str = "virtual") -
 def write_jsonl(source: _SpanSource, path: str) -> None:
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(to_jsonl(source))
+
+
+# ----------------------------------------------------------------------
+# cross-process request traces
+# ----------------------------------------------------------------------
+
+
+def assemble_request_trace(
+    trace_id: str, job_id: str, batches: List[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """Merge per-process span batches into one request trace.
+
+    Each batch is the :meth:`repro.obs.tracer.SpanLog.batch` shape (the
+    worker ships the same shape built from ``Span.to_dict``)::
+
+        {"proc": "worker:2",
+         "anchor": [time.time(), time.perf_counter()],   # same instant
+         "spans": [{"id", "name", "t0", "t1", "parent"?, ...}, ...],
+         "remote_parent": <span id in the FIRST batch>}   # optional
+
+    ``t0``/``t1`` are local ``perf_counter`` seconds, meaningless across
+    processes; the anchor pair rebases them onto the wall clock, and the
+    whole trace is then shifted so its earliest span starts at ``t=0``.
+    Span ids are remapped to globally unique sequential ints, per-batch
+    parents follow the remap, and a batch's parentless spans are hung
+    off its ``remote_parent`` (resolved in the first batch — the process
+    that initiated the request), so gateway and worker spans nest.
+    """
+    rebased: List[Dict[str, Any]] = []
+    id_maps: List[Dict[Any, int]] = []
+    next_id = 1
+    for batch in batches:
+        id_map: Dict[Any, int] = {}
+        for sp in batch.get("spans") or ():
+            id_map[sp.get("id")] = next_id
+            next_id += 1
+        id_maps.append(id_map)
+    procs: List[str] = []
+    for index, batch in enumerate(batches):
+        proc = batch.get("proc") or f"proc:{index}"
+        if proc not in procs:
+            procs.append(proc)
+        anchor = batch.get("anchor") or (0.0, 0.0)
+        anchor_wall, anchor_perf = float(anchor[0]), float(anchor[1])
+        id_map = id_maps[index]
+        remote_parent = batch.get("remote_parent")
+        mapped_remote = (
+            id_maps[0].get(remote_parent) if remote_parent is not None else None
+        )
+        for sp in batch.get("spans") or ():
+            t0 = anchor_wall + (float(sp.get("t0", 0.0)) - anchor_perf)
+            t1_raw = sp.get("t1")
+            t1 = (
+                anchor_wall + (float(t1_raw) - anchor_perf)
+                if t1_raw is not None else t0
+            )
+            parent = sp.get("parent")
+            if parent is not None and parent in id_map:
+                mapped_parent = id_map[parent]
+            else:
+                mapped_parent = mapped_remote if index > 0 else None
+            out: Dict[str, Any] = {
+                "id": id_map[sp.get("id")],
+                "name": sp.get("name", "?"),
+                "cat": sp.get("cat", "repro"),
+                "track": sp.get("track") or proc,
+                "proc": proc,
+                "wall0": t0,
+                "wall1": t1,
+            }
+            if mapped_parent is not None:
+                out["parent"] = mapped_parent
+            if sp.get("attrs"):
+                out["attrs"] = dict(sp["attrs"])
+            if sp.get("error"):
+                out["error"] = True
+            rebased.append(out)
+    t_base = min((sp["wall0"] for sp in rebased), default=0.0)
+    for sp in rebased:
+        sp["t0"] = sp.pop("wall0") - t_base
+        sp["t1"] = sp.pop("wall1") - t_base
+    rebased.sort(key=lambda sp: (sp["t0"], sp["id"]))
+    duration = max((sp["t1"] for sp in rebased), default=0.0)
+    return {
+        "schema": TRACE_SCHEMA,
+        "trace_id": trace_id,
+        "job_id": job_id,
+        "procs": procs,
+        "t_base_wall": t_base,
+        "duration_s": duration,
+        "spans": rebased,
+    }
+
+
+def trace_to_chrome(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Chrome-trace view of an assembled request trace.
+
+    One ``pid`` per process and one ``tid`` per track, so the Perfetto
+    UI shows the gateway lane above each worker's lanes with the
+    process-boundary handoff visible as nested bars.
+    """
+    events: List[Dict[str, Any]] = []
+    pids: Dict[str, int] = {}
+    tids: Dict[Any, int] = {}
+    for sp in doc.get("spans") or ():
+        pid = pids.setdefault(sp.get("proc", "?"), len(pids))
+        tid = tids.setdefault((pid, sp.get("track")), len(tids))
+        args: Dict[str, Any] = dict(sp.get("attrs") or {})
+        if sp.get("error"):
+            args["error"] = True
+        args["span_id"] = sp["id"]
+        if sp.get("parent") is not None:
+            args["parent_id"] = sp["parent"]
+        events.append({
+            "name": sp.get("name", "?"),
+            "cat": sp.get("cat", "repro"),
+            "ph": "X",
+            "ts": sp["t0"] * 1e6,
+            "dur": max(0.0, (sp["t1"] - sp["t0"])) * 1e6,
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        })
+    for proc, pid in pids.items():
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": proc},
+        })
+    for (pid, track), tid in tids.items():
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": str(track)},
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.obs",
+            "trace_id": doc.get("trace_id"),
+            "job_id": doc.get("job_id"),
+        },
+    }

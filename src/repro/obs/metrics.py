@@ -23,12 +23,19 @@ import zlib
 from typing import Dict, List, Optional
 
 __all__ = ["Counter", "Histogram", "Timer", "MetricsRegistry",
-           "DEFAULT_HISTOGRAM_CAP", "health_snapshot"]
+           "DEFAULT_HISTOGRAM_CAP", "SNAPSHOT_SAMPLE_CAP",
+           "health_snapshot", "merge_snapshots"]
 
 #: Samples kept exactly before reservoir sampling begins.  Batch runs
 #: observe at most a few thousand values, so in practice percentiles
 #: remain exact; the cap only matters for pathological volumes.
 DEFAULT_HISTOGRAM_CAP = 4096
+
+#: Samples shipped per histogram in a snapshot (``repro.obs/2``) so
+#: cross-process merges can re-derive percentiles from pooled data.
+#: Even-stride downsampling of the reservoir keeps the wire cost a few
+#: KB per histogram while staying a representative subsample.
+SNAPSHOT_SAMPLE_CAP = 256
 
 
 class Counter:
@@ -143,6 +150,20 @@ class Histogram:
             "p95": nearest(95),
         }
 
+    def sample_subset(self, limit: int = SNAPSHOT_SAMPLE_CAP) -> List[float]:
+        """An even-stride subsample of the buffered values (sorted).
+
+        The buffer is already a uniform sample of the full stream, and
+        an even stride over sorted data preserves its quantiles, so this
+        is what snapshots ship for cross-process percentile merges.
+        """
+        with self._lock:
+            samples = sorted(self._samples)
+        if len(samples) <= limit:
+            return samples
+        n = len(samples)
+        return [samples[(i * (n - 1)) // (limit - 1)] for i in range(limit)]
+
 
 def health_snapshot(
     registry: "MetricsRegistry",
@@ -189,6 +210,92 @@ def health_snapshot(
     if pool is not None:
         doc["pool"] = pool
     return doc
+
+
+def _pooled_samples(doc: Dict) -> List[tuple]:
+    """(value, weight) pairs representing one histogram snapshot entry.
+
+    ``repro.obs/2`` entries ship real ``samples``; each carries weight
+    ``count / len(samples)`` so pooled percentiles respect volume.  For
+    a legacy ``repro.obs/1`` entry (summary only) we fall back to a
+    coarse three-point sketch — (p50, 70%), (p95, 25%), (max, 5%) of the
+    count — which keeps old worker snapshots mergeable at reduced
+    fidelity instead of rejecting them.
+    """
+    count = doc.get("count") or 0
+    if not count:
+        return []
+    samples = doc.get("samples")
+    if samples:
+        weight = count / len(samples)
+        return [(float(v), weight) for v in samples]
+    out = []
+    for key, share in (("p50", 0.70), ("p95", 0.25), ("max", 0.05)):
+        value = doc.get(key)
+        if value is not None:
+            out.append((float(value), count * share))
+    return out
+
+
+def _weighted_percentile(pairs: List[tuple], p: float) -> Optional[float]:
+    if not pairs:
+        return None
+    pairs = sorted(pairs)
+    total = sum(w for _, w in pairs)
+    target = total * p / 100.0
+    acc = 0.0
+    for value, weight in pairs:
+        acc += weight
+        if acc >= target:
+            return value
+    return pairs[-1][0]
+
+
+def merge_snapshots(snaps: List[Dict]) -> Dict[str, Dict]:
+    """Merge per-process registry snapshots into one cluster view.
+
+    Counters sum; histogram ``count``/``total``/``min``/``max`` (and so
+    ``mean``) merge exactly; percentiles come from the pooled weighted
+    samples each snapshot ships (``repro.obs/2``), degrading gracefully
+    for sample-less legacy entries.  Input docs are the shape
+    :meth:`MetricsRegistry.snapshot` produces (``{"counters",
+    "histograms"}``); empty/None entries are skipped.
+    """
+    counters: Dict[str, int] = {}
+    pooled: Dict[str, Dict] = {}
+    for snap in snaps:
+        if not snap:
+            continue
+        for name, value in (snap.get("counters") or {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, doc in (snap.get("histograms") or {}).items():
+            count = doc.get("count") or 0
+            if not count:
+                continue
+            agg = pooled.setdefault(
+                name,
+                {"count": 0, "total": 0.0, "min": None, "max": None,
+                 "pairs": []},
+            )
+            agg["count"] += count
+            agg["total"] += doc.get("total") or 0.0
+            for key, better in (("min", min), ("max", max)):
+                value = doc.get(key)
+                if value is not None:
+                    agg[key] = value if agg[key] is None else better(agg[key], value)
+            agg["pairs"].extend(_pooled_samples(doc))
+    histograms: Dict[str, Dict] = {}
+    for name, agg in sorted(pooled.items()):
+        pairs = agg.pop("pairs")
+        agg["mean"] = agg["total"] / agg["count"] if agg["count"] else None
+        agg["p50"] = _weighted_percentile(pairs, 50)
+        agg["p95"] = _weighted_percentile(pairs, 95)
+        agg["p99"] = _weighted_percentile(pairs, 99)
+        histograms[name] = agg
+    return {
+        "counters": {k: counters[k] for k in sorted(counters)},
+        "histograms": histograms,
+    }
 
 
 class Timer:
@@ -243,15 +350,24 @@ class MetricsRegistry:
         self.counter(name).inc(n)
 
     def snapshot(self) -> Dict[str, Dict]:
-        """JSON-serializable dump of every metric at this instant."""
+        """JSON-serializable dump of every metric at this instant.
+
+        Since ``repro.obs/2`` each histogram entry carries a bounded
+        ``samples`` list (see :meth:`Histogram.sample_subset`) alongside
+        the scalar summary, so snapshots from different processes can be
+        merged with honest pooled percentiles.
+        """
         with self._lock:
             counters = dict(self._counters)
             histograms = dict(self._histograms)
+        hist_docs: Dict[str, Dict] = {}
+        for name, h in sorted(histograms.items()):
+            doc = h.summary()
+            doc["samples"] = h.sample_subset()
+            hist_docs[name] = doc
         return {
             "counters": {name: c.value for name, c in sorted(counters.items())},
-            "histograms": {
-                name: h.summary() for name, h in sorted(histograms.items())
-            },
+            "histograms": hist_docs,
         }
 
     def health_keys(self) -> Dict[str, int]:

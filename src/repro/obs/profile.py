@@ -99,16 +99,28 @@ class ProfileResult:
         for pid, clock in enumerate(self.proc_clocks):
             traced = totals.get(pid, 0.0)
             if abs(traced - clock) > CLOCK_TOLERANCE:
-                raise ProfileMismatch(
+                raise self._mismatch(
                     f"pid {pid}: trace total {traced!r} != machine clock "
                     f"{clock!r} ({self.algorithm} on {self.circuit})"
                 )
         if self.proc_clocks:
             top = max(self.proc_clocks)
             if abs(top - self.parallel_time) > CLOCK_TOLERANCE:
-                raise ProfileMismatch(
+                raise self._mismatch(
                     f"max clock {top!r} != elapsed {self.parallel_time!r}"
                 )
+
+    def _mismatch(self, message: str) -> "ProfileMismatch":
+        """Build the error after leaving a flight-recorder breadcrumb —
+        a clock divergence is exactly the state worth a post-mortem."""
+        from repro.obs.flight import auto_dump, flight_recorder
+
+        flight_recorder().record(
+            "mismatch", "profile-mismatch",
+            circuit=self.circuit, algorithm=self.algorithm, detail=message,
+        )
+        auto_dump("profile-mismatch")
+        return ProfileMismatch(message)
 
     # ------------------------------------------------------------------
     def render(self) -> str:

@@ -1,0 +1,215 @@
+"""Per-tenant / per-algorithm SLO tracking with multi-window burn rates.
+
+The serving tier promises two things per ``(tenant, algorithm)`` path:
+an **availability** objective (fraction of requests answered without
+error) and a **latency** objective (fraction answered under a
+threshold).  Both are tracked over rolling windows and reported as
+*burn rates*: the observed bad fraction divided by the objective's
+error budget.  Burn 1.0 means the path is consuming budget exactly as
+fast as the SLO allows; burn 14.4 over an hour-scale budget exhausts a
+month's budget in ~2 days — the classic fast-burn paging threshold.
+
+An alert-worthy path must burn hot in **both** a short and a long
+window (the multi-window rule: the short window proves the problem is
+current, the long one that it is not a blip).  The gateway surfaces
+:meth:`SLOTracker.problems` in ``/healthz`` — a clean run reports
+``ok`` with no reasons; a path burning past the thresholds degrades the
+status and names itself.
+
+Memory is bounded: at most ``max_keys`` paths (LRU-evicted), each
+holding only the events inside the longest window.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+__all__ = [
+    "SLOConfig",
+    "SLOTracker",
+    "DEFAULT_WINDOWS",
+    "FAST_BURN_THRESHOLD",
+    "SLOW_BURN_THRESHOLD",
+]
+
+#: (short, long) rolling windows in seconds.  Short proves currency,
+#: long filters blips.
+DEFAULT_WINDOWS: Tuple[float, float] = (60.0, 600.0)
+
+#: Burn-rate thresholds for the (short, long) windows.  14.4 is the
+#: canonical "2% of a 30-day budget in one hour" fast-burn rate; the
+#: long window pages at a gentler sustained burn.
+FAST_BURN_THRESHOLD = 14.4
+SLOW_BURN_THRESHOLD = 6.0
+
+#: Below this many events in a window a path is not judged at all —
+#: one failed request out of two must not page anyone.
+MIN_EVENTS = 10
+
+
+class SLOConfig:
+    """The two objectives one path is held to."""
+
+    __slots__ = ("availability_target", "latency_target_s", "latency_objective")
+
+    def __init__(
+        self,
+        availability_target: float = 0.999,
+        latency_target_s: float = 5.0,
+        latency_objective: float = 0.95,
+    ):
+        if not 0.0 < availability_target < 1.0:
+            raise ValueError("availability_target must be in (0, 1)")
+        if not 0.0 < latency_objective < 1.0:
+            raise ValueError("latency_objective must be in (0, 1)")
+        if latency_target_s <= 0:
+            raise ValueError("latency_target_s must be > 0")
+        self.availability_target = availability_target
+        self.latency_target_s = latency_target_s
+        self.latency_objective = latency_objective
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "availability_target": self.availability_target,
+            "latency_target_s": self.latency_target_s,
+            "latency_objective": self.latency_objective,
+        }
+
+
+class SLOTracker:
+    """Rolling multi-window burn-rate bookkeeping for serving paths.
+
+    ``now`` is injectable so tests can drive the clock; it must be a
+    monotonic-seconds callable.  All methods are thread-safe (the
+    gateway observes from its event loop but health renders may race a
+    test's direct calls).
+    """
+
+    def __init__(
+        self,
+        config: Optional[SLOConfig] = None,
+        windows: Tuple[float, float] = DEFAULT_WINDOWS,
+        max_keys: int = 256,
+        now: Callable[[], float] = time.monotonic,
+    ):
+        if len(windows) != 2 or windows[0] >= windows[1]:
+            raise ValueError(f"windows must be (short, long), got {windows!r}")
+        self.config = config or SLOConfig()
+        self.windows = (float(windows[0]), float(windows[1]))
+        self.max_keys = max_keys
+        self._now = now
+        #: key -> deque of (t, ok, latency_s); pruned to the long window.
+        self._events: "OrderedDict[Tuple[str, str], Deque[Tuple[float, bool, float]]]"
+        self._events = OrderedDict()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def observe(
+        self, tenant: str, algorithm: str, latency_s: float, ok: bool
+    ) -> None:
+        """Record one finished request on its ``(tenant, algorithm)`` path."""
+        t = self._now()
+        key = (tenant, algorithm)
+        horizon = t - self.windows[1]
+        with self._lock:
+            events = self._events.get(key)
+            if events is None:
+                events = deque()
+                self._events[key] = events
+                while len(self._events) > self.max_keys:
+                    self._events.popitem(last=False)
+            else:
+                self._events.move_to_end(key)
+            events.append((t, bool(ok), float(latency_s)))
+            while events and events[0][0] < horizon:
+                events.popleft()
+
+    # ------------------------------------------------------------------
+    def _window_burns(
+        self, events: List[Tuple[float, bool, float]], t: float, window: float
+    ) -> Optional[Dict[str, float]]:
+        recent = [e for e in events if e[0] >= t - window]
+        if len(recent) < MIN_EVENTS:
+            return None
+        total = len(recent)
+        bad = sum(1 for _, ok, _ in recent if not ok)
+        slow = sum(
+            1 for _, ok, lat in recent
+            if ok and lat > self.config.latency_target_s
+        )
+        error_budget = 1.0 - self.config.availability_target
+        latency_budget = 1.0 - self.config.latency_objective
+        return {
+            "events": total,
+            "error_rate": bad / total,
+            "error_burn": (bad / total) / error_budget,
+            "slow_rate": slow / total,
+            "latency_burn": (slow / total) / latency_budget,
+        }
+
+    def burn_rates(self, tenant: str, algorithm: str) -> Dict[str, Any]:
+        """Per-window burn document for one path (empty windows omitted)."""
+        t = self._now()
+        with self._lock:
+            events = list(self._events.get((tenant, algorithm), ()))
+        out: Dict[str, Any] = {}
+        for window in self.windows:
+            burns = self._window_burns(events, t, window)
+            if burns is not None:
+                out[f"{window:g}s"] = burns
+        return out
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Every tracked path's burn rates + the objectives, JSON-ready."""
+        with self._lock:
+            keys = list(self._events.keys())
+        paths: Dict[str, Any] = {}
+        for tenant, algorithm in keys:
+            burns = self.burn_rates(tenant, algorithm)
+            if burns:
+                paths[f"{tenant}/{algorithm}"] = burns
+        return {
+            "objectives": self.config.to_dict(),
+            "windows_s": list(self.windows),
+            "tracked_paths": len(keys),
+            "paths": paths,
+        }
+
+    def problems(self) -> List[str]:
+        """Burn-rate reasons that should degrade ``/healthz``.
+
+        A path is named only when it burns past the threshold in *both*
+        windows (multi-window rule) for the same objective.
+        """
+        t = self._now()
+        with self._lock:
+            items = [(k, list(v)) for k, v in self._events.items()]
+        short_w, long_w = self.windows
+        reasons: List[str] = []
+        for (tenant, algorithm), events in items:
+            short = self._window_burns(events, t, short_w)
+            long = self._window_burns(events, t, long_w)
+            if short is None or long is None:
+                continue
+            for metric, label in (
+                ("error_burn", "error"),
+                ("latency_burn", "latency"),
+            ):
+                if (
+                    short[metric] >= FAST_BURN_THRESHOLD
+                    and long[metric] >= SLOW_BURN_THRESHOLD
+                ):
+                    reasons.append(
+                        f"{tenant}/{algorithm}: {label} burn "
+                        f"{short[metric]:.1f}x over {short_w:g}s "
+                        f"(and {long[metric]:.1f}x over {long_w:g}s)"
+                    )
+        return reasons
+
+    def status(self) -> str:
+        """``ok`` or ``degraded`` — SLO burn never flips readiness by
+        itself (the gateway may still be the only one able to serve)."""
+        return "degraded" if self.problems() else "ok"

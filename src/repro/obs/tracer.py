@@ -47,6 +47,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 __all__ = [
     "ENV_VAR",
     "Span",
+    "SpanLog",
     "Tracer",
     "TraceContext",
     "active_tracer",
@@ -54,6 +55,7 @@ __all__ = [
     "context",
     "current_span",
     "enabled",
+    "make_trace_id",
     "set_tracer",
     "span",
     "use_tracer",
@@ -374,6 +376,108 @@ class Tracer:
     def clear(self) -> None:
         with self._lock:
             self.spans.clear()
+
+
+def make_trace_id() -> str:
+    """A fresh 16-hex-char distributed trace id (gateway-minted).
+
+    Random (not sequential) so ids minted by independent gateway
+    incarnations — or supplied by clients via ``X-Repro-Trace`` — never
+    collide in a shared trace store.
+    """
+    return os.urandom(8).hex()
+
+
+class SpanLog:
+    """Manual dict-span recorder for interleaved async code.
+
+    :class:`Tracer` nests spans on per-*thread* stacks, which is exactly
+    wrong inside one asyncio event loop serving many requests at once:
+    every request would stack onto every other.  A ``SpanLog`` drops the
+    implicit nesting and records plain span dicts (the
+    :meth:`Span.to_dict` JSONL schema) with *explicit* parent ids, which
+    is all the cross-process trace assembler needs.
+
+    Each log carries an ``anchor`` — a ``(time.time(), perf_counter())``
+    pair captured at construction — so spans recorded against the local
+    monotonic clock can be rebased onto a shared wall-clock axis when
+    batches from several processes are merged into one request trace.
+    """
+
+    __slots__ = ("proc", "anchor", "spans", "_next_id", "_lock")
+
+    def __init__(self, proc: str = "gateway"):
+        self.proc = proc
+        self.anchor = (time.time(), time.perf_counter())
+        self.spans: List[Dict[str, Any]] = []
+        self._next_id = 0
+        self._lock = threading.Lock()
+
+    def start(
+        self,
+        name: str,
+        cat: str = "serve",
+        track: Any = None,
+        parent: Optional[int] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Open a span dict; close it with :meth:`finish`."""
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        sp: Dict[str, Any] = {
+            "name": name,
+            "cat": cat,
+            "track": track if track is not None else self.proc,
+            "id": span_id,
+            "t0": time.perf_counter(),
+            "t1": None,
+        }
+        if parent is not None:
+            sp["parent"] = parent
+        if attrs:
+            sp["attrs"] = dict(attrs)
+        with self._lock:
+            self.spans.append(sp)
+        return sp
+
+    def finish(self, sp: Dict[str, Any], error: bool = False) -> None:
+        sp["t1"] = time.perf_counter()
+        if error:
+            sp["error"] = True
+
+    def event(
+        self,
+        name: str,
+        cat: str = "serve",
+        track: Any = None,
+        parent: Optional[int] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """A zero-width span (instant marker, e.g. ``redispatch``)."""
+        sp = self.start(name, cat=cat, track=track, parent=parent, attrs=attrs)
+        sp["t1"] = sp["t0"]
+        return sp
+
+    def batch(self, remote_parent: Optional[int] = None) -> Dict[str, Any]:
+        """This log as one trace-assembly batch (see ``obs.export``).
+
+        Open spans are shipped with ``t1 = t0`` rather than dropped — a
+        crash dump must show what was in flight.
+        """
+        with self._lock:
+            spans = [dict(sp) for sp in self.spans]
+        for sp in spans:
+            if sp["t1"] is None:
+                sp["t1"] = sp["t0"]
+        doc: Dict[str, Any] = {
+            "proc": self.proc,
+            "anchor": list(self.anchor),
+            "spans": spans,
+        }
+        if remote_parent is not None:
+            doc["remote_parent"] = remote_parent
+        return doc
 
 
 class TraceContext:

@@ -141,6 +141,11 @@ class PortfolioStats:
             self.races += 1
             self.cancelled_lanes += cancelled
             self.lane_wins[winner] = self.lane_wins.get(winner, 0) + 1
+        from repro.obs.flight import flight_recorder
+
+        flight_recorder().record(
+            "race", "portfolio-race", winner=winner, cancelled=cancelled,
+        )
 
     def record_selector_hit(self, lane: str) -> None:
         with self._lock:

@@ -39,6 +39,7 @@ from repro.serve.loadgen import (
 )
 from repro.serve.protocol import BadRequest, job_cache_key, parse_job_request
 from repro.serve.router import TenantRateLimiter, TokenBucket, shard_for
+from repro.serve.top import render_top, run_top
 from repro.serve.worker import WorkerHandle, worker_main
 
 __all__ = [
@@ -58,8 +59,10 @@ __all__ = [
     "load_workload_file",
     "parse_job_request",
     "poisson_arrivals",
+    "render_top",
     "run_loadgen",
     "run_serving_bench",
+    "run_top",
     "shard_for",
     "validate_serving_report",
     "worker_main",

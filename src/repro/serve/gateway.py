@@ -35,12 +35,18 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import os
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.export import assemble_request_trace, trace_to_chrome
+from repro.obs.flight import auto_dump, flight_recorder, set_flight_dir
+from repro.obs.metrics import MetricsRegistry, merge_snapshots
+from repro.obs.prom import render_prometheus
+from repro.obs.slo import SLOTracker
+from repro.obs.tracer import SpanLog, make_trace_id
 from repro.serve import httpio
 from repro.serve.diskcache import DiskCache
 from repro.serve.protocol import (
@@ -92,6 +98,14 @@ class GatewayConfig:
     engine_opts: Optional[Dict[str, Any]] = None
     #: finished jobs kept for /v1/jobs lookups.
     job_registry_capacity: int = 4096
+    #: mint a trace per request and merge worker span batches into
+    #: ``GET /v1/jobs/<id>/trace``.  Span recording is a few dict
+    #: appends per request (not per engine event) — cheap enough to
+    #: leave on; set False to drop even that.
+    trace_requests: bool = True
+    #: where flight-recorder dumps land; defaults to
+    #: ``<cache_dir>/flight`` when a cache dir is configured.
+    flight_dir: Optional[str] = None
 
 
 class Job:
@@ -99,7 +113,8 @@ class Job:
 
     __slots__ = ("job_id", "key", "tenant", "spec", "status", "result",
                  "error", "cache", "coalesced", "worker", "created",
-                 "finished", "done")
+                 "finished", "done", "trace_id", "spans", "request_span",
+                 "dispatch_span", "join_span", "worker_trace")
 
     def __init__(self, job_id: str, key: str, tenant: str,
                  spec: Dict[str, Any]):
@@ -116,6 +131,13 @@ class Job:
         self.created = time.monotonic()
         self.finished: Optional[float] = None
         self.done = asyncio.Event()
+        #: distributed-trace state (None when tracing is disabled).
+        self.trace_id: Optional[str] = None
+        self.spans: Optional[SpanLog] = None
+        self.request_span: Optional[Dict[str, Any]] = None
+        self.dispatch_span: Optional[Dict[str, Any]] = None
+        self.join_span: Optional[Dict[str, Any]] = None
+        self.worker_trace: Optional[Dict[str, Any]] = None
 
     @property
     def elapsed(self) -> float:
@@ -144,6 +166,8 @@ class Job:
             "cache": self.cache,
             "elapsed": self.elapsed,
         }
+        if self.trace_id is not None:
+            doc["trace_id"] = self.trace_id
         if self.worker is not None:
             doc["worker"] = self.worker
         if self.error is not None:
@@ -181,6 +205,8 @@ class Gateway:
         self.cache = ResultCache(
             capacity=self.config.mem_cache_capacity, metrics=self.metrics
         )
+        self.slo = SLOTracker()
+        self.flight = flight_recorder(proc="gateway")
         self.disk: Optional[DiskCache] = None
         self.limiter = TenantRateLimiter(
             self.config.rate_limit, self.config.burst
@@ -212,9 +238,20 @@ class Gateway:
     def url(self) -> str:
         return f"http://{self.config.host}:{self.port}"
 
+    @property
+    def flight_dir(self) -> Optional[str]:
+        """Effective auto-dump directory (config, else under cache_dir)."""
+        if self.config.flight_dir:
+            return self.config.flight_dir
+        if self.config.cache_dir:
+            return os.path.join(self.config.cache_dir, "flight")
+        return None
+
     async def start(self) -> None:
         self._loop = asyncio.get_event_loop()
         self._started_at = time.monotonic()
+        if self.flight_dir:
+            set_flight_dir(self.flight_dir)
         if self.config.cache_dir:
             self.disk = DiskCache(self.config.cache_dir)
         for worker_id in range(self.config.workers):
@@ -224,6 +261,7 @@ class Gateway:
                 on_message=self._on_worker_message_threadsafe,
                 on_eof=self._on_worker_eof_threadsafe,
                 engine_opts=self.config.engine_opts,
+                flight_dir=self.flight_dir,
             )
             self._handles.append(handle)
             self._outstanding[worker_id] = {}
@@ -322,6 +360,14 @@ class Gateway:
         handle.crashes += 1
         self.metrics.inc("worker_crashes")
         pending = list(self._outstanding[handle.worker_id].values())
+        # The dying process cannot dump its own ring, so the gateway
+        # dumps what IT saw: the requests dispatched to the dead shard.
+        self.flight.record(
+            "crash", f"worker-{handle.worker_id}-dead",
+            worker=handle.worker_id, pid=handle.pid,
+            generation=handle.generation, pending=len(pending),
+        )
+        auto_dump(f"worker-{handle.worker_id}-crash", self.flight)
         if not self.config.respawn:
             self._outstanding[handle.worker_id].clear()
             for infl in pending:
@@ -331,6 +377,17 @@ class Gateway:
             return
         handle.spawn()
         for infl in pending:
+            for job in infl.jobs:
+                if job.spans is not None:
+                    # An instant marker in the merged trace: the retried
+                    # attempt keeps the original trace_id (infl.msg is
+                    # re-sent verbatim), and this shows why it restarted.
+                    job.spans.event(
+                        "redispatch",
+                        parent=(job.request_span or {}).get("id"),
+                        attrs={"worker": handle.worker_id,
+                               "generation": handle.generation},
+                    )
             handle.send(infl.msg)
             self.metrics.inc("requests_redispatched")
 
@@ -342,8 +399,32 @@ class Gateway:
                 if handle.process is not None and not handle.alive():
                     self._on_worker_dead(handle, handle.generation)
 
+    def _attach_trace(self, job: Job, batch: Optional[Dict[str, Any]],
+                      ok: bool) -> None:
+        """Close the job's gateway spans and adopt the worker's batch.
+
+        A coalesced follower shares the leader's worker batch but hangs
+        it off its own ``coalesce-join`` span (the leader's dispatch-span
+        id means nothing in the follower's log)."""
+        if job.spans is None:
+            return
+        if batch is not None:
+            own = dict(batch)
+            if job.coalesced:
+                join = job.join_span or job.request_span
+                own["remote_parent"] = join["id"] if join else None
+            job.worker_trace = own
+        if job.dispatch_span is not None:
+            job.spans.finish(job.dispatch_span, error=not ok)
+        if job.request_span is not None:
+            job.spans.finish(job.request_span, error=not ok)
+
+    def _observe_slo(self, job: Job, ok: bool) -> None:
+        self.slo.observe(job.tenant, job.spec["algorithm"], job.elapsed, ok)
+
     def _complete(self, infl: _Inflight, msg: Dict[str, Any]) -> None:
         self._inflight.pop(infl.key, None)
+        batch = msg.get("trace")
         if msg.get("ok"):
             doc = msg["result"]
             source = msg.get("cache", "computed")
@@ -352,14 +433,21 @@ class Gateway:
             self.metrics.inc(f"results_from_{source}")
             for job in infl.jobs:
                 job.worker = infl.worker_id
+                self._attach_trace(job, batch, ok=True)
                 job.finish(doc, source if not job.coalesced else "coalesced")
                 self.metrics.histogram("request_seconds").observe(job.elapsed)
+                self._observe_slo(job, ok=True)
         else:
             error = msg.get("error", "worker error")
             self.metrics.inc("results_failed")
+            self.flight.record("error", "result-failed",
+                               worker=infl.worker_id, error=error)
+            auto_dump("request-failed", self.flight)
             for job in infl.jobs:
                 job.worker = infl.worker_id
+                self._attach_trace(job, batch, ok=False)
                 job.fail(error)
+                self._observe_slo(job, ok=False)
 
     # ------------------------------------------------------------------
     # submission
@@ -390,10 +478,17 @@ class Gateway:
                 self._network_cache.popitem(last=False)
         return network
 
-    def submit(self, doc: Any) -> Job:
+    def submit(
+        self,
+        doc: Any,
+        trace_parent: Optional[Tuple[str, Optional[int]]] = None,
+    ) -> Job:
         """Admit, hash, and route one request; returns its Job entry.
 
-        Raises :class:`~repro.serve.protocol.BadRequest`,
+        *trace_parent* is an inbound ``(trace_id, parent_span_id)`` pair
+        (from an ``X-Repro-Trace`` header); without one, a fresh trace
+        id is minted.  Raises
+        :class:`~repro.serve.protocol.BadRequest`,
         :class:`RateLimited`, or :class:`Overloaded` — mapped to HTTP
         400/429 by the handler, usable directly by in-process callers.
         """
@@ -412,14 +507,36 @@ class Gateway:
         network = self._resolve_network(spec)
         key = job_cache_key(spec, network)
         job = Job(f"j{next(self._seq):06d}", key, tenant, spec)
+        if self.config.trace_requests:
+            job.trace_id = trace_parent[0] if trace_parent else make_trace_id()
+            job.spans = SpanLog(proc="gateway")
+            attrs: Dict[str, Any] = {
+                "job": job.job_id,
+                "trace_id": job.trace_id,
+                "tenant": tenant,
+                "algorithm": spec["algorithm"],
+            }
+            if trace_parent and trace_parent[1] is not None:
+                attrs["client_parent"] = trace_parent[1]
+            job.request_span = job.spans.start(
+                "request", track="gateway", attrs=attrs
+            )
         self._register(job)
 
         cached = self.cache.get(key)
         if cached is not None:
+            if job.spans is not None:
+                job.spans.event(
+                    "cache-hit",
+                    parent=job.request_span["id"],
+                    attrs={"tier": "gateway"},
+                )
+                self._attach_trace(job, None, ok=True)
             job.finish(cached, "gateway")
             self.metrics.inc("results_ok")
             self.metrics.inc("results_from_gateway")
             self.metrics.histogram("request_seconds").observe(job.elapsed)
+            self._observe_slo(job, ok=True)
             return job
 
         infl = self._inflight.get(key)
@@ -427,6 +544,18 @@ class Gateway:
             job.coalesced = True
             infl.jobs.append(job)
             self.metrics.inc("requests_coalesced")
+            if job.spans is not None:
+                # The follower's trace joins the leader's computation;
+                # both ids are recorded so either trace can be found
+                # from the other.
+                leader = infl.jobs[0]
+                job.join_span = job.spans.event(
+                    "coalesce-join",
+                    parent=job.request_span["id"],
+                    attrs={"leader_job": leader.job_id,
+                           "leader_trace_id": leader.trace_id,
+                           "follower_trace_id": job.trace_id},
+                )
             return job
 
         worker_id = shard_for(key, len(self._handles))
@@ -434,15 +563,26 @@ class Gateway:
             "circuit", "eqn", "algorithm", "procs", "searcher", "scale",
             "node_budget", "params", "include_network",
         )}
+        msg = {"op": "factor", "id": job.job_id, "key": key,
+               "job": wire_spec}
+        if job.spans is not None:
+            job.dispatch_span = job.spans.start(
+                "dispatch",
+                parent=job.request_span["id"],
+                attrs={"worker": worker_id},
+            )
+            msg["trace"] = {"trace_id": job.trace_id,
+                            "parent": job.dispatch_span["id"]}
         infl = _Inflight(
             req_id=job.job_id, key=key, worker_id=worker_id,
-            msg={"op": "factor", "id": job.job_id, "key": key,
-                 "job": wire_spec},
+            msg=msg,
             jobs=[job],
         )
         self._inflight[key] = infl
         self._outstanding[worker_id][job.job_id] = infl
         self.metrics.inc("requests_dispatched")
+        self.flight.record("dispatch", job.job_id, worker=worker_id,
+                           tenant=tenant, algorithm=spec["algorithm"])
         # A send on a just-crashed pipe is fine: the request stays in
         # _outstanding and the respawn path re-dispatches it.
         self._handles[worker_id].send(infl.msg)
@@ -514,9 +654,19 @@ class Gateway:
             status = "ok"
         else:
             status = "degraded"
+        # SLO burn degrades (never fails) the aggregate: the tier still
+        # serves, but somebody should look at the named paths.
+        slo_problems = self.slo.problems()
+        if status == "ok" and slo_problems:
+            status = "degraded"
         return {
             "status": status,
             "ready": self.is_ready(),
+            "slo": {
+                "status": "degraded" if slo_problems else "ok",
+                "problems": slo_problems,
+                "objectives": self.slo.config.to_dict(),
+            },
             "gateway": {
                 "inflight": len(self._inflight),
                 "jobs_tracked": len(self._jobs),
@@ -590,7 +740,29 @@ class Gateway:
                     portfolio["portfolio_lane_wins"].get(lane, 0) + int(wins)
                 )
         doc["portfolio"] = portfolio
+        # One cluster-wide registry view: the gateway's own snapshot
+        # merged with every worker's (shipped in health replies since
+        # repro.obs/2 — histograms carry samples, so pooled percentiles
+        # are honest, and a pre-samples snapshot still merges coarsely).
+        worker_snaps = [
+            (h.last_health or {}).get("metrics") for h in self._handles
+        ]
+        doc["cluster"] = merge_snapshots(
+            [doc["gateway"]] + [s for s in worker_snaps if s]
+        )
+        doc["slo"] = self.slo.snapshot()
         return doc
+
+    def job_trace(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The merged request trace for a tracked job (None if unknown
+        or tracing is off)."""
+        job = self._jobs.get(job_id)
+        if job is None or job.spans is None or job.trace_id is None:
+            return None
+        batches = [job.spans.batch()]
+        if job.worker_trace is not None:
+            batches.append(job.worker_trace)
+        return assemble_request_trace(job.trace_id, job.job_id, batches)
 
     # ------------------------------------------------------------------
     # HTTP layer
@@ -652,7 +824,14 @@ class Gateway:
             return True
         if path == "/metrics" and method == "GET":
             await self._refresh_worker_health()
-            await httpio.send_json(writer, 200, self.metrics_document())
+            doc = self.metrics_document()
+            if request.query.get("format") == "prom":
+                await httpio.send_text(
+                    writer, 200, render_prometheus(doc),
+                    content_type="text/plain; version=0.0.4; charset=utf-8",
+                )
+            else:
+                await httpio.send_json(writer, 200, doc)
             return True
         await httpio.send_json(writer, 404, {"error": f"no route {path!r}"})
         return True
@@ -665,8 +844,11 @@ class Gateway:
             await httpio.send_json(
                 writer, 400, {"error": "request body is not valid JSON"})
             return True
+        trace_parent = _parse_trace_header(
+            request.headers.get("x-repro-trace")
+        )
         try:
-            job = self.submit(body)
+            job = self.submit(body, trace_parent=trace_parent)
         except BadRequest as exc:
             await httpio.send_json(writer, 400, {"error": str(exc)})
             return True
@@ -700,6 +882,10 @@ class Gateway:
     async def _http_job(self, request: httpio.HTTPRequest,
                         writer: asyncio.StreamWriter) -> bool:
         job_id = request.path[len("/v1/jobs/"):]
+        if job_id.endswith("/trace"):
+            return await self._http_job_trace(
+                job_id[: -len("/trace")], request, writer
+            )
         job = self._jobs.get(job_id)
         if job is None:
             await httpio.send_json(
@@ -719,3 +905,48 @@ class Gateway:
             return False  # streamed responses close the connection
         await httpio.send_json(writer, 200, job.to_doc())
         return True
+
+    async def _http_job_trace(self, job_id: str,
+                              request: httpio.HTTPRequest,
+                              writer: asyncio.StreamWriter) -> bool:
+        job = self._jobs.get(job_id)
+        if job is None:
+            await httpio.send_json(
+                writer, 404, {"error": f"unknown job {job_id!r}"})
+            return True
+        doc = self.job_trace(job_id)
+        if doc is None:
+            await httpio.send_json(
+                writer, 404,
+                {"error": f"no trace for job {job_id!r} "
+                          "(tracing disabled?)"})
+            return True
+        if request.query.get("format") == "chrome":
+            await httpio.send_json(writer, 200, trace_to_chrome(doc))
+        else:
+            await httpio.send_json(writer, 200, doc)
+        return True
+
+
+def _parse_trace_header(
+    raw: Optional[str],
+) -> Optional[Tuple[str, Optional[int]]]:
+    """Parse ``X-Repro-Trace: <trace_id>[:<parent_span_id>]``.
+
+    Unparseable headers yield None (mint a fresh trace) rather than a
+    client error — trace context is advisory, never worth a 400.
+    """
+    if not raw:
+        return None
+    trace_id, _, parent = raw.partition(":")
+    trace_id = trace_id.strip()
+    if not trace_id or len(trace_id) > 64:
+        return None
+    parent = parent.strip()
+    parent_id: Optional[int] = None
+    if parent:
+        try:
+            parent_id = int(parent)
+        except ValueError:
+            parent_id = None
+    return trace_id, parent_id

@@ -24,9 +24,11 @@ __all__ = [
     "read_http_request",
     "send_json",
     "send_ndjson_line",
+    "send_text",
     "start_ndjson",
     "http_json",
     "http_json_lines",
+    "http_text",
 ]
 
 #: Upper bound on accepted request bodies (the inline-eqn ceiling plus
@@ -136,6 +138,20 @@ async def send_json(
     await writer.drain()
 
 
+async def send_text(
+    writer: asyncio.StreamWriter,
+    status: int,
+    text: str,
+    content_type: str = "text/plain; charset=utf-8",
+    keep_alive: bool = True,
+) -> None:
+    """Plain-text response (Prometheus exposition, rendered dumps)."""
+    body = text.encode("utf-8")
+    writer.write(_head(status, content_type, len(body), keep_alive))
+    writer.write(body)
+    await writer.drain()
+
+
 async def start_ndjson(writer: asyncio.StreamWriter, status: int = 200) -> None:
     """Begin an NDJSON streaming response (no length; close delimits)."""
     writer.write(_head(status, "application/x-ndjson", None, False))
@@ -165,7 +181,8 @@ def _split_url(url: str) -> Tuple[str, int, str]:
 
 
 async def _request(
-    method: str, url: str, body: Optional[Any], timeout: float
+    method: str, url: str, body: Optional[Any], timeout: float,
+    headers: Optional[Dict[str, str]] = None,
 ) -> Tuple[int, Dict[str, str], bytes]:
     host, port, path = _split_url(url)
     reader, writer = await asyncio.wait_for(
@@ -180,6 +197,8 @@ async def _request(
             f"Host: {host}:{port}",
             "Connection: close",
         ]
+        for name, value in (headers or {}).items():
+            head.append(f"{name}: {value}")
         if payload:
             head.append("Content-Type: application/json")
         head.append(f"Content-Length: {len(payload)}")
@@ -214,10 +233,11 @@ async def _request(
 
 
 async def http_json(
-    method: str, url: str, body: Optional[Any] = None, timeout: float = 30.0
+    method: str, url: str, body: Optional[Any] = None, timeout: float = 30.0,
+    headers: Optional[Dict[str, str]] = None,
 ) -> Tuple[int, Any]:
     """One HTTP exchange; returns ``(status, parsed-JSON-or-None)``."""
-    status, _headers, data = await _request(method, url, body, timeout)
+    status, _headers, data = await _request(method, url, body, timeout, headers)
     doc = None
     if data:
         try:
@@ -238,3 +258,12 @@ async def http_json_lines(
         if raw:
             lines.append(json.loads(raw))
     return status, lines
+
+
+async def http_text(
+    method: str, url: str, timeout: float = 30.0
+) -> Tuple[int, str]:
+    """One HTTP exchange returning the raw body as text (``/metrics``
+    Prometheus exposition)."""
+    status, _headers, data = await _request(method, url, None, timeout)
+    return status, data.decode("utf-8", errors="replace")

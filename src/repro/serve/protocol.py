@@ -17,11 +17,22 @@ Worker pipe messages are plain dicts tagged with ``op``:
 op          fields                                          direction
 ========== =============================================== ==========
 hello       worker, pid                                     w -> gw
-factor      id, key, job (a spec dict)                      gw -> w
-result      id, ok, result | error, cache, worker           w -> gw
+factor      id, key, job (a spec dict), trace?              gw -> w
+result      id, ok, result | error, cache, worker, trace?   w -> gw
 health      id [request has no other fields]                both
 shutdown    —                                               gw -> w
 ========== =============================================== ==========
+
+The optional ``trace`` field carries distributed-tracing context.  On
+``factor`` it is ``{"trace_id": <hex>, "parent": <gateway span id>}``;
+the worker runs the whole request under a private tracer and echoes a
+span *batch* back on ``result``: ``{"trace_id", "proc": "worker:N",
+"anchor": [time.time(), perf_counter()], "remote_parent": <the parent
+id from the request>, "spans": [span dicts]}``.  The gateway stitches
+batches into one merged trace per request
+(:func:`repro.obs.assemble_request_trace`); re-dispatching a ``factor``
+message after a crash reuses it verbatim, so the retried attempt keeps
+the original ``trace_id``.
 """
 
 from __future__ import annotations

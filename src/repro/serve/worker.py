@@ -33,8 +33,11 @@ import os
 import queue
 import signal
 import threading
+import time
 from typing import Any, Callable, Dict, Optional
 
+from repro.obs.flight import auto_dump, flight_recorder, set_flight_dir
+from repro.obs.tracer import Tracer, use_tracer
 from repro.serve.diskcache import DiskCache
 from repro.serve.protocol import result_document
 
@@ -56,6 +59,7 @@ def worker_main(
     conn,
     cache_dir: Optional[str] = None,
     engine_opts: Optional[Dict[str, Any]] = None,
+    flight_dir: Optional[str] = None,
 ) -> None:
     """Entry point of one worker process (also callable in-process by
     tests that want the protocol without a fork)."""
@@ -63,6 +67,9 @@ def worker_main(
     from repro.service.engine import FactorizationEngine
     from repro.service.jobs import FactorizationJob
 
+    flight = flight_recorder(proc=f"worker:{worker_id}")
+    if flight_dir:
+        set_flight_dir(flight_dir)
     disk = DiskCache(cache_dir) if cache_dir else None
     if cache_dir:
         # Persist best-rectangle memo entries next to the result cache
@@ -110,6 +117,9 @@ def worker_main(
             "pid": os.getpid(),
             "jobs_done": jobs_done,
             "engine": engine.health(),
+            # Full registry snapshot (repro.obs/2 histograms include
+            # samples) so the gateway can merge one cluster-wide view.
+            "metrics": engine.metrics.snapshot(),
         }
         if disk is not None:
             doc["disk_cache"] = disk.stats()
@@ -137,6 +147,35 @@ def worker_main(
                      name=f"worker-{worker_id}-control").start()
     send({"op": "hello", "worker": worker_id, "pid": os.getpid()})
 
+    def process_factor(key: str, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """Answer one factor request; returns the result-msg fields."""
+        if disk is not None:
+            from repro import obs
+
+            with obs.span("disk-probe", cat="serve"):
+                cached = disk.get(key)
+            if cached is not None:
+                return {"ok": True, "result": cached, "cache": "disk"}
+        network = _resolve_spec_network(spec)
+        job = FactorizationJob(
+            circuit=spec.get("circuit") or network.name,
+            network=network,
+            algorithm=spec["algorithm"],
+            procs=spec["procs"],
+            searcher=spec["searcher"],
+            scale=spec["scale"],
+            node_budget=spec["node_budget"],
+            params=dict(spec["params"]),
+        )
+        res = engine.execute(job)
+        if not res.ok:
+            return {"ok": False, "error": res.error or "job failed"}
+        doc = result_document(spec, res, worker=worker_id)
+        if disk is not None:
+            disk.put(key, doc)
+        return {"ok": True, "result": doc,
+                "cache": "memory" if res.cache_hit else "computed"}
+
     while True:
         msg = work.get()
         if msg is None:
@@ -146,42 +185,49 @@ def worker_main(
                   "error": f"unknown op {msg.get('op')!r}"})
             continue
         req_id, key, spec = msg["id"], msg["key"], msg["job"]
-        if disk is not None:
-            cached = disk.get(key)
-            if cached is not None:
-                jobs_done += 1
-                send({"op": "result", "id": req_id, "ok": True,
-                      "result": cached, "cache": "disk", "worker": worker_id})
-                continue
+        trace_req = msg.get("trace")
+        # A fresh per-request tracer: the compute thread handles one
+        # factor at a time, so its span stack nests cleanly, and a
+        # private tracer means one request's spans never leak into
+        # another's batch.
+        tracer = Tracer(name=f"worker-{worker_id}") if trace_req else None
+        anchor = [time.time(), time.perf_counter()]
+        flight.record("request", "factor", job=req_id,
+                      algorithm=spec.get("algorithm"))
         try:
-            network = _resolve_spec_network(spec)
-            job = FactorizationJob(
-                circuit=spec.get("circuit") or network.name,
-                network=network,
-                algorithm=spec["algorithm"],
-                procs=spec["procs"],
-                searcher=spec["searcher"],
-                scale=spec["scale"],
-                node_budget=spec["node_budget"],
-                params=dict(spec["params"]),
-            )
-            res = engine.execute(job)
+            if tracer is not None:
+                with use_tracer(tracer):
+                    with tracer.span(
+                        "worker-factor", cat="serve",
+                        track=f"worker:{worker_id}",
+                        attrs={"job": req_id,
+                               "trace_id": trace_req.get("trace_id")},
+                    ) as root:
+                        fields = process_factor(key, spec)
+                        if not fields.get("ok"):
+                            root.error = True
+            else:
+                fields = process_factor(key, spec)
         except Exception as exc:  # noqa: BLE001 - protocol boundary
-            send({"op": "result", "id": req_id, "ok": False,
-                  "error": f"{type(exc).__name__}: {exc}",
-                  "worker": worker_id})
-            continue
-        if not res.ok:
-            send({"op": "result", "id": req_id, "ok": False,
-                  "error": res.error or "job failed", "worker": worker_id})
-            continue
-        doc = result_document(spec, res, worker=worker_id)
-        if disk is not None:
-            disk.put(key, doc)
-        jobs_done += 1
-        send({"op": "result", "id": req_id, "ok": True, "result": doc,
-              "cache": "memory" if res.cache_hit else "computed",
-              "worker": worker_id})
+            error = f"{type(exc).__name__}: {exc}"
+            flight.record("error", "request-error", job=req_id, error=error)
+            auto_dump("request-error", flight)
+            fields = {"ok": False, "error": error}
+        if fields.get("ok"):
+            jobs_done += 1
+        else:
+            flight.record("error", "factor-failed", job=req_id,
+                          error=fields.get("error"))
+        out = {"op": "result", "id": req_id, "worker": worker_id, **fields}
+        if tracer is not None:
+            out["trace"] = {
+                "trace_id": trace_req.get("trace_id"),
+                "proc": f"worker:{worker_id}",
+                "anchor": anchor,
+                "remote_parent": trace_req.get("parent"),
+                "spans": [sp.to_dict() for sp in tracer.finished()],
+            }
+        send(out)
     try:
         conn.close()
     except OSError:
@@ -210,10 +256,12 @@ class WorkerHandle:
         on_message: Callable[["WorkerHandle", int, Dict[str, Any]], None],
         on_eof: Callable[["WorkerHandle", int], None],
         engine_opts: Optional[Dict[str, Any]] = None,
+        flight_dir: Optional[str] = None,
     ):
         self.worker_id = worker_id
         self.cache_dir = cache_dir
         self.engine_opts = engine_opts
+        self.flight_dir = flight_dir
         self.generation = 0
         self.crashes = 0
         self.ready = False
@@ -235,7 +283,8 @@ class WorkerHandle:
         self._conn = parent_conn
         self.process = ctx.Process(
             target=worker_main,
-            args=(self.worker_id, child_conn, self.cache_dir, self.engine_opts),
+            args=(self.worker_id, child_conn, self.cache_dir,
+                  self.engine_opts, self.flight_dir),
             name=f"repro-serve-worker-{self.worker_id}",
             daemon=True,
         )

@@ -369,6 +369,14 @@ class FactorizationEngine:
                 breaker.record_failure()
                 if not was_open and breaker.state == BreakerState.OPEN:
                     self.metrics.inc("breaker_opened")
+                    from repro.obs.flight import auto_dump, flight_recorder
+
+                    flight_recorder().record(
+                        "breaker", "breaker-open",
+                        path=self._path_key(job),
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                    auto_dump("breaker-open")
                 job.error = f"{type(exc).__name__}: {exc}"
                 job.transition(JobStatus.FAILED)
                 self.metrics.inc("jobs_failed_attempts")

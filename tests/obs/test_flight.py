@@ -1,0 +1,116 @@
+"""Flight recorder unit tests: the ring, the dump, and the reader."""
+
+import json
+
+import pytest
+
+from repro.obs.flight import (
+    FLIGHT_SCHEMA,
+    FlightRecorder,
+    auto_dump,
+    load_flight,
+    render_flight,
+    set_flight_dir,
+    set_flight_recorder,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_globals():
+    """Every test gets (and leaves behind) pristine module state."""
+    set_flight_recorder(None)
+    set_flight_dir(None)
+    yield
+    set_flight_recorder(None)
+    set_flight_dir(None)
+
+
+def test_ring_drops_oldest_when_full():
+    rec = FlightRecorder(capacity=4)
+    for i in range(6):
+        rec.record("probe", f"event-{i}", i=i)
+    assert len(rec) == 4
+    assert rec.dropped == 2
+    assert [e["name"] for e in rec.snapshot()] == [
+        "event-2", "event-3", "event-4", "event-5",
+    ]
+    rec.clear()
+    assert len(rec) == 0 and rec.dropped == 0
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=0)
+
+
+def test_disabled_via_env_records_nothing(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_FLIGHT", "0")
+    rec = FlightRecorder()
+    rec.record("probe", "ignored")
+    assert len(rec) == 0
+    set_flight_dir(str(tmp_path))
+    assert auto_dump("whatever", rec) is None
+
+
+def test_dump_load_render_round_trip(tmp_path):
+    rec = FlightRecorder(capacity=8, proc="worker:3")
+    rec.record("request", "factor", job="j-1")
+    rec.record("crash", "worker-3-dead", pid=1234)
+    path = rec.dump(str(tmp_path / "x.flight.jsonl"), reason="unit test")
+
+    doc = load_flight(path)
+    assert doc["header"]["schema"] == FLIGHT_SCHEMA
+    assert doc["header"]["proc"] == "worker:3"
+    assert doc["header"]["reason"] == "unit test"
+    assert doc["header"]["events"] == 2
+    assert [e["name"] for e in doc["events"]] == ["factor", "worker-3-dead"]
+    assert doc["events"][0]["job"] == "j-1"
+    assert all("t" in e and "wall" in e for e in doc["events"])
+
+    text = render_flight(doc)
+    assert "worker:3" in text
+    assert "factor" in text and "worker-3-dead" in text
+    assert "job=j-1" in text
+
+
+def test_auto_dump_writes_sanitized_artifact(tmp_path):
+    rec = FlightRecorder(proc="gateway")
+    rec.record("dispatch", "factor")
+    set_flight_dir(str(tmp_path))
+    path = auto_dump("worker 0/crash!", rec)
+    assert path is not None
+    name = path.rsplit("/", 1)[-1]
+    assert name.startswith("gateway-")
+    assert "worker-0-crash-" in name
+    assert name.endswith(".flight.jsonl")
+    assert load_flight(path)["header"]["reason"] == "worker 0/crash!"
+
+
+def test_auto_dump_without_directory_is_a_noop(tmp_path):
+    rec = FlightRecorder()
+    rec.record("probe", "event")
+    assert auto_dump("reason", rec) is None  # no dir configured
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_auto_dump_uses_global_singleton(tmp_path):
+    from repro.obs.flight import flight_recorder
+
+    set_flight_dir(str(tmp_path))
+    flight_recorder(proc="main").record("probe", "solo")
+    path = auto_dump("global")
+    assert path is not None
+    doc = load_flight(path)
+    assert [e["name"] for e in doc["events"]] == ["solo"]
+
+
+def test_load_flight_rejects_empty_and_foreign_files(tmp_path):
+    empty = tmp_path / "empty.flight.jsonl"
+    empty.write_text("")
+    with pytest.raises(ValueError, match="empty"):
+        load_flight(str(empty))
+
+    foreign = tmp_path / "foreign.flight.jsonl"
+    foreign.write_text(json.dumps({"schema": "not.flight/9"}) + "\n")
+    with pytest.raises(ValueError, match="schema"):
+        load_flight(str(foreign))

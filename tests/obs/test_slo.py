@@ -1,0 +1,137 @@
+"""SLO tracker unit tests: burn rates, the multi-window rule, eviction.
+
+Every test drives an injected clock, so windows are exact and nothing
+sleeps.
+"""
+
+from repro.obs.slo import MIN_EVENTS, SLOConfig, SLOTracker
+
+
+class Clock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+
+def _tracker(clock, **kw):
+    kw.setdefault("now", clock)
+    return SLOTracker(**kw)
+
+
+def test_below_min_events_no_judgment():
+    clock = Clock()
+    slo = _tracker(clock)
+    for _ in range(MIN_EVENTS - 1):
+        slo.observe("t", "sequential", 10.0, ok=False)  # terrible, but few
+    assert slo.burn_rates("t", "sequential") == {}
+    assert slo.problems() == []
+    assert slo.status() == "ok"
+
+
+def test_clean_traffic_burns_nothing():
+    clock = Clock()
+    slo = _tracker(clock)
+    for _ in range(50):
+        slo.observe("t", "lshaped", 0.1, ok=True)
+    burns = slo.burn_rates("t", "lshaped")
+    assert set(burns) == {"60s", "600s"}
+    for window in burns.values():
+        assert window["events"] == 50
+        assert window["error_burn"] == 0.0
+        assert window["latency_burn"] == 0.0
+    assert slo.status() == "ok"
+
+
+def test_error_burn_is_bad_fraction_over_budget():
+    clock = Clock()
+    slo = _tracker(clock)  # availability 0.999 -> budget 0.001
+    for i in range(100):
+        slo.observe("t", "seq", 0.1, ok=(i % 10 != 0))  # 10% failures
+    burns = slo.burn_rates("t", "seq")["60s"]
+    assert abs(burns["error_rate"] - 0.10) < 1e-12
+    assert abs(burns["error_burn"] - 100.0) < 1e-9
+
+
+def test_slow_but_successful_requests_burn_latency_budget():
+    clock = Clock()
+    config = SLOConfig(latency_target_s=1.0, latency_objective=0.9)
+    slo = _tracker(clock, config=config)  # latency budget 0.1
+    for i in range(20):
+        slo.observe("t", "seq", 5.0 if i < 4 else 0.1, ok=True)
+    burns = slo.burn_rates("t", "seq")["60s"]
+    assert abs(burns["slow_rate"] - 0.2) < 1e-12
+    assert abs(burns["latency_burn"] - 2.0) < 1e-9
+    assert burns["error_burn"] == 0.0
+    # A failed slow request counts against availability, not latency.
+    slo2 = _tracker(clock, config=config)
+    for _ in range(20):
+        slo2.observe("t", "seq", 5.0, ok=False)
+    assert slo2.burn_rates("t", "seq")["60s"]["latency_burn"] == 0.0
+
+
+def test_paging_requires_both_windows_hot():
+    # Budget 0.05 so an all-bad short window burns 20x (> 14.4).
+    config = SLOConfig(availability_target=0.95)
+
+    clock = Clock(100.0)
+    slo = _tracker(clock, config=config)
+    for _ in range(40):
+        slo.observe("t", "seq", 0.1, ok=True)   # old clean traffic
+    clock.t = 640.0
+    for _ in range(10):
+        slo.observe("t", "seq", 0.1, ok=False)  # current disaster
+    clock.t = 650.0
+    # Short window [590, 650]: 10/10 bad -> burn 20 >= 14.4.
+    # Long window [50, 650]: 10/50 bad -> burn 4 < 6 -> no page yet.
+    assert slo.burn_rates("t", "seq")["60s"]["error_burn"] >= 14.4
+    assert slo.problems() == []
+
+    slo2 = _tracker(clock, config=config)
+    clock.t = 100.0
+    for _ in range(40):
+        slo2.observe("t", "seq", 0.1, ok=False)  # long window is bad too
+    clock.t = 640.0
+    for _ in range(10):
+        slo2.observe("t", "seq", 0.1, ok=False)
+    clock.t = 650.0
+    problems = slo2.problems()
+    assert len(problems) == 1
+    assert "t/seq" in problems[0] and "error burn" in problems[0]
+    assert slo2.status() == "degraded"
+
+
+def test_events_age_out_of_the_long_window():
+    clock = Clock()
+    slo = _tracker(clock)
+    for _ in range(30):
+        slo.observe("t", "seq", 0.1, ok=False)
+    clock.t = 700.0  # everything is past the 600s horizon
+    assert slo.burn_rates("t", "seq") == {}
+    assert slo.problems() == []
+
+
+def test_lru_eviction_bounds_tracked_paths():
+    clock = Clock()
+    slo = _tracker(clock, max_keys=2)
+    for tenant in ("a", "b", "c"):
+        for _ in range(MIN_EVENTS):
+            slo.observe(tenant, "seq", 0.1, ok=True)
+    snap = slo.snapshot()
+    assert snap["tracked_paths"] == 2
+    assert set(snap["paths"]) == {"b/seq", "c/seq"}
+
+
+def test_snapshot_shape_is_json_ready():
+    import json
+
+    clock = Clock()
+    slo = _tracker(clock)
+    for _ in range(MIN_EVENTS):
+        slo.observe("default", "lshaped", 0.2, ok=True)
+    snap = slo.snapshot()
+    assert snap["windows_s"] == [60.0, 600.0]
+    assert snap["objectives"]["availability_target"] == 0.999
+    assert "default/lshaped" in snap["paths"]
+    json.dumps(snap)  # must serialize as-is

@@ -1,0 +1,116 @@
+"""Snapshot schema v2 tests: bounded samples, merging, compat loading."""
+
+import pytest
+
+from repro import obs
+from repro.obs import COMPAT_SCHEMAS, SNAPSHOT_SCHEMA, load_snapshot
+from repro.obs.metrics import (
+    SNAPSHOT_SAMPLE_CAP,
+    MetricsRegistry,
+    merge_snapshots,
+)
+
+
+def test_snapshot_histograms_carry_bounded_samples():
+    reg = MetricsRegistry()
+    h = reg.histogram("job_seconds")
+    for i in range(10_000):
+        h.observe(i / 1000.0)
+    snap = reg.snapshot()
+    entry = snap["histograms"]["job_seconds"]
+    samples = entry["samples"]
+    assert len(samples) <= SNAPSHOT_SAMPLE_CAP
+    assert samples == sorted(samples)
+    # the buffer is a bounded reservoir: the subset spans it, while
+    # min/max are tracked exactly over every observation
+    assert entry["min"] <= samples[0] <= samples[-1] <= entry["max"]
+
+
+def test_small_histograms_ship_every_sample():
+    reg = MetricsRegistry()
+    h = reg.histogram("x")
+    for v in (3.0, 1.0, 2.0):
+        h.observe(v)
+    assert reg.snapshot()["histograms"]["x"]["samples"] == [1.0, 2.0, 3.0]
+
+
+def test_merge_counters_sum_and_extrema_are_exact():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.inc("jobs", 3)
+    b.inc("jobs", 4)
+    b.inc("only_b")
+    for v in (0.1, 0.2, 0.3):
+        a.histogram("lat").observe(v)
+    for v in (1.0, 2.0):
+        b.histogram("lat").observe(v)
+    merged = merge_snapshots([a.snapshot(), b.snapshot()])
+    assert merged["counters"] == {"jobs": 7, "only_b": 1}
+    lat = merged["histograms"]["lat"]
+    assert lat["count"] == 5
+    assert lat["min"] == 0.1 and lat["max"] == 2.0
+    assert abs(lat["total"] - 3.6) < 1e-12
+    assert abs(lat["mean"] - 0.72) < 1e-12
+
+
+def test_merged_percentiles_pool_across_processes():
+    # One process saw only fast requests, the other only slow ones; a
+    # naive average of per-process p50s (0.1, 10.0) would say ~5 while
+    # the pooled median of the combined population is far lower when
+    # the fast process carried most of the traffic.
+    fast = MetricsRegistry()
+    slow = MetricsRegistry()
+    for _ in range(90):
+        fast.histogram("lat").observe(0.1)
+    for _ in range(10):
+        slow.histogram("lat").observe(10.0)
+    merged = merge_snapshots([fast.snapshot(), slow.snapshot()])
+    assert merged["histograms"]["lat"]["p50"] == 0.1
+    assert merged["histograms"]["lat"]["p99"] == 10.0
+
+
+def test_merge_skips_empty_and_handles_legacy_entries():
+    reg = MetricsRegistry()
+    for v in (0.2, 0.4, 0.6):
+        reg.histogram("lat").observe(v)
+    legacy = {
+        "counters": {"jobs": 1},
+        # a v1 entry: summary only, no samples
+        "histograms": {"lat": {"count": 100, "total": 50.0, "min": 0.1,
+                               "max": 3.0, "p50": 0.5, "p95": 2.0}},
+    }
+    merged = merge_snapshots([None, {}, reg.snapshot(), legacy])
+    lat = merged["histograms"]["lat"]
+    assert lat["count"] == 103
+    assert lat["max"] == 3.0
+    assert lat["p50"] is not None  # legacy sketch still contributes
+
+
+def test_load_snapshot_accepts_both_generations():
+    assert SNAPSHOT_SCHEMA == "repro.obs/2"
+    assert set(COMPAT_SCHEMAS) == {"repro.obs/1", "repro.obs/2"}
+
+    reg = MetricsRegistry()
+    reg.histogram("x").observe(1.0)
+    v2 = obs.snapshot(registry=reg)
+    out = load_snapshot(v2)
+    assert out["schema"] == SNAPSHOT_SCHEMA
+    assert out["metrics"]["histograms"]["x"]["samples"] == [1.0]
+
+    v1 = {
+        "schema": "repro.obs/1",
+        "metrics": {
+            "counters": {"jobs": 2},
+            "histograms": {"x": {"count": 2, "total": 3.0}},
+        },
+    }
+    out = load_snapshot(v1)
+    assert out["schema"] == SNAPSHOT_SCHEMA
+    assert out["metrics"]["histograms"]["x"]["samples"] == []
+    # the input document is not mutated
+    assert "samples" not in v1["metrics"]["histograms"]["x"]
+
+
+def test_load_snapshot_rejects_unknown_schema():
+    with pytest.raises(ValueError, match="repro.obs/3"):
+        load_snapshot({"schema": "repro.obs/3"})
