@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""CI smoke test for serving durability (the chaos-serve-smoke job).
+
+Three scenarios, each against a real ``repro serve`` subprocess:
+
+1. **Gateway kill -9 mid-burst.**  ``gw-restart@N`` SIGKILLs the
+   gateway after the Nth accepted job and restarts it on the same port
+   and cache directory; every accepted job id must still drain to a
+   ``done`` answer equivalent to the fault-free reference (the WAL job
+   journal is what makes this pass).
+2. **Disk-full + corruption pressure.**  ``disk-full@PUT-0`` makes every
+   persistent-cache write in the workers raise ENOSPC from the first
+   put, and ``cache-corrupt:2`` scribbles over two persisted entries
+   mid-burst; the run must finish with zero non-2xx/202/429/503
+   surprises (a 500 aborts the run) and zero lost or failed jobs.
+3. **fsck detect → repair.**  A seeded cache directory with a truncated
+   object, an orphaned temp file, and a torn journal record must make
+   ``fsck`` report issues (exit nonzero at the CLI), and ``--repair``
+   must quarantine/delete/rewrite its way back to a clean rescan.
+
+Exit status is non-zero on any failure.  Runtime is ~15 seconds.
+"""
+
+import json
+import pathlib
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve.chaos import ServeChaosConfig, run_serve_chaos
+from repro.serve.diskcache import DiskCache
+from repro.serve.durability import JobJournal, fsck_scan
+
+CHECKS = []
+
+
+def check(name: str, ok: bool, detail: str = "") -> None:
+    CHECKS.append(ok)
+    print(f"  {'ok  ' if ok else 'FAIL'} {name}"
+          + (f" ({detail})" if detail else ""))
+
+
+def chaos_scenario(name: str, plan: str, requests: int = 6) -> None:
+    print(f"{name}:")
+    report = run_serve_chaos(ServeChaosConfig(
+        seed=0, runs=1, workers=2, requests=requests, plan=plan,
+        timeout=120.0,
+    ))
+    run = report["run_results"][0]
+    check("run completed without protocol errors",
+          "error" not in run, run.get("error", ""))
+    check("all requests accepted", run["accepted"] == requests,
+          f"accepted={run['accepted']}")
+    check("zero accepted-job loss", run["lost"] == 0,
+          f"lost={run['lost']}")
+    check("zero failed jobs", run["failed"] == 0,
+          f"failed={run['failed']}")
+    check("all answers equivalent to fault-free", run["mismatched"] == 0,
+          f"mismatched={run['mismatched']}")
+    check("verdict ok", run["ok"], json.dumps(run))
+
+
+def fsck_scenario() -> None:
+    print("fsck detect -> repair:")
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-fsck-") as tmp:
+        cache = DiskCache(tmp)
+        for i in range(4):
+            cache.put(f"{i:064d}", {"doc": i})
+        journal = JobJournal(tmp)
+        journal.append("accepted", "j000000", seq=0, key="0" * 64,
+                       tenant="smoke", body={"circuit": "example"})
+        journal.close()
+        objects = sorted(pathlib.Path(tmp).glob("*/objects/*/*.json"))
+        objects[0].write_text('{"torn')
+        (objects[0].parent / ".orphan-9.json.tmp").write_text("x")
+        seg = next(pathlib.Path(tmp, "journal").glob("seg-*.jsonl"))
+        with open(seg, "a") as fh:
+            fh.write('{"schema": "repro.jobs/1", "type": "acc')  # torn tail
+
+        report = fsck_scan(tmp)
+        kinds = sorted({i["kind"] for i in report["issues"]})
+        check("scan finds all three issue kinds",
+              kinds == ["corrupt-entry", "orphan-tmp", "torn-journal"],
+              f"kinds={kinds}")
+        check("scan verdict is not ok (CLI exits 1)", not report["ok"])
+
+        report = fsck_scan(tmp, repair=True)
+        check("--repair fixes everything it found",
+              report["ok"] and len(report["repaired"]) == len(report["issues"]))
+        report = fsck_scan(tmp)
+        check("rescan after repair is clean (CLI exits 0)", report["ok"],
+              f"issues={[i['kind'] for i in report['issues']]}")
+        replay = JobJournal(tmp).replay()
+        check("repaired journal still replays", replay.torn == 0
+              and [r["job_id"] for r in replay.unfinished] == ["j000000"])
+
+
+def main() -> int:
+    chaos_scenario("gateway kill -9 mid-burst (journal replay)",
+                   "gw-restart@3")
+    chaos_scenario("disk-full + cache corruption pressure",
+                   "disk-full@PUT-0,cache-corrupt:2")
+    fsck_scenario()
+    failed = CHECKS.count(False)
+    print(f"\nchaos-serve smoke: {len(CHECKS) - failed}/{len(CHECKS)} "
+          "checks passed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -289,6 +289,15 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             return 1
+        journal = report.get("journal_overhead")
+        if journal and not journal["ok"]:
+            print(
+                f"FAIL: disabled-journal overhead "
+                f"{100 * journal['estimated_overhead']:.3f}% exceeds "
+                f"{100 * journal['max_overhead']:.0f}%",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

@@ -15,7 +15,9 @@ dir), then asserts, end to end over HTTP:
   dir that parses back;
 - /metrics?format=prom passes the text-format 0.0.4 validator;
 - after a full gateway restart on the same cache dir, the answer comes
-  from the persistent disk cache;
+  from the disk tier, and the job journal is live;
+- fsck reports the cache tree clean, detects seeded corruption (a
+  truncated object + an orphaned temp file), and --repair restores it;
 - shutdown leaks no worker processes.
 
 Exit status is non-zero on any failure.  Runtime is a few seconds.
@@ -157,11 +159,36 @@ async def smoke(cache_dir: str) -> None:
         check("workers ready after restart", await gw.wait_ready(20))
         body = {"circuit": "example", "algorithm": "sequential"}
         status, doc = await http_json("POST", gw.url + "/v1/factor", body)
-        check("disk-cache hit after restart",
+        check("disk cache hit across restart",
               status == 200 and doc.get("cache") == "disk",
               f"cache={doc.get('cache')}")
+        status, doc = await http_json("GET", gw.url + "/healthz")
+        journal = (doc.get("gateway") or {}).get("journal") or {}
+        check("job journal live after restart",
+              status == 200 and journal.get("schema") == "repro.jobs/1",
+              f"journal={journal}")
     finally:
         await gw.stop()
+
+    print("fsck over the cache dir:")
+    from repro.serve import fsck_scan
+
+    report = fsck_scan(cache_dir)
+    check("post-run tree is clean", report["ok"],
+          f"issues={len(report['issues'])}")
+    objects = sorted(pathlib.Path(cache_dir).glob("*/objects/*/*.json"))
+    check("cache has persisted entries", bool(objects))
+    if objects:
+        objects[0].write_text('{"torn')
+        (objects[0].parent / ".orphan-123.json.tmp").write_text("x")
+        report = fsck_scan(cache_dir)
+        check("fsck detects seeded corruption",
+              not report["ok"] and len(report["issues"]) >= 2,
+              f"issues={[i['kind'] for i in report['issues']]}")
+        report = fsck_scan(cache_dir, repair=True)
+        check("fsck --repair fixes the tree",
+              report["ok"] and len(report["repaired"]) >= 2)
+        check("tree clean after repair", fsck_scan(cache_dir)["ok"])
 
 
 def main() -> int:

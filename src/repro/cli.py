@@ -7,7 +7,9 @@
     python -m repro info CIRCUIT [--scale S]
     python -m repro fuzz [--runs N] [--seed S] [--shrink] [--check] [--faults]
     python -m repro chaos CIRCUIT [--plan SPEC] [--seed S] [--algorithm ALG]
+    python -m repro chaos --serve [--runs N] [--seed S] [--plan SPEC]
     python -m repro serve [--workers N] [--port P] [--cache-dir D]
+    python -m repro fsck CACHE_DIR [--repair]
     python -m repro loadgen URL [--rate R] [--duration S] [--tenants K]
     python -m repro --list
 
@@ -471,13 +473,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos = sub.add_parser(
         "chaos",
         help="factor one circuit under an injected fault plan and verify "
-             "detection, recovery, and functional equivalence",
+             "detection, recovery, and functional equivalence "
+             "(--serve: process-level faults against a real serve stack)",
     )
-    p_chaos.add_argument("circuit")
+    p_chaos.add_argument("circuit", nargs="?",
+                         help="circuit to factor (machine-level mode; "
+                              "omitted with --serve)")
     p_chaos.add_argument(
         "--plan",
-        help="fault spec, e.g. 'crash:1@3,drop:5' (default: a random "
-             "single-crash plan derived from --seed)",
+        help="fault spec, e.g. 'crash:1@3,drop:5' — or with --serve e.g. "
+             "'gw-restart@2,cache-corrupt:2' (default: a random plan "
+             "derived from --seed)",
     )
     p_chaos.add_argument("--seed", type=int, default=0,
                          help="injector seed (and random-plan seed)")
@@ -493,7 +499,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace",
         help="record a span trace (fault:*/recovery:* spans included)",
     )
+    p_chaos.add_argument(
+        "--serve", action="store_true",
+        help="serve-level mode: boot a real `repro serve` subprocess per "
+             "run, inject process faults (gateway kill -9, worker kills, "
+             "disk-full, cache corruption, slow shards) and verify zero "
+             "accepted-job loss and fault-free-equivalent answers",
+    )
+    p_chaos.add_argument("--runs", type=int, default=3,
+                         help="[--serve] chaos bursts (run i uses seed+i)")
+    p_chaos.add_argument("--workers", type=int, default=2,
+                         help="[--serve] worker processes per instance")
+    p_chaos.add_argument("--requests", type=int, default=8,
+                         help="[--serve] requests per burst")
+    p_chaos.add_argument("--timeout", type=float, default=120.0,
+                         help="[--serve] per-run drain deadline, seconds")
+    p_chaos.add_argument("--json", action="store_true",
+                         help="[--serve] emit the JSON report")
     p_chaos.set_defaults(fn=_cmd_chaos)
+
+    p_fsck = sub.add_parser(
+        "fsck",
+        help="scan a serving cache directory (every DiskCache schema + "
+             "the job journal) for corrupt entries, orphaned temp files, "
+             "and torn journal records",
+    )
+    p_fsck.add_argument("cache_dir", help="the --cache-dir to scan")
+    p_fsck.add_argument("--repair", action="store_true",
+                        help="quarantine corrupt entries, delete orphaned "
+                             "temp files, rewrite torn journal segments")
+    p_fsck.add_argument("--json", action="store_true",
+                        help="emit the JSON report instead of the table")
+    p_fsck.set_defaults(fn=_cmd_fsck)
 
     p_port = sub.add_parser(
         "portfolio",
@@ -554,6 +591,17 @@ def build_parser() -> argparse.ArgumentParser:
                               "<cache-dir>/flight when --cache-dir is set)")
     p_serve.add_argument("--no-trace", action="store_true",
                          help="disable per-request distributed tracing")
+    p_serve.add_argument("--no-journal", action="store_true",
+                         help="disable the write-ahead job journal "
+                              "(accepted jobs will not survive a crash)")
+    p_serve.add_argument("--cache-max-bytes", type=int,
+                         help="byte budget for the persistent cache; "
+                              "least-recently-used entries are evicted "
+                              "(default: unbounded)")
+    p_serve.add_argument("--max-footprint", type=int,
+                         help="admission control: estimated KC-matrix "
+                              "cells in flight before fresh computations "
+                              "are shed with 429 (default: unbounded)")
     p_serve.set_defaults(fn=_cmd_serve)
 
     p_load = sub.add_parser(
@@ -703,6 +751,48 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_chaos_serve(args: argparse.Namespace) -> int:
+    """Serve-level chaos: process faults against a real serve stack.
+
+    Exit code 0 means every run kept all three invariants: zero
+    accepted-job loss across kill -9 restarts, every answer equivalent
+    to a fault-free reference, and bounded worker respawns.
+    """
+    import json as _json
+
+    from repro.faults import FaultPlan
+    from repro.serve.chaos import (
+        ServeChaosConfig,
+        render_serve_chaos_report,
+        run_serve_chaos,
+    )
+
+    if args.circuit:
+        print("error: --serve takes no circuit argument", file=sys.stderr)
+        return 2
+    if args.plan:
+        try:
+            plan = FaultPlan.parse(args.plan)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not plan.serve_events():
+            print("error: --serve needs serve-level events (gw-restart, "
+                  "worker-kill, disk-full, cache-corrupt, worker-slow)",
+                  file=sys.stderr)
+            return 2
+    config = ServeChaosConfig(
+        seed=args.seed, runs=args.runs, workers=args.workers,
+        requests=args.requests, plan=args.plan, timeout=args.timeout,
+    )
+    report = run_serve_chaos(config)
+    if args.json:
+        print(_json.dumps(report, indent=2))
+    else:
+        print(render_serve_chaos_report(report))
+    return 0 if report["ok"] else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     """Run one parallel factorization under faults; verify the recovery.
 
@@ -711,6 +801,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     to the input, and the final literal count stays within 5% of the
     fault-free run of the same algorithm.
     """
+    if args.serve:
+        return _cmd_chaos_serve(args)
+    if not args.circuit:
+        print("error: a circuit is required (or pass --serve)",
+              file=sys.stderr)
+        return 2
     from repro.faults import FaultInjector, FaultPlan
     from repro.network.simulate import random_equivalence_check
     from repro.parallel import (
@@ -728,6 +824,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             return 2
     else:
         plan = FaultPlan.random_single(args.seed, args.procs)
+    if plan.serve_events():
+        print("error: the plan contains serve-level events "
+              f"({', '.join(ev.kind for ev in plan.serve_events())}); "
+              "run them with --serve", file=sys.stderr)
+        return 2
     if plan.is_empty():
         print("error: the fault plan is empty; nothing to inject",
               file=sys.stderr)
@@ -859,6 +960,29 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
     return 0 if equivalent else 1
 
 
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    """Scan (and optionally repair) a serving cache directory.
+
+    Exit code 0 means the tree is clean (or --repair fixed everything),
+    1 means issues remain, 2 means the directory is not a cache root.
+    """
+    import json as _json
+    import os
+
+    from repro.serve import fsck_scan, render_fsck_report
+
+    if not os.path.isdir(args.cache_dir):
+        print(f"error: {args.cache_dir!r} is not a directory",
+              file=sys.stderr)
+        return 2
+    report = fsck_scan(args.cache_dir, repair=args.repair)
+    if args.json:
+        print(_json.dumps(report, indent=2))
+    else:
+        print(render_fsck_report(report))
+    return 0 if report["ok"] else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Boot the gateway + workers and serve until interrupted."""
     import asyncio
@@ -875,6 +999,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         rate_limit=args.rate_limit, burst=args.burst,
         flight_dir=args.flight_dir,
         trace_requests=not args.no_trace,
+        journal=not args.no_journal,
+        cache_max_bytes=args.cache_max_bytes,
+        max_footprint=args.max_footprint,
     )
 
     async def _serve() -> int:

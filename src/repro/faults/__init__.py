@@ -32,14 +32,19 @@ from repro.faults.injector import (
 )
 from repro.faults.journal import ExtractionJournal, JournalEntry
 from repro.faults.plan import (
+    ALL_FAULT_KINDS,
     FAULT_KINDS,
+    SERVE_FAULT_KINDS,
     FaultEvent,
     FaultPlan,
     resolve_fault_injector,
+    serve_plan_from_env,
 )
 
 __all__ = [
+    "ALL_FAULT_KINDS",
     "FAULT_KINDS",
+    "SERVE_FAULT_KINDS",
     "CommFault",
     "ExtractionJournal",
     "FaultEvent",
@@ -50,4 +55,5 @@ __all__ = [
     "note_control_resync",
     "payload_checksum",
     "resolve_fault_injector",
+    "serve_plan_from_env",
 ]

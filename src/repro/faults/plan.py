@@ -36,6 +36,30 @@ from the ``REPRO_FAULTS`` environment variable::
     corrupt:4[*K]        checksum mismatch on message op 4 (K attempts)
     dup:9                message op 9 delivered twice (receiver dedupes)
     backend:0            backend map call 0 raises TransientBackendError
+
+Serve-level faults
+------------------
+The same grammar also schedules **process-level** faults against the
+real serving stack (:mod:`repro.serve`), replayed by ``repro chaos
+--serve`` rather than the simulated machine — the
+:class:`~repro.faults.injector.FaultInjector` ignores these kinds, so a
+mixed plan is safe everywhere::
+
+    gw-restart@N         kill -9 the gateway after N accepted requests,
+                         then restart it on the same cache dir (journal
+                         replay must answer every accepted job)
+    worker-kill:S[*K]    SIGKILL worker shard S, K times in a row
+                         (respawn backoff / crash-loop breaker territory)
+    disk-full@PUT-N      DiskCache.put raises ENOSPC from the N-th put
+                         on (memory-only degradation, never a 500)
+    cache-corrupt:N      N persisted cache entries are overwritten with
+                         garbage mid-burst (quarantine-as-miss + fsck)
+    worker-slow:SxF      worker shard S serves F x slower
+
+``gw-restart``/``worker-kill``/``cache-corrupt`` are injected by the
+chaos harness from outside the serve process; ``disk-full`` and
+``worker-slow`` travel *into* it via the ``REPRO_SERVE_FAULTS``
+environment variable (:func:`serve_plan_from_env`).
 """
 
 from __future__ import annotations
@@ -47,9 +71,23 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 FAULT_KINDS = ("crash", "slow", "drop", "corrupt", "dup", "backend")
 
+#: Process-level faults against the real serving stack, driven by
+#: ``repro chaos --serve`` (see module docstring).  The machine-level
+#: :class:`~repro.faults.injector.FaultInjector` ignores these kinds.
+SERVE_FAULT_KINDS = (
+    "gw-restart", "worker-kill", "disk-full", "cache-corrupt", "worker-slow",
+)
+
+ALL_FAULT_KINDS = FAULT_KINDS + SERVE_FAULT_KINDS
+
 #: Environment variables honored by :func:`resolve_fault_injector`.
 ENV_PLAN = "REPRO_FAULTS"
 ENV_SEED = "REPRO_FAULTS_SEED"
+
+#: Environment variable carrying a serve-level plan into the serve
+#: processes (the chaos harness sets it; DiskCache and the workers read
+#: their own kinds out of it).
+ENV_SERVE_PLAN = "REPRO_SERVE_FAULTS"
 
 
 @dataclass(frozen=True)
@@ -71,14 +109,20 @@ class FaultEvent:
     attempts: int = 1
 
     def __post_init__(self) -> None:
-        if self.kind not in FAULT_KINDS:
+        if self.kind not in ALL_FAULT_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}")
-        if self.kind in ("crash", "slow") and self.pid < 0:
+        if self.kind in ("crash", "slow", "worker-kill", "worker-slow") \
+                and self.pid < 0:
             raise ValueError(f"{self.kind} event needs a pid")
-        if self.kind == "slow" and self.factor < 1.0:
+        if self.kind in ("slow", "worker-slow") and self.factor < 1.0:
             raise ValueError("slowdown factor must be >= 1")
         if self.attempts < 1:
             raise ValueError("attempts must be >= 1")
+
+    @property
+    def serve_level(self) -> bool:
+        """True for process-level faults the chaos-serve harness owns."""
+        return self.kind in SERVE_FAULT_KINDS
 
     def render(self) -> str:
         """The canonical spec-string form of this event."""
@@ -88,6 +132,15 @@ class FaultEvent:
             return f"slow:{self.pid}x{self.factor:g}@{self.at}-{self.until}"
         if self.kind == "backend":
             return f"backend:{self.at}"
+        if self.kind == "gw-restart":
+            return f"gw-restart@{self.at}"
+        if self.kind == "disk-full":
+            return f"disk-full@PUT-{self.at}"
+        if self.kind == "worker-kill":
+            base = f"worker-kill:{self.pid}"
+            return f"{base}*{self.attempts}" if self.attempts > 1 else base
+        if self.kind == "worker-slow":
+            return f"worker-slow:{self.pid}x{self.factor:g}"
         base = f"{self.kind}:{self.at}"
         return f"{base}*{self.attempts}" if self.attempts > 1 else base
 
@@ -100,7 +153,7 @@ class FaultEvent:
 
 
 def _sort_key(ev: FaultEvent) -> Tuple:
-    return (ev.at, FAULT_KINDS.index(ev.kind), ev.pid, ev.attempts)
+    return (ev.at, ALL_FAULT_KINDS.index(ev.kind), ev.pid, ev.attempts)
 
 
 @dataclass(frozen=True)
@@ -146,6 +199,16 @@ class FaultPlan:
             if not part:
                 continue
             try:
+                # Serve-level forms without a colon come first: the
+                # generic partition(":") split below would mangle them.
+                if part.startswith("gw-restart@"):
+                    events.append(FaultEvent(
+                        "gw-restart", at=int(part[len("gw-restart@"):])))
+                    continue
+                if part.startswith("disk-full@PUT-"):
+                    events.append(FaultEvent(
+                        "disk-full", at=int(part[len("disk-full@PUT-"):])))
+                    continue
                 kind, _, rest = part.partition(":")
                 kind = kind.strip()
                 if kind == "crash":
@@ -168,6 +231,18 @@ class FaultPlan:
                         attempts=int(attempts_s) if attempts_s else 1))
                 elif kind == "backend":
                     events.append(FaultEvent("backend", at=int(rest)))
+                elif kind == "worker-kill":
+                    pid_s, _, attempts_s = rest.partition("*")
+                    events.append(FaultEvent(
+                        "worker-kill", pid=int(pid_s),
+                        attempts=int(attempts_s) if attempts_s else 1))
+                elif kind == "worker-slow":
+                    pid_s, _, factor_s = rest.partition("x")
+                    events.append(FaultEvent(
+                        "worker-slow", pid=int(pid_s),
+                        factor=float(factor_s) if factor_s else 4.0))
+                elif kind == "cache-corrupt":
+                    events.append(FaultEvent("cache-corrupt", at=int(rest)))
                 else:
                     raise ValueError(f"unknown fault kind {kind!r}")
             except (ValueError, TypeError) as exc:
@@ -189,10 +264,46 @@ class FaultPlan:
                 "drop", at=rng.randrange(60), attempts=1 + rng.randrange(3)))
         return cls(events=tuple(events), **kwargs)
 
+    @classmethod
+    def random_serve(cls, seed: int, shards: int, **kwargs) -> "FaultPlan":
+        """A serve-level chaos plan, deterministic in ``(seed, shards)``.
+
+        Draws one *primary* process fault (gateway kill, worker kill, or
+        a disk-full onset) plus 0–2 secondary pressure faults, spanning
+        the full serve grammar across a seed sweep.
+        """
+        rng = random.Random(f"repro-serve-chaos:{seed}:{shards}")
+        events: List[FaultEvent] = []
+        primary = rng.choice(("gw-restart", "worker-kill", "disk-full"))
+        if primary == "gw-restart":
+            events.append(FaultEvent("gw-restart", at=2 + rng.randrange(6)))
+        elif primary == "worker-kill":
+            events.append(FaultEvent(
+                "worker-kill", pid=rng.randrange(shards),
+                attempts=1 + rng.randrange(2)))
+        else:
+            events.append(FaultEvent("disk-full", at=rng.randrange(4)))
+        for _ in range(rng.randrange(3)):
+            kind = rng.choice(("cache-corrupt", "worker-slow"))
+            if kind == "cache-corrupt":
+                events.append(FaultEvent(
+                    "cache-corrupt", at=1 + rng.randrange(3)))
+            else:
+                events.append(FaultEvent(
+                    "worker-slow", pid=rng.randrange(shards),
+                    factor=float(2 + rng.randrange(4))))
+        return cls(events=tuple(events), **kwargs)
+
     # -- introspection --------------------------------------------------
 
     def is_empty(self) -> bool:
         return not self.events
+
+    def serve_events(self, *kinds: str) -> Tuple[FaultEvent, ...]:
+        """The serve-level events, optionally filtered to ``kinds``."""
+        return tuple(
+            ev for ev in self.events
+            if ev.serve_level and (not kinds or ev.kind in kinds))
 
     def render(self) -> str:
         """The canonical comma-separated spec string."""
@@ -217,6 +328,23 @@ class FaultPlan:
             max_retransmits=int(data.get("max_retransmits", 2)),
             retransmit_timeout=float(data.get("retransmit_timeout", 150.0)),
         )
+
+
+def serve_plan_from_env() -> Optional[FaultPlan]:
+    """The serve-level plan carried by ``REPRO_SERVE_FAULTS``, if any.
+
+    Serve processes (DiskCache, workers) call this at startup to learn
+    which in-process faults the chaos harness scheduled for them.
+    Returns ``None`` when the variable is unset/empty or the plan has no
+    serve-level events.
+    """
+    spec = os.environ.get(ENV_SERVE_PLAN, "").strip()
+    if not spec:
+        return None
+    plan = FaultPlan.parse(spec)
+    if not plan.serve_events():
+        return None
+    return plan
 
 
 def resolve_fault_injector(faults=None):

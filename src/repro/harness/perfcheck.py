@@ -64,6 +64,12 @@ MAX_FAULT_OVERHEAD = 0.02
 #: the live ``record()`` ring append, not a disabled gate.
 MAX_FLIGHT_OVERHEAD = 0.02
 
+#: Ceiling for the disabled job-journal gates (``self.journal is not
+#: None`` tests on the gateway request path): running ``--no-journal``
+#: must cost essentially nothing.  The enabled per-append price is
+#: measured and reported alongside for context.
+MAX_JOURNAL_OVERHEAD = 0.02
+
 
 @dataclass(frozen=True)
 class Workload:
@@ -353,6 +359,74 @@ def measure_fault_overhead() -> Dict:
     }
 
 
+def measure_journal_overhead() -> Dict:
+    """Bound what the job journal costs a request, empirically.
+
+    Two prices are measured.  The *disabled* gate — ``self.journal is
+    not None`` on the gateway request path (accepted, dispatched, done,
+    plus the replay probe: four sites per request, priced pessimistically
+    at eight) — is what ``--no-journal`` deployments pay, and is the
+    number gated against :data:`MAX_JOURNAL_OVERHEAD`.  The *enabled*
+    per-append cost (JSON encode + ``O_APPEND`` write, fsync amortized
+    over the batch) is measured against a real :class:`JobJournal` in a
+    temp directory and reported for context: two appends ride every
+    journaled request.  Both are priced over the wall time of a
+    representative small request's computation.
+    """
+    import shutil
+    import tempfile
+
+    from repro.parallel.lshaped import lshaped_kernel_extract
+    from repro.serve.durability import JobJournal
+
+    class _Gated:
+        journal = None
+
+    gated = _Gated()
+    hits = 0
+    reps = 200_000
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        if gated.journal is not None:
+            hits += 1  # pragma: no cover - the branch never fires
+    gate_ns = (time.perf_counter() - t0) / reps * 1e9
+
+    tmp = tempfile.mkdtemp(prefix="repro-journal-overhead-")
+    try:
+        journal = JobJournal(tmp)
+        appends = 2_000
+        t0 = time.perf_counter()
+        for i in range(appends):
+            journal.append("accepted", f"j{i:06d}", seq=i,
+                           key="k" * 64, tenant="perfcheck",
+                           body={"circuit": "dalu", "scale": 0.2})
+        journal.flush()
+        append_ns = (time.perf_counter() - t0) / appends * 1e9
+        journal.close()
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    net = make_circuit("dalu", scale=0.2)
+    t0 = time.perf_counter()
+    lshaped_kernel_extract(net, nprocs=4)
+    t_request = time.perf_counter() - t0
+
+    sites = 8  # 4 real gate sites per request, priced double
+    overhead = (sites * gate_ns) / (t_request * 1e9) if t_request else 0.0
+    enabled = (2 * append_ns) / (t_request * 1e9) if t_request else 0.0
+    return {
+        "workload": "dalu@0.2/lshaped-4",
+        "gate_ns_per_call": gate_ns,
+        "gate_sites": sites,
+        "append_ns_per_call": append_ns,
+        "t_request_s": t_request,
+        "estimated_overhead": overhead,
+        "enabled_overhead": enabled,
+        "max_overhead": MAX_JOURNAL_OVERHEAD,
+        "ok": overhead <= MAX_JOURNAL_OVERHEAD,
+    }
+
+
 def measure_flight_overhead(wl: Optional[Workload] = None) -> Dict:
     """Bound what the always-on flight recorder costs, empirically.
 
@@ -428,6 +502,7 @@ def run_perf_check(quick: bool = False) -> Dict:
         "trace_overhead": measure_trace_overhead(),
         "fault_overhead": measure_fault_overhead(),
         "flight_overhead": measure_flight_overhead(),
+        "journal_overhead": measure_journal_overhead(),
     }
     return report
 
@@ -489,6 +564,17 @@ def render_report(report: Dict) -> str:
             f"{fl['record_ns_per_call']:.0f} ns; limit "
             f"{100 * fl['max_overhead']:.0f}%) "
             f"{'OK' if fl['ok'] else 'FAIL'}"
+        )
+    jo = report.get("journal_overhead")
+    if jo:
+        lines.append(
+            f"disabled-journal overhead: "
+            f"{100 * jo['estimated_overhead']:.3f}% of {jo['workload']} "
+            f"({jo['gate_sites']} gates x {jo['gate_ns_per_call']:.0f} ns; "
+            f"enabled append {jo['append_ns_per_call'] / 1000:.1f} us -> "
+            f"{100 * jo['enabled_overhead']:.3f}%; limit "
+            f"{100 * jo['max_overhead']:.0f}%) "
+            f"{'OK' if jo['ok'] else 'FAIL'}"
         )
     if report.get("tracing_enabled"):
         lines.append("tracing: enabled — workload rows carry phase breakdowns")

@@ -14,7 +14,12 @@ substrate, using nothing beyond the stdlib:
 - :mod:`~repro.serve.router` — content-hash shard routing and the
   token buckets;
 - :mod:`~repro.serve.diskcache` — the versioned persistent result
-  cache every worker shares (atomic-rename writers, warm restart);
+  cache every worker shares (atomic-rename writers, warm restart, byte
+  budget with LRU eviction, memory-only degradation on disk failure);
+- :mod:`~repro.serve.durability` — the write-ahead job journal the
+  gateway replays after a crash, plus ``repro fsck``;
+- :mod:`~repro.serve.chaos` — the serve-level chaos harness behind
+  ``repro chaos --serve`` (process faults against a real instance);
 - :mod:`~repro.serve.protocol` — request validation, canonical cache
   keys (reusing :func:`repro.service.cache.canonical_job_key`), result
   documents;
@@ -29,7 +34,21 @@ Entry points: ``python -m repro serve [--workers N --port P
 
 from repro.serve.bench import run_serving_bench, validate_serving_report
 from repro.serve.diskcache import CACHE_SCHEMA, DiskCache
-from repro.serve.gateway import Gateway, GatewayConfig, Overloaded, RateLimited
+from repro.serve.durability import (
+    JOURNAL_SCHEMA,
+    JobJournal,
+    JournalReplay,
+    fsck_scan,
+    render_fsck_report,
+)
+from repro.serve.gateway import (
+    Gateway,
+    GatewayConfig,
+    LoadShed,
+    Overloaded,
+    RateLimited,
+    ShardFailing,
+)
 from repro.serve.loadgen import (
     LoadgenConfig,
     LoadReport,
@@ -48,17 +67,24 @@ __all__ = [
     "DiskCache",
     "Gateway",
     "GatewayConfig",
+    "JOURNAL_SCHEMA",
+    "JobJournal",
+    "JournalReplay",
     "LoadReport",
+    "LoadShed",
     "LoadgenConfig",
     "Overloaded",
     "RateLimited",
+    "ShardFailing",
     "TenantRateLimiter",
     "TokenBucket",
     "WorkerHandle",
+    "fsck_scan",
     "job_cache_key",
     "load_workload_file",
     "parse_job_request",
     "poisson_arrivals",
+    "render_fsck_report",
     "render_top",
     "run_loadgen",
     "run_serving_bench",

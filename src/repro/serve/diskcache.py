@@ -26,18 +26,41 @@ Each process keeps an in-memory index of keys it has seen (warm-started
 by scanning the objects tree at construction).  A ``get`` that misses
 the index still probes the filesystem — that is how a worker observes
 entries written by its siblings after startup.
+
+Hardening
+---------
+Two failure modes are first-class rather than fatal:
+
+* **Budget**: ``max_bytes`` caps the on-disk footprint; writes evict the
+  least-recently-used entries (the warm index doubles as the LRU order,
+  seeded by mtime at scan time) until the budget holds.
+* **Write errors**: a ``put`` that hits ``OSError`` (``ENOSPC``, a
+  yanked volume, a permission flip) never propagates into the request
+  path.  The error is counted (``write_errors``), a flight-recorder
+  event is emitted, and the document is kept in a small bounded
+  in-memory overlay instead — the cache *degrades* to memory-only and
+  self-heals on the next successful disk write.
+
+For chaos testing, ``REPRO_SERVE_FAULTS`` with a ``disk-full@PUT-N``
+event makes every ``put`` from the N-th on raise ``ENOSPC`` before
+touching the filesystem, exercising exactly that degradation path.
 """
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import tempfile
 import threading
+from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Dict, Optional
 
 __all__ = ["CACHE_SCHEMA", "DiskCache"]
+
+#: Bounded size of the memory-only overlay used while degraded.
+_MEM_OVERLAY_CAP = 256
 
 #: On-disk format version.  Bump when the entry envelope or the result
 #: document shape changes incompatibly; old entries are then ignored
@@ -56,10 +79,16 @@ class DiskCache:
     schema:
         Format version string; entries written under a different schema
         are invisible (see module docstring).
+    max_bytes:
+        Optional on-disk byte budget.  ``None`` (the default) keeps the
+        pre-hardening unbounded behavior; a budget makes writes evict
+        LRU entries until the total fits.
     """
 
-    def __init__(self, root: os.PathLike, schema: str = CACHE_SCHEMA):
+    def __init__(self, root: os.PathLike, schema: str = CACHE_SCHEMA,
+                 max_bytes: Optional[int] = None):
         self.schema = schema
+        self.max_bytes = max_bytes
         self.root = Path(root)
         self.dir = self.root / schema.replace("/", "-")
         self.objects = self.dir / "objects"
@@ -75,10 +104,32 @@ class DiskCache:
         self.misses = 0
         self.writes = 0
         self.corrupt = 0
-        #: keys this process knows exist on disk (warm-started by scan).
-        self._index = set()
+        self.evictions = 0
+        self.write_errors = 0
+        #: True while the last disk write failed; cleared by the next
+        #: successful one.  While degraded, documents land in ``_mem``.
+        self.degraded = False
+        #: keys this process knows exist on disk, LRU-ordered (oldest
+        #: first), mapping to the entry's on-disk size in bytes.
+        self._index: "OrderedDict[str, int]" = OrderedDict()
+        self._bytes = 0
+        #: bounded memory-only overlay used while the disk is failing.
+        self._mem: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self._warm_entries = 0
+        self._put_count = 0
+        self._fault_put_from = self._disk_full_fault()
         self._scan()
+
+    @staticmethod
+    def _disk_full_fault() -> Optional[int]:
+        """The ``disk-full@PUT-N`` threshold from REPRO_SERVE_FAULTS."""
+        from repro.faults.plan import serve_plan_from_env
+
+        plan = serve_plan_from_env()
+        if plan is None:
+            return None
+        events = plan.serve_events("disk-full")
+        return min(ev.at for ev in events) if events else None
 
     # ------------------------------------------------------------------
     # paths / index
@@ -88,14 +139,26 @@ class DiskCache:
         return self.objects / key[:2] / f"{key}.json"
 
     def _scan(self) -> None:
-        """Warm-start the in-memory index from the objects tree."""
+        """Warm-start the index from the objects tree, LRU-seeded by
+        mtime so a budget applied after a restart evicts oldest first."""
+        found = []
         for bucket in self.objects.iterdir() if self.objects.exists() else ():
             if not bucket.is_dir():
                 continue
             for entry in bucket.iterdir():
                 if entry.suffix == ".json":
-                    self._index.add(entry.stem)
+                    try:
+                        st = entry.stat()
+                    except OSError:
+                        continue
+                    found.append((st.st_mtime, entry.stem, st.st_size))
+        for _, key, size in sorted(found):
+            self._index[key] = size
+            self._bytes += size
         self._warm_entries = len(self._index)
+        if self.max_bytes is not None:
+            with self._lock:
+                self._evict_locked(protect=None)
 
     # ------------------------------------------------------------------
     # get / put
@@ -103,7 +166,8 @@ class DiskCache:
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The cached document, or None.  Probes disk even on index miss
-        so entries written by sibling processes are found."""
+        so entries written by sibling processes are found; falls back to
+        the memory overlay while the disk is failing."""
         path = self._path(key)
         try:
             with open(path) as fh:
@@ -113,10 +177,7 @@ class DiskCache:
                 # Present but unreadable/torn: count it, treat as a miss.
                 with self._lock:
                     self.corrupt += 1
-            with self._lock:
-                self.misses += 1
-                self._index.discard(key)
-            return None
+            return self._get_overlay(key)
         if (
             not isinstance(envelope, dict)
             or envelope.get("schema") != self.schema
@@ -129,36 +190,116 @@ class DiskCache:
             return None
         with self._lock:
             self.hits += 1
-            self._index.add(key)
+            if key not in self._index:
+                try:
+                    size = path.stat().st_size
+                except OSError:
+                    size = 0
+                self._bytes += size
+                self._index[key] = size
+            self._index.move_to_end(key)
         return envelope["doc"]
 
+    def _get_overlay(self, key: str) -> Optional[Dict[str, Any]]:
+        """Memory-overlay lookup behind a disk miss."""
+        with self._lock:
+            if key in self._index:
+                size = self._index.pop(key)
+                self._bytes = max(0, self._bytes - size)
+            doc = self._mem.get(key)
+            if doc is not None:
+                self._mem.move_to_end(key)
+                self.hits += 1
+                return doc
+            self.misses += 1
+        return None
+
     def put(self, key: str, doc: Dict[str, Any]) -> None:
-        """Atomically persist *doc* under *key* (idempotent; concurrent
-        writers of the same key are safe — the content is identical)."""
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
+        """Persist *doc* under *key* atomically; never raises.
+
+        Idempotent — concurrent writers of the same key are safe because
+        the content is identical by construction.  A failing disk
+        (``OSError``/``ENOSPC``) degrades the cache to a bounded
+        memory-only overlay instead of propagating into the request
+        path.
+        """
         envelope = {"schema": self.schema, "key": key, "doc": doc}
         data = json.dumps(envelope, sort_keys=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=str(path.parent), prefix=f".{key[:8]}.", suffix=".tmp"
-        )
+        path = self._path(key)
+        tmp = None
         try:
+            with self._lock:
+                self._put_count += 1
+                if (self._fault_put_from is not None
+                        and self._put_count > self._fault_put_from):
+                    raise OSError(errno.ENOSPC, "injected disk-full fault")
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(path.parent), prefix=f".{key[:8]}.", suffix=".tmp"
+            )
             with os.fdopen(fd, "w") as fh:
                 fh.write(data)
             os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        except OSError as exc:
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+            self._note_write_error(key, doc, exc)
+            return
         with self._lock:
             self.writes += 1
-            self._index.add(key)
+            self.degraded = False
+            self._mem.pop(key, None)
+            old = self._index.pop(key, 0)
+            self._bytes = max(0, self._bytes - old) + len(data)
+            self._index[key] = len(data)
+            self._evict_locked(protect=key)
+
+    def _note_write_error(self, key: str, doc: Dict[str, Any],
+                          exc: OSError) -> None:
+        """Count a failed disk write, degrade to the memory overlay, and
+        leave a flight-recorder breadcrumb.  Never raises."""
+        with self._lock:
+            self.write_errors += 1
+            self.degraded = True
+            self._mem[key] = doc
+            self._mem.move_to_end(key)
+            while len(self._mem) > _MEM_OVERLAY_CAP:
+                self._mem.popitem(last=False)
+            nerrors = self.write_errors
+        try:
+            from repro.obs.flight import flight_recorder
+
+            flight_recorder().record(
+                "disk-cache", "write-error", schema=self.schema,
+                error=getattr(exc, "strerror", None) or str(exc),
+                errno=exc.errno, write_errors=nerrors,
+            )
+        except Exception:
+            pass
+
+    def _evict_locked(self, protect: Optional[str]) -> None:
+        """Evict LRU entries until the byte budget holds (lock held)."""
+        if self.max_bytes is None:
+            return
+        while self._bytes > self.max_bytes and len(self._index) > 1:
+            key, size = next(iter(self._index.items()))
+            if key == protect:
+                self._index.move_to_end(key, last=False)
+                break
+            self._index.pop(key)
+            self._bytes = max(0, self._bytes - size)
+            self.evictions += 1
+            try:
+                os.unlink(self._path(key))
+            except OSError:
+                pass
 
     def __contains__(self, key: str) -> bool:
         with self._lock:
-            if key in self._index:
+            if key in self._index or key in self._mem:
                 return True
         return self._path(key).exists()
 
@@ -184,4 +325,10 @@ class DiskCache:
                 "writes": self.writes,
                 "corrupt": self.corrupt,
                 "hit_rate": self.hits / total if total else 0.0,
+                "bytes": self._bytes,
+                "max_bytes": self.max_bytes,
+                "evictions": self.evictions,
+                "write_errors": self.write_errors,
+                "degraded": self.degraded,
+                "mem_entries": len(self._mem),
             }

@@ -36,6 +36,7 @@ from __future__ import annotations
 import asyncio
 import itertools
 import os
+import random
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -49,8 +50,10 @@ from repro.obs.slo import SLOTracker
 from repro.obs.tracer import SpanLog, make_trace_id
 from repro.serve import httpio
 from repro.serve.diskcache import DiskCache
+from repro.serve.durability import JobJournal
 from repro.serve.protocol import (
     BadRequest,
+    estimate_kc_footprint,
     job_cache_key,
     parse_job_request,
 )
@@ -58,7 +61,8 @@ from repro.serve.router import TenantRateLimiter, shard_for
 from repro.serve.worker import WorkerHandle
 from repro.service.cache import ResultCache
 
-__all__ = ["GatewayConfig", "Gateway", "RateLimited", "Overloaded"]
+__all__ = ["GatewayConfig", "Gateway", "RateLimited", "Overloaded",
+           "LoadShed", "ShardFailing"]
 
 
 class RateLimited(Exception):
@@ -72,6 +76,27 @@ class RateLimited(Exception):
 
 class Overloaded(Exception):
     """The bounded in-flight computation queue is full."""
+
+
+class LoadShed(Exception):
+    """Estimated KC-matrix footprint budget is exhausted (429)."""
+
+    def __init__(self, footprint: int, budget: int, retry_after: float):
+        super().__init__(
+            f"estimated footprint {footprint} over budget {budget}")
+        self.footprint = footprint
+        self.budget = budget
+        self.retry_after = retry_after
+
+
+class ShardFailing(Exception):
+    """The request's shard is circuit-broken and no fallback is alive
+    (503 with Retry-After)."""
+
+    def __init__(self, worker_id: int, retry_after: float):
+        super().__init__(f"shard {worker_id} is failing")
+        self.worker_id = worker_id
+        self.retry_after = retry_after
 
 
 @dataclass
@@ -95,6 +120,24 @@ class GatewayConfig:
     health_timeout: float = 1.0
     monitor_interval: float = 0.25
     respawn: bool = True
+    #: write-ahead job journal under ``<cache_dir>/journal`` (requires a
+    #: cache dir; accepted-but-unfinished jobs replay on restart).
+    journal: bool = True
+    #: byte budget for the persistent result cache (None = unbounded).
+    cache_max_bytes: Optional[int] = None
+    #: worker respawn backoff: base delay doubles per consecutive crash
+    #: (jittered +/-50%), capped; the first respawn is immediate.
+    respawn_backoff: float = 0.05
+    respawn_backoff_max: float = 2.0
+    #: consecutive fast crashes before a shard's breaker opens.
+    crash_loop_threshold: int = 5
+    #: uptime that counts a worker as healthy again (resets the streak).
+    crash_reset_after: float = 5.0
+    #: seconds a tripped breaker waits before the half-open respawn.
+    breaker_cooldown: float = 1.0
+    #: load-shed budget on summed estimated KC-matrix footprints of
+    #: in-flight computations (None disables the tier).
+    max_footprint: Optional[int] = None
     engine_opts: Optional[Dict[str, Any]] = None
     #: finished jobs kept for /v1/jobs lookups.
     job_registry_capacity: int = 4096
@@ -113,8 +156,9 @@ class Job:
 
     __slots__ = ("job_id", "key", "tenant", "spec", "status", "result",
                  "error", "cache", "coalesced", "worker", "created",
-                 "finished", "done", "trace_id", "spans", "request_span",
-                 "dispatch_span", "join_span", "worker_trace")
+                 "finished", "done", "pins", "trace_id", "spans",
+                 "request_span", "dispatch_span", "join_span",
+                 "worker_trace")
 
     def __init__(self, job_id: str, key: str, tenant: str,
                  spec: Dict[str, Any]):
@@ -131,6 +175,9 @@ class Job:
         self.created = time.monotonic()
         self.finished: Optional[float] = None
         self.done = asyncio.Event()
+        #: watcher streams currently attached; pinned jobs are never
+        #: evicted from the registry ring.
+        self.pins = 0
         #: distributed-trace state (None when tracing is disabled).
         self.trace_id: Optional[str] = None
         self.spans: Optional[SpanLog] = None
@@ -186,6 +233,8 @@ class _Inflight:
     worker_id: int
     msg: Dict[str, Any]
     jobs: List[Job] = field(default_factory=list)
+    #: estimated KC-matrix footprint charged against the shed budget.
+    footprint: int = 0
 
 
 class Gateway:
@@ -208,6 +257,8 @@ class Gateway:
         self.slo = SLOTracker()
         self.flight = flight_recorder(proc="gateway")
         self.disk: Optional[DiskCache] = None
+        self.journal: Optional[JobJournal] = None
+        self._footprint_inflight = 0
         self.limiter = TenantRateLimiter(
             self.config.rate_limit, self.config.burst
         )
@@ -253,7 +304,10 @@ class Gateway:
         if self.flight_dir:
             set_flight_dir(self.flight_dir)
         if self.config.cache_dir:
-            self.disk = DiskCache(self.config.cache_dir)
+            self.disk = DiskCache(
+                self.config.cache_dir,
+                max_bytes=self.config.cache_max_bytes,
+            )
         for worker_id in range(self.config.workers):
             handle = WorkerHandle(
                 worker_id,
@@ -266,6 +320,13 @@ class Gateway:
             self._handles.append(handle)
             self._outstanding[worker_id] = {}
             handle.spawn()
+        # The journal replays after workers exist (replayed jobs
+        # dispatch immediately) but before the socket opens, so a
+        # restarted gateway's /v1/jobs knows every surviving job before
+        # the first client can ask.
+        if self.config.cache_dir and self.config.journal:
+            self.journal = JobJournal(self.config.cache_dir)
+            self._replay_journal()
         # Workers spawn before the listening socket exists so forked
         # children never inherit (and pin open) the server port.
         self._server = await asyncio.start_server(
@@ -303,10 +364,15 @@ class Gateway:
         for infl in list(self._inflight.values()):
             for job in infl.jobs:
                 if not job.done.is_set():
+                    # Deliberately no journal "done" record: a stopped
+                    # gateway's unfinished jobs must replay on restart.
                     job.fail("gateway stopped")
         self._inflight.clear()
+        self._footprint_inflight = 0
         for pending in self._outstanding.values():
             pending.clear()
+        if self.journal is not None:
+            self.journal.close()
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
@@ -339,6 +405,12 @@ class Gateway:
         if op == "hello":
             handle.ready = True
             handle.pid = msg.get("pid")
+            if handle.failing:
+                # Half-open probe came up: close the breaker.  The
+                # crash streak survives until real uptime resets it, so
+                # a crash right after hello re-opens immediately.
+                handle.failing = False
+                self.metrics.inc("breaker_closes")
         elif op == "result":
             pending = self._outstanding[handle.worker_id].pop(
                 msg.get("id"), None
@@ -352,12 +424,23 @@ class Gateway:
                 waiter.set_result(msg)
 
     def _on_worker_dead(self, handle: WorkerHandle, generation: int) -> None:
-        """Crash path: respawn the shard, re-dispatch its queue."""
+        """Crash path: respawn the shard (with backoff) or trip its
+        crash-loop breaker, then re-dispatch / re-shard its queue."""
         if self._stopping or generation != handle.generation:
             return
         if handle.alive() and handle.ready:
             return  # spurious (e.g. pipe hiccup already superseded)
+        if handle.respawn_pending:
+            return  # backoff timer or breaker probe already scheduled
         handle.crashes += 1
+        uptime = (
+            time.monotonic() - handle.spawned_at
+            if handle.spawned_at is not None else 0.0
+        )
+        if uptime >= self.config.crash_reset_after:
+            handle.consecutive_crashes = 1
+        else:
+            handle.consecutive_crashes += 1
         self.metrics.inc("worker_crashes")
         pending = list(self._outstanding[handle.worker_id].values())
         # The dying process cannot dump its own ring, so the gateway
@@ -366,17 +449,43 @@ class Gateway:
             "crash", f"worker-{handle.worker_id}-dead",
             worker=handle.worker_id, pid=handle.pid,
             generation=handle.generation, pending=len(pending),
+            consecutive=handle.consecutive_crashes,
         )
         auto_dump(f"worker-{handle.worker_id}-crash", self.flight)
         if not self.config.respawn:
-            self._outstanding[handle.worker_id].clear()
-            for infl in pending:
-                self._inflight.pop(infl.key, None)
-                for job in infl.jobs:
-                    job.fail("worker crashed")
+            self._fail_shard_pending(handle, "worker crashed")
+            return
+        if handle.consecutive_crashes >= self.config.crash_loop_threshold:
+            self._trip_breaker(handle)
+            return
+        delay = self._respawn_delay(handle.consecutive_crashes)
+        handle.respawn_pending = True
+        if delay <= 0:
+            self._respawn_now(handle)
+        else:
+            self.metrics.inc("respawn_backoffs")
+            assert self._loop is not None
+            self._loop.call_later(delay, self._respawn_now, handle)
+
+    def _respawn_delay(self, consecutive: int) -> float:
+        """Jittered exponential backoff; the first respawn is free."""
+        if consecutive <= 1:
+            return 0.0
+        base = self.config.respawn_backoff * (2 ** (consecutive - 2))
+        delay = min(base, self.config.respawn_backoff_max)
+        return delay * random.uniform(0.5, 1.5)
+
+    def _respawn_now(self, handle: WorkerHandle) -> None:
+        if self._stopping:
+            handle.respawn_pending = False
             return
         handle.spawn()
-        for infl in pending:
+        self._resend_outstanding(handle)
+
+    def _resend_outstanding(self, handle: WorkerHandle) -> None:
+        """Re-dispatch everything queued on the shard — both the jobs
+        pending at death and any accepted during the backoff window."""
+        for infl in list(self._outstanding[handle.worker_id].values()):
             for job in infl.jobs:
                 if job.spans is not None:
                     # An instant marker in the merged trace: the retried
@@ -390,6 +499,66 @@ class Gateway:
                     )
             handle.send(infl.msg)
             self.metrics.inc("requests_redispatched")
+
+    def _fail_shard_pending(self, handle: WorkerHandle, error: str) -> None:
+        for infl in list(self._outstanding[handle.worker_id].values()):
+            self._inflight.pop(infl.key, None)
+            self._footprint_inflight = max(
+                0, self._footprint_inflight - infl.footprint)
+            for job in infl.jobs:
+                job.fail(error)
+                self._journal_done(job)
+                self._observe_slo(job, ok=False)
+        self._outstanding[handle.worker_id].clear()
+
+    def _trip_breaker(self, handle: WorkerHandle) -> None:
+        """Crash loop: stop burning respawns, mark the shard failing,
+        move its queue to a surviving shard, retry after a cooldown."""
+        handle.failing = True
+        handle.respawn_pending = True  # blocks monitor re-entry
+        self.metrics.inc("worker_crash_loops")
+        self.flight.record(
+            "crash", f"worker-{handle.worker_id}-crash-loop",
+            worker=handle.worker_id,
+            consecutive=handle.consecutive_crashes,
+            cooldown=self.config.breaker_cooldown,
+        )
+        auto_dump(f"worker-{handle.worker_id}-crash-loop", self.flight)
+        fallback = self._fallback_worker(handle.worker_id)
+        if fallback is None:
+            self._fail_shard_pending(handle, "shard failing")
+        else:
+            self._reshard(handle.worker_id, fallback)
+        assert self._loop is not None
+        self._loop.call_later(
+            self.config.breaker_cooldown, self._breaker_probe, handle)
+
+    def _breaker_probe(self, handle: WorkerHandle) -> None:
+        """Half-open: one fresh incarnation.  Its hello clears
+        ``failing``; another fast crash re-opens the breaker."""
+        if self._stopping:
+            handle.respawn_pending = False
+            return
+        self._respawn_now(handle)
+
+    def _fallback_worker(self, worker_id: int) -> Optional[int]:
+        """The next shard that can absorb re-routed work, or None."""
+        n = len(self._handles)
+        for offset in range(1, n):
+            cand = (worker_id + offset) % n
+            handle = self._handles[cand]
+            if not handle.failing and handle.alive():
+                return cand
+        return None
+
+    def _reshard(self, from_id: int, to_id: int) -> None:
+        moved = list(self._outstanding[from_id].values())
+        self._outstanding[from_id].clear()
+        for infl in moved:
+            infl.worker_id = to_id
+            self._outstanding[to_id][infl.req_id] = infl
+            self._handles[to_id].send(infl.msg)
+            self.metrics.inc("requests_resharded")
 
     async def _monitor(self) -> None:
         """Liveness sweep: catches deaths whose pipe EOF got lost."""
@@ -422,8 +591,14 @@ class Gateway:
     def _observe_slo(self, job: Job, ok: bool) -> None:
         self.slo.observe(job.tenant, job.spec["algorithm"], job.elapsed, ok)
 
+    def _journal_done(self, job: Job) -> None:
+        if self.journal is not None:
+            self.journal.append("done", job.job_id, status=job.status)
+
     def _complete(self, infl: _Inflight, msg: Dict[str, Any]) -> None:
         self._inflight.pop(infl.key, None)
+        self._footprint_inflight = max(
+            0, self._footprint_inflight - infl.footprint)
         batch = msg.get("trace")
         if msg.get("ok"):
             doc = msg["result"]
@@ -435,6 +610,7 @@ class Gateway:
                 job.worker = infl.worker_id
                 self._attach_trace(job, batch, ok=True)
                 job.finish(doc, source if not job.coalesced else "coalesced")
+                self._journal_done(job)
                 self.metrics.histogram("request_seconds").observe(job.elapsed)
                 self._observe_slo(job, ok=True)
         else:
@@ -447,6 +623,7 @@ class Gateway:
                 job.worker = infl.worker_id
                 self._attach_trace(job, batch, ok=False)
                 job.fail(error)
+                self._journal_done(job)
                 self._observe_slo(job, ok=False)
 
     # ------------------------------------------------------------------
@@ -506,6 +683,19 @@ class Gateway:
             )
         network = self._resolve_network(spec)
         key = job_cache_key(spec, network)
+        footprint = 0
+        if self.config.max_footprint is not None:
+            footprint = estimate_kc_footprint(network)
+            needs_compute = key not in self._inflight and key not in self.cache
+            # Shed only requests that would start a fresh computation,
+            # and never an idle gateway — one oversized job must still
+            # make progress when nothing else is running.
+            if (needs_compute and self._footprint_inflight > 0
+                    and self._footprint_inflight + footprint
+                    > self.config.max_footprint):
+                self.metrics.inc("requests_shed")
+                raise LoadShed(footprint, self.config.max_footprint,
+                               retry_after=1.0)
         job = Job(f"j{next(self._seq):06d}", key, tenant, spec)
         if self.config.trace_requests:
             job.trace_id = trace_parent[0] if trace_parent else make_trace_id()
@@ -522,7 +712,25 @@ class Gateway:
                 "request", track="gateway", attrs=attrs
             )
         self._register(job)
+        if self.journal is not None:
+            self.journal.append(
+                "accepted", job.job_id, seq=int(job.job_id[1:]),
+                key=key, tenant=tenant, body=doc,
+            )
+        try:
+            self._answer_or_dispatch(job, key, spec, footprint)
+        except ShardFailing:
+            # The client gets the 503; complete the job so the journal
+            # retires it (the client owns the retry, not the replay).
+            job.fail("shard failing")
+            self._journal_done(job)
+            raise
+        return job
 
+    def _answer_or_dispatch(self, job: Job, key: str,
+                            spec: Dict[str, Any], footprint: int) -> None:
+        """Cache hit, coalesce, or dispatch — shared by live submission
+        and journal replay."""
         cached = self.cache.get(key)
         if cached is not None:
             if job.spans is not None:
@@ -533,11 +741,12 @@ class Gateway:
                 )
                 self._attach_trace(job, None, ok=True)
             job.finish(cached, "gateway")
+            self._journal_done(job)
             self.metrics.inc("results_ok")
             self.metrics.inc("results_from_gateway")
             self.metrics.histogram("request_seconds").observe(job.elapsed)
             self._observe_slo(job, ok=True)
-            return job
+            return
 
         infl = self._inflight.get(key)
         if infl is not None:
@@ -556,9 +765,17 @@ class Gateway:
                            "leader_trace_id": leader.trace_id,
                            "follower_trace_id": job.trace_id},
                 )
-            return job
+            return
 
         worker_id = shard_for(key, len(self._handles))
+        if self._handles[worker_id].failing:
+            fallback = self._fallback_worker(worker_id)
+            if fallback is None:
+                self.metrics.inc("requests_shard_failing")
+                raise ShardFailing(
+                    worker_id, self.config.breaker_cooldown)
+            self.metrics.inc("requests_resharded")
+            worker_id = fallback
         wire_spec = {k: spec[k] for k in (
             "circuit", "eqn", "algorithm", "procs", "searcher", "scale",
             "node_budget", "params", "include_network",
@@ -577,24 +794,113 @@ class Gateway:
             req_id=job.job_id, key=key, worker_id=worker_id,
             msg=msg,
             jobs=[job],
+            footprint=footprint,
         )
         self._inflight[key] = infl
+        self._footprint_inflight += footprint
         self._outstanding[worker_id][job.job_id] = infl
+        if self.journal is not None:
+            self.journal.append("dispatched", job.job_id, worker=worker_id)
         self.metrics.inc("requests_dispatched")
         self.flight.record("dispatch", job.job_id, worker=worker_id,
-                           tenant=tenant, algorithm=spec["algorithm"])
+                           tenant=job.tenant, algorithm=spec["algorithm"])
         # A send on a just-crashed pipe is fine: the request stays in
         # _outstanding and the respawn path re-dispatches it.
         self._handles[worker_id].send(infl.msg)
+
+    # ------------------------------------------------------------------
+    # journal replay
+    # ------------------------------------------------------------------
+
+    def _replay_journal(self) -> None:
+        """Re-admit every accepted-but-unfinished job from the journal.
+
+        Runs during start(), before the listening socket exists.  Replay
+        is idempotent: jobs re-key to the same canonical digest, so a
+        computation that already landed in the disk cache answers
+        immediately, identical requests coalesce, and anything else
+        re-dispatches to its shard.
+        """
+        assert self.journal is not None
+        replay = self.journal.replay()
+        if replay.max_seq >= 0:
+            # Continue the id sequence past everything journaled so a
+            # restarted gateway never reuses a recovered job's id.
+            self._seq = itertools.count(replay.max_seq + 1)
+        if replay.torn:
+            self.metrics.inc("journal_torn_records", replay.torn)
+            self.flight.record("journal", "torn-records", torn=replay.torn)
+        # Finished jobs first: they answer straight from the disk cache
+        # and make GET /v1/jobs/<id> survive the crash for clients that
+        # had not collected their result yet.  Compaction keeps this set
+        # small (fully-done segments are deleted).
+        for rec in replay.finished:
+            try:
+                self._submit_replay(rec)
+                self.metrics.inc("journal_restored")
+            except Exception as exc:  # noqa: BLE001 - must not kill boot
+                self.metrics.inc("journal_replay_failed")
+                self.flight.record(
+                    "journal", "restore-failed",
+                    job=rec.get("job_id"), error=str(exc),
+                )
+        for rec in replay.unfinished:
+            try:
+                self._submit_replay(rec)
+                self.metrics.inc("journal_replayed")
+            except Exception as exc:  # noqa: BLE001 - must not kill boot
+                # Unreplayable (bad body, unknown circuit after an
+                # upgrade...): record a failed completion so compaction
+                # retires it instead of replaying forever.
+                self.metrics.inc("journal_replay_failed")
+                self.flight.record(
+                    "journal", "replay-failed",
+                    job=rec.get("job_id"), error=str(exc),
+                )
+                self.journal.append(
+                    "done", rec["job_id"], status="failed",
+                    error=f"replay failed: {exc}",
+                )
+        self.journal.compact()
+
+    def _submit_replay(self, rec: Dict[str, Any]) -> Job:
+        """Re-admit one journaled job, bypassing admission control —
+        it was already admitted in a previous life."""
+        spec = parse_job_request(rec["body"])
+        network = self._resolve_network(spec)
+        key = job_cache_key(spec, network)
+        job = Job(rec["job_id"], key, rec.get("tenant") or spec["tenant"],
+                  spec)
+        self._register(job)
+        # The gateway memory cache died with the old process, but the
+        # disk cache did not: probe it directly so replay answers
+        # without a worker round-trip when the result already exists.
+        # The job finishes from the disk document without warming the
+        # gateway LRU — restore must make GET /v1/jobs/<id> work, not
+        # shadow the disk tier for fresh post-restart requests.
+        if self.disk is not None:
+            cached = self.disk.get(key)
+            if cached is not None:
+                job.finish(cached, "disk")
+                self._journal_done(job)
+                self.metrics.inc("results_ok")
+                return job
+        self._answer_or_dispatch(job, key, spec, footprint=0)
         return job
 
     def _register(self, job: Job) -> None:
         self._jobs[job.job_id] = job
         while len(self._jobs) > self.config.job_registry_capacity:
-            oldest_id = next(iter(self._jobs))
-            if not self._jobs[oldest_id].done.is_set():
-                break  # never evict live jobs; max_inflight bounds them
-            self._jobs.pop(oldest_id)
+            evicted = False
+            for job_id, tracked in self._jobs.items():
+                # Never evict live jobs (max_inflight bounds them) or
+                # jobs a watcher stream is still attached to.
+                if tracked.done.is_set() and tracked.pins <= 0:
+                    self._jobs.pop(job_id)
+                    evicted = True
+                    break
+            if not evicted:
+                break
 
     # ------------------------------------------------------------------
     # health aggregation
@@ -641,7 +947,9 @@ class Gateway:
                 snap["engine"] = reply.get("engine")
                 if "disk_cache" in reply:
                     snap["disk_cache"] = reply["disk_cache"]
-            if not snap["alive"]:
+            if snap.get("failing"):
+                statuses.append("failing-shard")
+            elif not snap["alive"]:
                 statuses.append("dead")
             else:
                 engine = snap.get("engine") or {}
@@ -669,14 +977,21 @@ class Gateway:
             },
             "gateway": {
                 "inflight": len(self._inflight),
+                "footprint_inflight": self._footprint_inflight,
                 "jobs_tracked": len(self._jobs),
                 "workers_alive": alive,
+                "workers_failing": sum(
+                    1 for h in self._handles if h.failing),
                 "workers": len(self._handles),
                 "uptime_s": (
                     time.monotonic() - self._started_at
                     if self._started_at else 0.0
                 ),
                 "cache": self.cache.stats(),
+                "journal": (
+                    self.journal.stats()
+                    if self.journal is not None else None
+                ),
             },
             "workers": workers,
         }
@@ -706,6 +1021,8 @@ class Gateway:
         }
         if self.disk is not None:
             doc["disk_cache"] = self.disk.stats()
+        if self.journal is not None:
+            doc["journal"] = self.journal.stats()
         # Rectangle-search v2 counters (pruning + canonical memo),
         # summed over the workers' latest health reports.
         rect: Dict[str, int] = {
@@ -864,6 +1181,22 @@ class Gateway:
             await httpio.send_json(
                 writer, 429, {"error": "overloaded", "detail": str(exc)})
             return True
+        except LoadShed as exc:
+            await httpio.send_json(
+                writer, 429,
+                {"error": "load_shed", "footprint": exc.footprint,
+                 "budget": exc.budget, "retry_after": exc.retry_after},
+                extra_headers={"Retry-After": f"{exc.retry_after:.3f}"},
+            )
+            return True
+        except ShardFailing as exc:
+            await httpio.send_json(
+                writer, 503,
+                {"error": "shard_failing", "worker": exc.worker_id,
+                 "retry_after": exc.retry_after},
+                extra_headers={"Retry-After": f"{exc.retry_after:.3f}"},
+            )
+            return True
         wait = job.spec["wait"] and request.query.get("wait") != "0"
         if not wait:
             await httpio.send_json(writer, 202, job.to_doc(with_result=False))
@@ -892,16 +1225,23 @@ class Gateway:
                 writer, 404, {"error": f"unknown job {job_id!r}"})
             return True
         if request.query.get("watch") not in (None, "", "0"):
-            await httpio.start_ndjson(writer)
-            await httpio.send_ndjson_line(writer, job.to_doc(with_result=False))
-            if not job.done.is_set():
-                try:
-                    await asyncio.wait_for(
-                        job.done.wait(), self.config.request_timeout
-                    )
-                except asyncio.TimeoutError:
-                    pass
-            await httpio.send_ndjson_line(writer, job.to_doc())
+            # Pin the job while the watcher stream is attached so ring
+            # eviction can never drop it out from under the stream.
+            job.pins += 1
+            try:
+                await httpio.start_ndjson(writer)
+                await httpio.send_ndjson_line(
+                    writer, job.to_doc(with_result=False))
+                if not job.done.is_set():
+                    try:
+                        await asyncio.wait_for(
+                            job.done.wait(), self.config.request_timeout
+                        )
+                    except asyncio.TimeoutError:
+                        pass
+                await httpio.send_ndjson_line(writer, job.to_doc())
+            finally:
+                job.pins -= 1
             return False  # streamed responses close the connection
         await httpio.send_json(writer, 200, job.to_doc())
         return True

@@ -47,6 +47,7 @@ __all__ = [
     "parse_job_request",
     "job_cache_key",
     "result_document",
+    "estimate_kc_footprint",
     "SEARCHERS",
 ]
 
@@ -159,6 +160,20 @@ def job_cache_key(spec: Dict[str, Any], network) -> str:
         searcher=spec["searcher"],
         node_budget=spec["node_budget"],
     )
+
+
+def estimate_kc_footprint(network) -> int:
+    """Rough per-job memory footprint: cube count x literal count.
+
+    The dominant allocation of every factorization path is the
+    kernel-cube matrix, whose row/column dimensions grow with the
+    network's cubes and distinct literals — so their product is a cheap,
+    monotone proxy the gateway's load-shed tier can budget against
+    without resolving anything per-node.
+    """
+    cubes = sum(len(sop) for sop in network.nodes.values())
+    lits = network.literal_count()
+    return max(1, cubes) * max(1, lits)
 
 
 def result_document(

@@ -70,6 +70,17 @@ def worker_main(
     flight = flight_recorder(proc=f"worker:{worker_id}")
     if flight_dir:
         set_flight_dir(flight_dir)
+    # Chaos-serve: a worker-slow:<id>xF event in REPRO_SERVE_FAULTS makes
+    # this shard serve F x slower (stretching each job's wall time), the
+    # serve-level analogue of the machine's slow:PxF fault.
+    slow_factor = 1.0
+    from repro.faults.plan import serve_plan_from_env
+
+    _serve_plan = serve_plan_from_env()
+    if _serve_plan is not None:
+        for _ev in _serve_plan.serve_events("worker-slow"):
+            if _ev.pid == worker_id:
+                slow_factor = max(slow_factor, _ev.factor)
     disk = DiskCache(cache_dir) if cache_dir else None
     if cache_dir:
         # Persist best-rectangle memo entries next to the result cache
@@ -185,6 +196,7 @@ def worker_main(
                   "error": f"unknown op {msg.get('op')!r}"})
             continue
         req_id, key, spec = msg["id"], msg["key"], msg["job"]
+        started = time.perf_counter()
         trace_req = msg.get("trace")
         # A fresh per-request tracer: the compute thread handles one
         # factor at a time, so its span stack nests cleanly, and a
@@ -213,6 +225,9 @@ def worker_main(
             flight.record("error", "request-error", job=req_id, error=error)
             auto_dump("request-error", flight)
             fields = {"ok": False, "error": error}
+        if slow_factor > 1.0:
+            elapsed = time.perf_counter() - started
+            time.sleep(min(elapsed * (slow_factor - 1.0), 1.0))
         if fields.get("ok"):
             jobs_done += 1
         else:
@@ -264,6 +279,14 @@ class WorkerHandle:
         self.flight_dir = flight_dir
         self.generation = 0
         self.crashes = 0
+        #: crash-loop breaker state, owned by the gateway's event loop:
+        #: crashes with no intervening healthy uptime, whether the shard
+        #: is currently circuit-broken, and whether a (possibly delayed)
+        #: respawn is already scheduled.
+        self.consecutive_crashes = 0
+        self.failing = False
+        self.respawn_pending = False
+        self.spawned_at: Optional[float] = None
         self.ready = False
         self.pid: Optional[int] = None
         self.last_health: Optional[Dict[str, Any]] = None
@@ -279,6 +302,8 @@ class WorkerHandle:
         parent_conn, child_conn = ctx.Pipe(duplex=True)
         self.generation += 1
         self.ready = False
+        self.respawn_pending = False
+        self.spawned_at = time.monotonic()
         self.pid = None
         self._conn = parent_conn
         self.process = ctx.Process(
@@ -348,4 +373,6 @@ class WorkerHandle:
             "pid": self.pid,
             "generation": self.generation,
             "crashes": self.crashes,
+            "consecutive_crashes": self.consecutive_crashes,
+            "failing": self.failing,
         }

@@ -1,0 +1,99 @@
+"""Serve-level half of the FaultPlan grammar: parse/render/env plumbing."""
+
+import pytest
+
+from repro.faults.plan import (
+    ALL_FAULT_KINDS,
+    ENV_SERVE_PLAN,
+    FAULT_KINDS,
+    SERVE_FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    serve_plan_from_env,
+)
+
+
+def test_kind_sets_are_disjoint_and_complete():
+    assert not set(FAULT_KINDS) & set(SERVE_FAULT_KINDS)
+    assert set(ALL_FAULT_KINDS) == set(FAULT_KINDS) | set(SERVE_FAULT_KINDS)
+
+
+@pytest.mark.parametrize("spec", [
+    "gw-restart@3",
+    "disk-full@PUT-0",
+    "worker-kill:1",
+    "worker-kill:0*3",
+    "worker-slow:1x4",
+    "cache-corrupt:2",
+    "gw-restart@2,worker-slow:0x2.5,cache-corrupt:1",
+])
+def test_serve_specs_round_trip(spec):
+    plan = FaultPlan.parse(spec)
+    assert FaultPlan.parse(plan.render()).render() == plan.render()
+    for ev in plan.events:
+        assert ev.serve_level
+        assert ev.kind in SERVE_FAULT_KINDS
+
+
+def test_mixed_machine_and_serve_spec():
+    plan = FaultPlan.parse("crash:1@3,gw-restart@2,drop:5")
+    kinds = {ev.kind for ev in plan.events}
+    assert kinds == {"crash", "gw-restart", "drop"}
+    assert len(plan.serve_events()) == 1
+    assert plan.serve_events("gw-restart")[0].at == 2
+    # The machine-level view must not see serve events.
+    assert {ev.kind for ev in plan.events if not ev.serve_level} \
+        == {"crash", "drop"}
+
+
+def test_serve_event_validation():
+    with pytest.raises(ValueError):
+        FaultEvent("worker-kill")  # needs a pid
+    with pytest.raises(ValueError):
+        FaultEvent("worker-slow", pid=0, factor=0.5)  # factor < 1
+    with pytest.raises(ValueError):
+        FaultEvent("not-a-kind")
+
+
+def test_random_serve_is_deterministic_and_in_grammar():
+    for seed in range(12):
+        a = FaultPlan.random_serve(seed, shards=2)
+        b = FaultPlan.random_serve(seed, shards=2)
+        assert a.render() == b.render()
+        assert not a.is_empty()
+        assert all(ev.serve_level for ev in a.events)
+        # and it round-trips through the spec grammar
+        assert FaultPlan.parse(a.render()).render() == a.render()
+
+
+def test_random_serve_sweep_covers_all_primaries():
+    primaries = set()
+    for seed in range(40):
+        plan = FaultPlan.random_serve(seed, shards=2)
+        primaries |= {ev.kind for ev in plan.events}
+    assert {"gw-restart", "worker-kill", "disk-full"} <= primaries
+
+
+def test_serve_plan_from_env(monkeypatch):
+    monkeypatch.delenv(ENV_SERVE_PLAN, raising=False)
+    assert serve_plan_from_env() is None
+    monkeypatch.setenv(ENV_SERVE_PLAN, "disk-full@PUT-2,worker-slow:1x3")
+    plan = serve_plan_from_env()
+    assert plan is not None
+    assert plan.serve_events("disk-full")[0].at == 2
+    assert plan.serve_events("worker-slow")[0].factor == 3.0
+    # A machine-only plan in the env is not a serve plan.
+    monkeypatch.setenv(ENV_SERVE_PLAN, "crash:1@3")
+    assert serve_plan_from_env() is None
+
+
+def test_serve_plan_from_env_bad_spec(monkeypatch):
+    monkeypatch.setenv(ENV_SERVE_PLAN, "gw-restart@nope")
+    with pytest.raises(ValueError):
+        serve_plan_from_env()
+
+
+def test_events_sort_stably_across_kind_families():
+    plan = FaultPlan.parse("worker-kill:1,crash:0@2,gw-restart@2")
+    rendered = FaultPlan.parse(plan.render()).render()
+    assert rendered == plan.render()

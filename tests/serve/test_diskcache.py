@@ -77,6 +77,100 @@ def test_stats_shape_and_hit_rate(tmp_path):
     assert stats["hit_rate"] == pytest.approx(0.5)
 
 
+def _keys(n):
+    return [f"{i:02x}" + "0" * 62 for i in range(n)]
+
+
+def test_byte_budget_evicts_lru(tmp_path):
+    cache = DiskCache(tmp_path, max_bytes=400)
+    for key in _keys(8):
+        cache.put(key, DOC)
+    stats = cache.stats()
+    assert stats["bytes"] <= 400
+    assert stats["evictions"] > 0
+    # The most recently written keys survive; the oldest are gone.
+    survivors = [k for k in _keys(8) if cache.get(k) is not None]
+    assert survivors == _keys(8)[-len(survivors):]
+    assert len(survivors) >= 1
+
+
+def test_get_refreshes_lru_order(tmp_path):
+    keys = _keys(6)
+    cache = DiskCache(tmp_path, max_bytes=10_000)
+    for key in keys:
+        cache.put(key, DOC)
+    cache.get(keys[0])  # refresh the oldest
+    entry_size = cache.stats()["bytes"] // 6
+    cache.max_bytes = int(entry_size * 2.5)  # room for two entries
+    cache.put(keys[0], DOC)  # triggers eviction down to budget
+    assert cache.get(keys[0]) is not None
+    assert cache.get(keys[1]) is None  # stale-LRU entry was the victim
+
+
+def test_budget_enforced_on_warm_scan(tmp_path):
+    unbounded = DiskCache(tmp_path)
+    for key in _keys(8):
+        unbounded.put(key, DOC)
+    total = unbounded.stats()["bytes"]
+    warm = DiskCache(tmp_path, max_bytes=total // 2)
+    assert warm.stats()["bytes"] <= total // 2
+    assert warm.stats()["evictions"] > 0
+
+
+def test_disk_full_degrades_to_memory_overlay(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SERVE_FAULTS", "disk-full@PUT-1")
+    cache = DiskCache(tmp_path)
+    keys = _keys(3)
+    cache.put(keys[0], DOC)  # put #1 still lands on disk
+    cache.put(keys[1], DOC)  # put #2 hits injected ENOSPC — must not raise
+    stats = cache.stats()
+    assert stats["write_errors"] == 1
+    assert stats["degraded"] is True
+    assert stats["mem_entries"] == 1
+    # Both entries are still servable: one from disk, one from memory.
+    assert cache.get(keys[0]) == DOC
+    assert cache.get(keys[1]) == DOC
+    # The overlay never persisted anything.
+    assert not cache._path(keys[1]).exists()
+
+
+def test_degraded_clears_on_next_successful_write(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SERVE_FAULTS", "disk-full@PUT-1")
+    cache = DiskCache(tmp_path)
+    keys = _keys(3)
+    cache.put(keys[0], DOC)
+    cache.put(keys[1], DOC)
+    assert cache.stats()["degraded"] is True
+    cache._fault_put_from = None  # the volume comes back
+    cache.put(keys[2], DOC)
+    stats = cache.stats()
+    assert stats["degraded"] is False
+    assert cache.get(keys[2]) == DOC
+
+
+def test_real_oserror_never_propagates(tmp_path, monkeypatch):
+    cache = DiskCache(tmp_path)
+
+    def boom(*args, **kwargs):
+        raise OSError(28, "No space left on device")
+
+    monkeypatch.setattr("tempfile.mkstemp", boom)
+    cache.put(KEY, DOC)  # must not raise
+    assert cache.stats()["write_errors"] == 1
+    assert cache.get(KEY) == DOC  # served from the overlay
+
+
+def test_overlay_is_bounded(tmp_path, monkeypatch):
+    from repro.serve import diskcache as mod
+
+    monkeypatch.setenv("REPRO_SERVE_FAULTS", "disk-full@PUT-0")
+    monkeypatch.setattr(mod, "_MEM_OVERLAY_CAP", 4)
+    cache = DiskCache(tmp_path)
+    for i in range(10):
+        cache.put(f"{i:02x}" + "1" * 62, DOC)
+    assert cache.stats()["mem_entries"] <= 4
+
+
 def test_concurrent_writers_same_key(tmp_path):
     cache = DiskCache(tmp_path)
     errors = []
